@@ -1,0 +1,36 @@
+//! Security evaluation: exploit simulations against POLaR.
+//!
+//! Section III of the paper argues POLaR's security through three attack
+//! families — heap overflow, type confusion, and use-after-free — and
+//! Section V-C validates TaintClass against real libpng CVEs (Table IV).
+//! This crate makes those arguments executable:
+//!
+//! * [`scenarios`] — small vulnerable programs, one per attack family,
+//!   each with an attacker-controlled corruption primitive;
+//! * [`harness`] — runs a scenario under a [`Defense`] (native binary,
+//!   compile-time OLR, POLaR), models attacker knowledge (an attacker who
+//!   has reverse-engineered the binary can reconstruct static-OLR layouts
+//!   — the paper's *hidden binary problem*), and measures success /
+//!   detection rates and replay determinism over many trials;
+//! * [`diversity`] — the Figure 2 experiment: layout diversity across
+//!   instances and executions under each defense;
+//! * [`cve`] — crafted exploit inputs for the six minipng CVEs and the
+//!   Table IV TaintClass-vs-ground-truth comparison;
+//! * [`metadata_leak`] — the Section VI-A limitation quantified: an
+//!   attacker who can read the runtime's metadata defeats POLaR;
+//! * [`probing`] — the Section III-B2 reproduction problem quantified: a
+//!   binary-less attacker converges on static OLR by repeated probing but
+//!   never stabilizes against POLaR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cve;
+pub mod diversity;
+pub mod harness;
+pub mod metadata_leak;
+pub mod probing;
+pub mod scenarios;
+
+pub use harness::{AttackOutcome, Attacker, Defense, TrialStats};
+pub use scenarios::{Scenario, ScenarioKind};

@@ -1,0 +1,154 @@
+//! The reproduction problem (§III-B2), quantified with a *probing*
+//! attacker.
+//!
+//! "The once-randomized object layout remains same across multiple
+//! executions. Therefore attacker can observe deterministic behavior by
+//! triggering the memory corruption with the same input data. This allows
+//! the attacker to infer and analyze the changed object layout."
+//!
+//! The probing attacker here has **no copy of the binary**. It enumerates
+//! candidate pointer locations one execution at a time, watching a simple
+//! oracle (did the hijack value come back out?). Against compile-time OLR
+//! the layout never changes, so each probe permanently eliminates
+//! candidates and a successful offset stays valid forever — after a
+//! handful of runs the exploit is 100 % reliable. Against POLaR every
+//! execution re-randomizes, so observations do not transfer and no stable
+//! exploit ever emerges.
+
+use crate::harness::{run_attack_with_param, Defense};
+use crate::scenarios::{self, Scenario};
+
+/// Result of a probing campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbingResult {
+    /// Defense label.
+    pub defense: &'static str,
+    /// Executions spent before a *stable* exploit was found (`None` =
+    /// never within the budget).
+    pub attempts_until_stable: Option<u32>,
+    /// Hijacks observed during the whole campaign.
+    pub total_hijacks: u32,
+    /// Executions performed.
+    pub executions: u32,
+}
+
+impl std::fmt::Display for ProbingResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.attempts_until_stable {
+            Some(n) => write!(
+                f,
+                "{:<12} stable exploit after {:>3} probes ({} hijacks / {} runs)",
+                self.defense, n, self.total_hijacks, self.executions
+            ),
+            None => write!(
+                f,
+                "{:<12} NO stable exploit ({} lucky hijacks / {} runs)",
+                self.defense, self.total_hijacks, self.executions
+            ),
+        }
+    }
+}
+
+/// How many consecutive successes the attacker demands before declaring
+/// the exploit production-ready.
+const STABILITY: u32 = 5;
+
+/// Run the probing campaign. `defense_for_run` supplies the defense for
+/// execution `i` — static OLR keeps one binary seed (same binary
+/// redeployed), POLaR draws fresh process entropy every run.
+pub fn probe(
+    scenario: &Scenario,
+    defense_for_run: impl Fn(u32) -> Defense,
+    max_executions: u32,
+) -> ProbingResult {
+    // Candidate placements: every 8-byte-aligned offset a pointer could
+    // occupy within a generously-sized victim block.
+    let candidates: Vec<u64> = (0..16u64).map(|k| k * 8).collect();
+    let mut run = 0u32;
+    let mut hijacks = 0u32;
+    let mut defense_label = "?";
+
+    let mut cursor = 0usize;
+    while run < max_executions {
+        let guess = candidates[cursor % candidates.len()];
+        let param = scenario.buffer_block + guess + 8;
+        let defense = defense_for_run(run);
+        defense_label = defense.label();
+        let hit = run_attack_with_param(scenario, &defense, param, guess);
+        run += 1;
+        if hit {
+            hijacks += 1;
+            // Candidate found: verify stability on fresh executions.
+            let mut stable = true;
+            for _ in 0..STABILITY {
+                if run >= max_executions {
+                    stable = false;
+                    break;
+                }
+                let defense = defense_for_run(run);
+                let again = run_attack_with_param(scenario, &defense, param, guess);
+                run += 1;
+                if again {
+                    hijacks += 1;
+                } else {
+                    stable = false;
+                    break;
+                }
+            }
+            if stable {
+                return ProbingResult {
+                    defense: defense_label,
+                    attempts_until_stable: Some(run),
+                    total_hijacks: hijacks,
+                    executions: run,
+                };
+            }
+        }
+        cursor += 1;
+    }
+    ProbingResult {
+        defense: defense_label,
+        attempts_until_stable: None,
+        total_hijacks: hijacks,
+        executions: run,
+    }
+}
+
+/// The canned §III-B2 comparison on the heap-overflow scenario.
+pub fn reproduction_problem(max_executions: u32) -> Vec<ProbingResult> {
+    let scenario = scenarios::overflow();
+    vec![
+        probe(&scenario, |_| Defense::StaticOlr { binary_seed: 0x5EED }, max_executions),
+        probe(&scenario, |run| Defense::polar(0xAB00 + u64::from(run)), max_executions),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probing_breaks_static_olr_without_the_binary() {
+        let scenario = scenarios::overflow();
+        let result =
+            probe(&scenario, |_| Defense::StaticOlr { binary_seed: 0x1234 }, 200);
+        assert!(
+            result.attempts_until_stable.is_some(),
+            "deterministic replay must let probing converge: {result}"
+        );
+        // 16 candidates + 5 verification runs is the worst case.
+        assert!(result.attempts_until_stable.unwrap() <= 16 + 5);
+    }
+
+    #[test]
+    fn probing_never_stabilizes_against_polar() {
+        let scenario = scenarios::overflow();
+        let result = probe(&scenario, |run| Defense::polar(0x77 + u64::from(run)), 200);
+        assert!(
+            result.attempts_until_stable.is_none(),
+            "per-execution randomization must deny stable exploits: {result}"
+        );
+        // Lucky single hits may occur, but far below static OLR's 100%.
+        assert!(result.total_hijacks < result.executions / 2, "{result}");
+    }
+}

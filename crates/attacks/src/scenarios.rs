@@ -1,0 +1,372 @@
+//! Canned vulnerable programs — one per attack family of Section III.
+//!
+//! Each scenario gives the attacker a realistic corruption primitive
+//! whose *placement* is controlled through the program input, mirroring
+//! how real exploits parameterize their memory writes:
+//!
+//! * [`overflow`] — a linear heap buffer overflow (unchecked copy with an
+//!   attacker-chosen length) running off a buffer into the adjacent
+//!   object's function pointer;
+//! * [`intra_object_overflow`] — the same unchecked copy, but through an
+//!   inline byte-array member, so the corruption never leaves the heap
+//!   block (the case §VII-C says redzones cannot see);
+//! * [`type_confusion`] — an object of class `Form` later accessed
+//!   through a `Doc`-typed site (the Section III-A1 integer/function-
+//!   pointer confusion); the attacker chooses which `Form` field to fill;
+//! * [`use_after_free`] — a freed `Session` whose slot the attacker
+//!   reoccupies with a `Packet` before the dangling read of the session's
+//!   handler (Section III-A2).
+//!
+//! Input encoding (shared): bytes `0..8` = attacker value (LE), bytes
+//! `8..10` = placement parameter (overflow offset or field selector).
+
+use polar_classinfo::ClassId;
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, BlockId, CmpOp, Module, Reg};
+
+/// Attack families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Linear heap overflow into an adjacent object.
+    Overflow,
+    /// Overflow of a byte-array member into its *own* object's siblings —
+    /// invisible to redzone defenses (Section VII-C), caught by POLaR's
+    /// randomization plus booby traps.
+    IntraObjectOverflow,
+    /// Object type confusion.
+    TypeConfusion,
+    /// Use-after-free with slot reoccupation.
+    UseAfterFree,
+}
+
+impl ScenarioKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Overflow => "heap-overflow",
+            ScenarioKind::IntraObjectOverflow => "in-object-overflow",
+            ScenarioKind::TypeConfusion => "type-confusion",
+            ScenarioKind::UseAfterFree => "use-after-free",
+        }
+    }
+}
+
+/// A vulnerable program plus the facts an attacker (and the harness)
+/// needs about it.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Which family this is.
+    pub kind: ScenarioKind,
+    /// The vulnerable program (uninstrumented).
+    pub module: Module,
+    /// The class holding the hijack target.
+    pub victim_class: ClassId,
+    /// Field index of the hijack target (a function pointer).
+    pub victim_field: u16,
+    /// The class whose instance the attacker controls (confusion/UAF).
+    pub spray_class: Option<ClassId>,
+    /// Heap-block size of the overflowed buffer (overflow only): the
+    /// victim object starts this many bytes past the buffer.
+    pub buffer_block: u64,
+}
+
+/// Read the 8-byte attacker value from input bytes 0..8 into a register.
+fn read_value(f: &mut polar_ir::builder::FunctionBuilder, bb: BlockId) -> Reg {
+    let acc = f.const_(bb, 0);
+    for i in (0..8u64).rev() {
+        let idx = f.const_(bb, i);
+        let byte = f.input_byte(bb, idx);
+        let shifted = f.bini(bb, BinOp::Shl, acc, 8);
+        let merged = f.bin(bb, BinOp::Or, shifted, byte);
+        f.mov_to(bb, acc, merged);
+    }
+    acc
+}
+
+/// Read the 16-bit placement parameter from input bytes 8..10.
+fn read_param(f: &mut polar_ir::builder::FunctionBuilder, bb: BlockId) -> Reg {
+    let i8_ = f.const_(bb, 8);
+    let lo = f.input_byte(bb, i8_);
+    let i9 = f.const_(bb, 9);
+    let hi = f.input_byte(bb, i9);
+    let hi8 = f.bini(bb, BinOp::Shl, hi, 8);
+    f.bin(bb, BinOp::Or, lo, hi8)
+}
+
+/// Build the heap-overflow scenario: an unchecked linear copy of the
+/// attacker's payload (input bytes `10..`) into a 32-byte buffer, with
+/// the copy length taken from input bytes `8..10`. The victim object sits
+/// directly after the buffer's block.
+pub fn overflow() -> Scenario {
+    let mut mb = ModuleBuilder::new("attack-overflow");
+    let account = mb
+        .add_classes_src(
+            "class Account { id: i64, balance: i64, is_admin: i64, on_update: fnptr }",
+        )
+        .expect("classes parse")[0];
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    // The overflowable buffer, then the victim right after it.
+    let buf = f.alloc_buf_bytes(bb, 32);
+    let acct = f.alloc_obj(bb, account);
+    let legit = f.const_(bb, 0x1000);
+    let fp_fld = f.gep(bb, acct, account, 3);
+    f.store(bb, fp_fld, legit, 8);
+    // The bug: memcpy(buf, payload, attacker_len) with no bound check.
+    let len = read_param(&mut f, bb);
+    let copy = util_for(&mut f, bb, len);
+    let src_i = f.bini(copy.body, BinOp::Add, copy.i, 10);
+    let byte = f.input_byte(copy.body, src_i);
+    let dst = f.bin(copy.body, BinOp::Add, buf, copy.i);
+    f.store(copy.body, dst, byte, 1);
+    util_end(&mut f, &copy, copy.body);
+    // The victim's function pointer is then "called".
+    let fp_fld2 = f.gep(copy.exit, acct, account, 3);
+    let fp = f.load(copy.exit, fp_fld2, 8);
+    f.out(copy.exit, fp);
+    f.free_obj(copy.exit, acct);
+    f.ret(copy.exit, Some(fp));
+    mb.finish_function(f);
+    Scenario {
+        kind: ScenarioKind::Overflow,
+        module: mb.build().expect("valid module"),
+        victim_class: account,
+        victim_field: 3,
+        spray_class: None,
+        buffer_block: 32,
+    }
+}
+
+/// Build the intra-object overflow scenario: a record with an inline name
+/// buffer whose unchecked copy can run into the sibling function pointer
+/// **inside the same heap block**.
+///
+/// Input encoding: bytes `8..10` = copy length, bytes `10..` = the copied
+/// "name" payload (the attacker positions the fake pointer inside it).
+pub fn intra_object_overflow() -> Scenario {
+    let mut mb = ModuleBuilder::new("attack-intra-overflow");
+    let record = mb
+        .add_classes_src(
+            "class Record { name: bytes[16], balance: i64, on_notify: fnptr }",
+        )
+        .expect("classes parse")[0];
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let rec = f.alloc_obj(bb, record);
+    let legit = f.const_(bb, 0x1000);
+    let fp_fld = f.gep(bb, rec, record, 2);
+    f.store(bb, fp_fld, legit, 8);
+    // The bug: strcpy-style copy of the attacker's "name" into the inline
+    // buffer with an attacker-controlled length.
+    let len = read_param(&mut f, bb);
+    let name_fld = f.gep(bb, rec, record, 0);
+    let copy = crate::scenarios::util_for(&mut f, bb, len);
+    let src_i = f.bini(copy.body, polar_ir::BinOp::Add, copy.i, 10);
+    let byte = f.input_byte(copy.body, src_i);
+    let dst = f.bin(copy.body, polar_ir::BinOp::Add, name_fld, copy.i);
+    f.store(copy.body, dst, byte, 1);
+    crate::scenarios::util_end(&mut f, &copy, copy.body);
+    // The record's callback is then "invoked".
+    let fp_fld2 = f.gep(copy.exit, rec, record, 2);
+    let fp = f.load(copy.exit, fp_fld2, 8);
+    f.out(copy.exit, fp);
+    f.free_obj(copy.exit, rec);
+    f.ret(copy.exit, Some(fp));
+    mb.finish_function(f);
+    Scenario {
+        kind: ScenarioKind::IntraObjectOverflow,
+        module: mb.build().expect("valid module"),
+        victim_class: record,
+        victim_field: 2,
+        spray_class: None,
+        buffer_block: 0,
+    }
+}
+
+/// Build the type-confusion scenario.
+pub fn type_confusion() -> Scenario {
+    let mut mb = ModuleBuilder::new("attack-confusion");
+    let ids = mb
+        .add_classes_src(
+            "class Doc  { meta: i64, on_render: fnptr, len: i64 }
+             class Form { meta: i64, user_id: i64, submit_count: i64 }",
+        )
+        .expect("classes parse");
+    let (doc, form) = (ids[0], ids[1]);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let b = f.alloc_obj(bb, form);
+    let val = read_value(&mut f, bb);
+    let k = read_param(&mut f, bb);
+    // Store the attacker value into Form field k (legitimate API use —
+    // e.g. the user's integer id).
+    let join = f.block();
+    let mut cur = bb;
+    for field in 0..3u16 {
+        let hit = f.block();
+        let next = f.block();
+        let is_k = f.cmpi(cur, CmpOp::Eq, k, u64::from(field));
+        f.br(cur, is_k, hit, next);
+        let fld = f.gep(hit, b, form, field);
+        f.store(hit, fld, val, 8);
+        f.jmp(hit, join);
+        cur = next;
+    }
+    f.jmp(cur, join);
+    // The confusion bug: the same object reaches a Doc-typed call site.
+    let fp_fld = f.gep(join, b, doc, 1);
+    let fp = f.load(join, fp_fld, 8);
+    f.out(join, fp);
+    f.free_obj(join, b);
+    f.ret(join, Some(fp));
+    mb.finish_function(f);
+    Scenario {
+        kind: ScenarioKind::TypeConfusion,
+        module: mb.build().expect("valid module"),
+        victim_class: doc,
+        victim_field: 1,
+        spray_class: Some(form),
+        buffer_block: 0,
+    }
+}
+
+/// Build the use-after-free scenario.
+pub fn use_after_free() -> Scenario {
+    let mut mb = ModuleBuilder::new("attack-uaf");
+    let ids = mb
+        .add_classes_src(
+            "class Session { key: i64, privileged: i64, on_close: fnptr }
+             class Packet  { f0: i64, f1: i64, f2: i64 }",
+        )
+        .expect("classes parse");
+    let (session, packet) = (ids[0], ids[1]);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let s = f.alloc_obj(bb, session);
+    let legit = f.const_(bb, 0x1000);
+    let h_fld = f.gep(bb, s, session, 2);
+    f.store(bb, h_fld, legit, 8);
+    // The bug: the session is freed but the pointer lives on.
+    f.free_obj(bb, s);
+    // The attacker reoccupies the slot with a same-sized Packet and
+    // fills field k with the fake handler.
+    let p = f.alloc_obj(bb, packet);
+    let val = read_value(&mut f, bb);
+    let k = read_param(&mut f, bb);
+    let join = f.block();
+    let mut cur = bb;
+    for field in 0..3u16 {
+        let hit = f.block();
+        let next = f.block();
+        let is_k = f.cmpi(cur, CmpOp::Eq, k, u64::from(field));
+        f.br(cur, is_k, hit, next);
+        let fld = f.gep(hit, p, packet, field);
+        f.store(hit, fld, val, 8);
+        f.jmp(hit, join);
+        cur = next;
+    }
+    f.jmp(cur, join);
+    // The dangling use: the stale Session pointer's handler is "called".
+    let h_fld2 = f.gep(join, s, session, 2);
+    let h = f.load(join, h_fld2, 8);
+    f.out(join, h);
+    f.ret(join, Some(h));
+    mb.finish_function(f);
+    Scenario {
+        kind: ScenarioKind::UseAfterFree,
+        module: mb.build().expect("valid module"),
+        victim_class: session,
+        victim_field: 2,
+        spray_class: Some(packet),
+        buffer_block: 0,
+    }
+}
+
+/// All four scenarios.
+pub fn all() -> Vec<Scenario> {
+    vec![overflow(), intra_object_overflow(), type_confusion(), use_after_free()]
+}
+
+// Local loop helpers (duplicated from polar-workloads to avoid a
+// dependency cycle; the IR builder has no loop sugar of its own).
+pub(crate) struct MiniLoop {
+    pub(crate) head: BlockId,
+    pub(crate) body: BlockId,
+    pub(crate) exit: BlockId,
+    pub(crate) i: Reg,
+}
+
+pub(crate) fn util_for(
+    f: &mut polar_ir::builder::FunctionBuilder,
+    cur: BlockId,
+    count: Reg,
+) -> MiniLoop {
+    let i = f.const_(cur, 0);
+    let head = f.block();
+    let body = f.block();
+    let exit = f.block();
+    f.jmp(cur, head);
+    let cond = f.cmp(head, CmpOp::Lt, i, count);
+    f.br(head, cond, body, exit);
+    MiniLoop { head, body, exit, i }
+}
+
+pub(crate) fn util_end(
+    f: &mut polar_ir::builder::FunctionBuilder,
+    lp: &MiniLoop,
+    cur: BlockId,
+) {
+    let next = f.bini(cur, BinOp::Add, lp.i, 1);
+    f.mov_to(cur, lp.i, next);
+    f.jmp(cur, lp.head);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_ir::interp::{run_native, ExecLimits};
+
+    #[test]
+    fn benign_inputs_leave_the_pointer_alone() {
+        for s in all() {
+            // Value 0, placement 0: harmless writes.
+            let input = vec![0u8; 10];
+            let report = run_native(&s.module, &input, ExecLimits::default());
+            assert!(report.result.is_ok(), "{}: {:?}", s.kind.label(), report.result);
+        }
+    }
+
+    #[test]
+    fn overflow_scenario_hijacks_at_the_natural_offset() {
+        let s = overflow();
+        let natural = s.module.registry.get(s.victim_class).natural().offset(3) as u64;
+        let rel = (s.buffer_block + natural) as usize;
+        let mut input = vec![0x42u8; 8];
+        let len = rel + 8;
+        input.push((len & 0xFF) as u8);
+        input.push((len >> 8) as u8);
+        let mut payload = vec![0u8; len];
+        payload[rel..rel + 8].copy_from_slice(&0x4242_4242_4242_4242u64.to_le_bytes());
+        input.extend(payload);
+        let report = run_native(&s.module, &input, ExecLimits::default());
+        assert_eq!(report.output[0], 0x4242_4242_4242_4242);
+    }
+
+    #[test]
+    fn confusion_scenario_hijacks_via_field_1() {
+        let s = type_confusion();
+        let mut input = vec![0x42u8; 8];
+        input.extend([1u8, 0]); // Form.user_id overlaps Doc.on_render
+        let report = run_native(&s.module, &input, ExecLimits::default());
+        assert_eq!(report.output[0], 0x4242_4242_4242_4242);
+    }
+
+    #[test]
+    fn uaf_scenario_hijacks_via_field_2() {
+        let s = use_after_free();
+        let mut input = vec![0x42u8; 8];
+        input.extend([2u8, 0]); // Packet.f2 overlaps Session.on_close
+        let report = run_native(&s.module, &input, ExecLimits::default());
+        assert_eq!(report.output[0], 0x4242_4242_4242_4242);
+    }
+}

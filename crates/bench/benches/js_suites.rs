@@ -1,0 +1,52 @@
+//! Criterion bench backing Table II / Figure 7: one representative kernel
+//! per JS-engine computational shape, native vs POLaR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polar_instrument::{instrument, InstrumentOptions};
+use polar_ir::interp::{run, ExecLimits};
+use polar_ir::trace::NopTracer;
+use polar_ir::Module;
+use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+use polar_workloads::js::kernels;
+
+fn config() -> RuntimeConfig {
+    let mut c = RuntimeConfig::default();
+    c.heap.capacity = 256 << 20;
+    c
+}
+
+fn bench_js(c: &mut Criterion) {
+    let cases: Vec<(&str, Module)> = vec![
+        ("crypto", kernels::crypto(256, 200)),
+        ("fft", kernels::fft(256, 120)),
+        ("json", kernels::json(256, 60)),
+        ("splay", kernels::tree(96, 3)),
+    ];
+    let input: Vec<u8> = (0u8..96).collect();
+    let limits = ExecLimits::steps(50_000_000);
+    let mut group = c.benchmark_group("js_suites");
+    group.sample_size(10);
+    for (name, module) in &cases {
+        let (hardened, _) = instrument(module, &InstrumentOptions::default());
+        group.bench_with_input(BenchmarkId::new("default", name), module, |b, m| {
+            b.iter(|| {
+                let mut rt = ObjectRuntime::new(RandomizeMode::Native, config());
+                run(m, &mut rt, &input, limits, &mut NopTracer)
+                    .result
+                    .expect("native run succeeds")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("polar", name), &hardened, |b, m| {
+            b.iter(|| {
+                let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config());
+                run(m, &mut rt, &input, limits, &mut NopTracer)
+                    .result
+                    .expect("polar run succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_js);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the POLaR runtime's four entry points against
+//! their unhardened equivalents — where the Figure 6 overhead actually
+//! comes from.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
+use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+
+fn probe() -> Arc<ClassInfo> {
+    Arc::new(ClassInfo::from_decl(
+        ClassDecl::builder("Probe")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("a", FieldKind::I64)
+            .field("b", FieldKind::I32)
+            .field("c", FieldKind::I32)
+            .build(),
+    ))
+}
+
+fn big_config() -> RuntimeConfig {
+    let mut c = RuntimeConfig::default();
+    c.heap.capacity = 1 << 30;
+    c
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let info = probe();
+    let mut group = c.benchmark_group("alloc_free");
+    group.bench_function("raw_malloc_free", |b| {
+        let mut rt = ObjectRuntime::new(RandomizeMode::Native, big_config());
+        b.iter(|| {
+            let a = rt.malloc_raw(32).expect("alloc");
+            rt.free_raw(a).expect("free");
+        });
+    });
+    group.bench_function("olr_malloc_free", |b| {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        b.iter(|| {
+            let a = rt.olr_malloc(&info).expect("alloc");
+            rt.olr_free(a).expect("free");
+        });
+    });
+    group.bench_function("olr_malloc_free_static", |b| {
+        let mut rt = ObjectRuntime::new(RandomizeMode::static_olr(7), big_config());
+        b.iter(|| {
+            let a = rt.olr_malloc(&info).expect("alloc");
+            rt.olr_free(a).expect("free");
+        });
+    });
+    group.finish();
+}
+
+fn bench_getptr(c: &mut Criterion) {
+    let info = probe();
+    let mut group = c.benchmark_group("member_access");
+    group.bench_function("olr_getptr_cached", |b| {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let obj = rt.olr_malloc(&info).expect("alloc");
+        rt.olr_getptr(obj, info.hash(), 1).expect("warm");
+        b.iter(|| rt.olr_getptr(obj, info.hash(), 1).expect("access"));
+    });
+    group.bench_function("olr_getptr_cold", |b| {
+        let mut config = big_config();
+        config.offset_cache = false;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let obj = rt.olr_malloc(&info).expect("alloc");
+        b.iter(|| rt.olr_getptr(obj, info.hash(), 1).expect("access"));
+    });
+    group.finish();
+}
+
+fn bench_memcpy(c: &mut Criterion) {
+    let info = probe();
+    let mut group = c.benchmark_group("object_copy");
+    group.bench_function("olr_memcpy", |b| {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let src = rt.olr_malloc(&info).expect("alloc");
+        let dst = rt.malloc_raw(128).expect("alloc");
+        b.iter(|| rt.olr_memcpy(dst, src, &info).expect("copy"));
+    });
+    group.bench_function("raw_memmove", |b| {
+        let mut rt = ObjectRuntime::new(RandomizeMode::Native, big_config());
+        let src = rt.malloc_raw(32).expect("alloc");
+        let dst = rt.malloc_raw(32).expect("alloc");
+        b.iter(|| rt.heap_mut().memmove(dst, src, 24).expect("copy"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_free, bench_getptr, bench_memcpy);
+criterion_main!(benches);

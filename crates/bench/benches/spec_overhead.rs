@@ -1,0 +1,44 @@
+//! Criterion bench backing Figure 6: native vs POLaR execution of
+//! representative mini-SPEC workloads (the full sweep lives in the
+//! `tables` binary; this pins the extremes under Criterion's statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polar_instrument::{instrument, InstrumentOptions};
+use polar_ir::interp::run;
+use polar_ir::trace::NopTracer;
+use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+
+fn config() -> RuntimeConfig {
+    let mut c = RuntimeConfig::default();
+    c.heap.capacity = 512 << 20;
+    c
+}
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_overhead");
+    group.sample_size(10);
+    for name in ["429.mcf", "458.sjeng", "403.gcc"] {
+        let w = polar_workloads::spec::by_name(name).expect("workload exists");
+        let (hardened, _) = instrument(&w.module, &InstrumentOptions::default());
+        group.bench_with_input(BenchmarkId::new("native", name), &w, |b, w| {
+            b.iter(|| {
+                let mut rt = ObjectRuntime::new(RandomizeMode::Native, config());
+                run(&w.module, &mut rt, &w.input, w.limits, &mut NopTracer)
+                    .result
+                    .expect("native run succeeds")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("polar", name), &w, |b, w| {
+            b.iter(|| {
+                let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config());
+                run(&hardened, &mut rt, &w.input, w.limits, &mut NopTracer)
+                    .result
+                    .expect("polar run succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

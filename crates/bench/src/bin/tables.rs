@@ -1,0 +1,376 @@
+//! Regenerate every table and figure of the POLaR paper.
+//!
+//! ```text
+//! cargo run --release -p polar-bench --bin tables -- all
+//! cargo run --release -p polar-bench --bin tables -- fig6 table2 ...
+//! ```
+//!
+//! Experiments: `fig2 table1 fig6 table2 fig7 table3 table4 compat
+//! security ablation` (or `all`). See EXPERIMENTS.md for the paper-vs-
+//! measured discussion.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use polar_attacks::harness::{trials, Attacker, Defense};
+use polar_attacks::{cve, diversity, scenarios};
+use polar_bench::{
+    ablation_rows, fig6_rows, js_rows, sites_rows, table1_rows, table2_row, table3_rows,
+    JsRow,
+};
+use polar_instrument::{check_compatibility, instrument, InstrumentOptions};
+use polar_ir::interp::{run_native, run_with_mode, ExecLimits};
+use polar_runtime::{RandomizeMode, RuntimeConfig};
+use polar_workloads::{gc, js};
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn heading(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+fn fig2() {
+    heading("Figure 2 — layout diversity: native vs compile-time OLR vs POLaR");
+    println!("(64 instances of one class, two simulated executions)\n");
+    for row in diversity::figure2(64) {
+        println!("  {row}");
+    }
+    println!("\n  native:     one layout, always (Figure 1's fixed constants)");
+    println!("  static OLR: one layout per binary, identical on re-execution");
+    println!("  POLaR:      fresh layout per allocation AND per execution");
+}
+
+fn table1() {
+    heading("Table I — objects reported by TaintClass");
+    println!("{:<22} {:>10}   sample tainted classes", "App", "# tainted");
+    println!("{}", "-".repeat(72));
+    for row in table1_rows() {
+        println!(
+            "{:<22} {:>10}   {}",
+            row.name,
+            row.tainted,
+            if row.samples.is_empty() { "-".to_owned() } else { row.samples.join(", ") }
+        );
+    }
+}
+
+fn fig6(reps: u32) {
+    heading("Figure 6 — SPEC2006 performance overhead of POLaR");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "App", "native (ms)", "POLaR (ms)", "overhead"
+    );
+    println!("{}", "-".repeat(54));
+    let rows = fig6_rows(reps);
+    for r in &rows {
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>9.1}%",
+            r.name,
+            ms(r.native),
+            ms(r.polar),
+            r.overhead
+        );
+    }
+    let worst = rows.iter().max_by(|a, b| a.overhead.total_cmp(&b.overhead)).unwrap();
+    let mean = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
+    println!("{}", "-".repeat(54));
+    println!("mean overhead {:.1}%; worst: {} at {:.1}%", mean, worst.name, worst.overhead);
+}
+
+fn js_tables(reps: u32) -> Vec<Vec<JsRow>> {
+    [js::Suite::Sunspider, js::Suite::Kraken, js::Suite::Octane, js::Suite::Jetstream]
+        .into_iter()
+        .map(|s| js_rows(s, reps))
+        .collect()
+}
+
+fn table2(all_rows: &[Vec<JsRow>]) {
+    heading("Table II — ChakraCore benchmark aggregate (default vs POLaR)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>8}",
+        "Benchmark", "Default", "POLaR", "DIFF", "Ratio"
+    );
+    println!("{}", "-".repeat(62));
+    for rows in all_rows {
+        let t2 = table2_row(rows);
+        let unit = if t2.suite.higher_is_better() { "(score)" } else { "(ms)" };
+        println!(
+            "{:<12} {:>12.1} {} {:>9.1} {} {:>10.1} {:>7.2}%",
+            t2.suite.name(),
+            t2.default_result,
+            unit,
+            t2.polar_result,
+            unit,
+            t2.diff(),
+            t2.ratio_pct()
+        );
+    }
+    println!("\n* Sunspider, Kraken: smaller is better (time); Octane, JetStream: score");
+}
+
+fn fig7(all_rows: &[Vec<JsRow>]) {
+    heading("Figure 7 — per-subtest JS benchmark results (default vs POLaR)");
+    for rows in all_rows {
+        let suite = rows[0].suite;
+        println!("\n-- {} --", suite.name());
+        if suite.higher_is_better() {
+            println!("{:<28} {:>12} {:>12}", "subtest", "default", "POLaR");
+            for r in rows {
+                println!(
+                    "{:<28} {:>12.1} {:>12.1}",
+                    r.name,
+                    JsRow::score(r.default_time),
+                    JsRow::score(r.polar_time)
+                );
+            }
+        } else {
+            println!("{:<28} {:>12} {:>12}", "subtest", "default ms", "POLaR ms");
+            for r in rows {
+                println!(
+                    "{:<28} {:>12.2} {:>12.2}",
+                    r.name,
+                    ms(r.default_time),
+                    ms(r.polar_time)
+                );
+            }
+        }
+    }
+}
+
+fn table3() {
+    heading("Table III — object events against randomized objects (POLaR build)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7}",
+        "App", "Alloc", "Free", "Memcpy", "Member acc", "Cache hit", "hit %"
+    );
+    println!("{}", "-".repeat(84));
+    for row in table3_rows() {
+        let s = row.stats;
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>6.1}%",
+            row.name,
+            s.allocations,
+            s.frees,
+            s.memcpys,
+            s.member_accesses,
+            s.cache_hits,
+            s.cache_hit_ratio().unwrap_or(0.0) * 100.0
+        );
+    }
+}
+
+fn table4() {
+    heading("Table IV — TaintClass discovery of exploit-related libpng objects");
+    println!("(six planted minipng CVEs; ground truth = objects each exploit abuses)\n");
+    for row in cve::table4() {
+        println!("  {row}");
+    }
+    println!("\nExploit outcomes (native vs POLaR build):");
+    for eval in cve::evaluate_all(0xD511) {
+        println!("  {eval}");
+    }
+}
+
+fn compat() {
+    heading("Compatibility (Section V-A) — mark-sweep GC works, Orinoco-style fails");
+    for (name, module) in
+        [("chakra-style mark-sweep", gc::mark_sweep()), ("v8-style orinoco", gc::orinoco_like())]
+    {
+        let warnings = check_compatibility(&module);
+        let native = run_native(&module, &[], ExecLimits::default());
+        let (hardened, _) = instrument(&module, &InstrumentOptions::default());
+        let polar = run_with_mode(
+            &hardened,
+            RandomizeMode::per_allocation(),
+            RuntimeConfig::default(),
+            &[],
+            ExecLimits::default(),
+        );
+        let compatible = match (&native.result, &polar.result) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => false,
+        };
+        println!(
+            "  {:<26} {:>3} pass warnings; instrumented run {}",
+            name,
+            warnings.len(),
+            if compatible { "MATCHES native (compatible)" } else { "DIVERGES (incompatible)" }
+        );
+    }
+}
+
+fn security() {
+    heading("Security (Section III) — attack trials across defenses");
+    println!(
+        "{:<16} {:<18} {:<14} {:>9} {:>9} {:>12}",
+        "attack", "defense", "attacker", "hijack %", "detect %", "determinism"
+    );
+    println!("{}", "-".repeat(84));
+    for s in scenarios::all() {
+        let configs: Vec<(&str, Box<dyn Fn(u64) -> Defense>, Attacker)> = vec![
+            ("native", Box::new(|_| Defense::Native), Attacker::BinaryAware),
+            (
+                "static-olr",
+                Box::new(|_| Defense::StaticOlr { binary_seed: 0xB1A5 }),
+                Attacker::NaturalLayout,
+            ),
+            (
+                "static-olr",
+                Box::new(|_| Defense::StaticOlr { binary_seed: 0xB1A5 }),
+                Attacker::BinaryAware,
+            ),
+            ("polar", Box::new(|t| Defense::polar(0x9000 + t)), Attacker::BinaryAware),
+            (
+                "polar(no-detect)",
+                Box::new(|t| Defense::Polar { process_seed: 0xA000 + t, detect: false }),
+                Attacker::BinaryAware,
+            ),
+            ("redzone", Box::new(|_| Defense::Redzone), Attacker::BinaryAware),
+        ];
+        for (label, factory, attacker) in configs {
+            let stats = trials(&s, factory, attacker, 40);
+            println!(
+                "{:<16} {:<18} {:<14} {:>8.1}% {:>8.1}% {:>12.2}",
+                s.kind.label(),
+                label,
+                match attacker {
+                    Attacker::NaturalLayout => "binary hidden",
+                    Attacker::BinaryAware => "binary known",
+                },
+                stats.hijack_rate() * 100.0,
+                stats.detection_rate() * 100.0,
+                stats.determinism()
+            );
+        }
+    }
+}
+
+fn sites() {
+    heading("Site density & metadata footprint (POLaR build of each workload)");
+    println!(
+        "{:<16} {:>7} {:>9} {:>10} {:>7} {:>10} {:>11} {:>10}",
+        "App", "sites", "density", "meta recs", "plans", "dedup", "meta bytes", "heap peak"
+    );
+    println!("{}", "-".repeat(88));
+    for r in sites_rows() {
+        println!(
+            "{:<16} {:>7} {:>8.1}% {:>10} {:>7} {:>10} {:>11} {:>10}",
+            r.name,
+            r.object_sites,
+            r.site_density * 100.0,
+            r.meta_records,
+            r.unique_plans,
+            r.dedup_saved,
+            r.metadata_bytes,
+            r.heap_peak
+        );
+    }
+    println!("\n(sites = static alloc/gep/copy/free instructions; dedup = metadata");
+    println!(" records collapsed by plan interning, the Section V-B optimization)");
+}
+
+fn probing() {
+    heading("Reproduction problem (Section III-B2) — probing attacker, no binary");
+    println!("(heap-overflow target; attacker enumerates pointer placements run by run,");
+    println!(" demanding 5 consecutive successes before shipping the exploit)\n");
+    for result in polar_attacks::probing::reproduction_problem(200) {
+        println!("  {result}");
+    }
+}
+
+fn metadata() {
+    heading("Metadata exposure (Section VI-A) — POLaR needs its metadata secret");
+    let report = polar_attacks::metadata_leak::experiment(40);
+    println!("  attacker with arbitrary-read over the metadata table:");
+    println!(
+        "    hijack {:>5.1}%   traps tripped {:>5.1}%",
+        report.with_leak_hijack * 100.0,
+        report.with_leak_trapped * 100.0
+    );
+    println!("  same attacker without the leak (natural-offset guess):");
+    println!(
+        "    hijack {:>5.1}%   traps tripped {:>5.1}%",
+        report.without_leak_hijack * 100.0,
+        report.without_leak_trapped * 100.0
+    );
+    let protected_rate = polar_attacks::metadata_leak::experiment_protected(40);
+    println!("  leak attacker vs MPK/SGX-shielded metadata (§VI-A future work):");
+    println!("    hijack {:>5.1}%", protected_rate * 100.0);
+    println!("\n  (the paper defers metadata protection to MPX/SGX/MPK/TrustZone)");
+}
+
+fn ablation(reps: u32) {
+    heading("Ablation — layout policy vs entropy and per-operation cost");
+    println!(
+        "{:<24} {:>14} {:>16} {:>14}",
+        "policy", "entropy (bits)", "alloc+free (ns)", "getptr (ns)"
+    );
+    println!("{}", "-".repeat(72));
+    for row in ablation_rows(reps) {
+        println!(
+            "{:<24} {:>14.2} {:>16.0} {:>14.1}",
+            row.label, row.entropy_bits, row.alloc_ns, row.access_ns
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: HashSet<&str> = args.iter().map(|s| s.as_str()).collect();
+    if wanted.is_empty() || wanted.contains("all") {
+        wanted = ["fig2", "table1", "fig6", "table2", "fig7", "table3", "table4", "compat",
+            "security", "sites", "probing", "metadata", "ablation"]
+            .into_iter()
+            .collect();
+    }
+    let reps: u32 = if wanted.contains("quick") { 1 } else { 5 };
+
+    if wanted.contains("fig2") {
+        fig2();
+    }
+    if wanted.contains("table1") {
+        table1();
+    }
+    if wanted.contains("fig6") {
+        fig6(reps);
+    }
+    let need_js = wanted.contains("table2") || wanted.contains("fig7");
+    if need_js {
+        let rows = js_tables(reps);
+        if wanted.contains("table2") {
+            table2(&rows);
+        }
+        if wanted.contains("fig7") {
+            fig7(&rows);
+        }
+    }
+    if wanted.contains("table3") {
+        table3();
+    }
+    if wanted.contains("table4") {
+        table4();
+    }
+    if wanted.contains("compat") {
+        compat();
+    }
+    if wanted.contains("security") {
+        security();
+    }
+    if wanted.contains("sites") {
+        sites();
+    }
+    if wanted.contains("probing") {
+        probing();
+    }
+    if wanted.contains("metadata") {
+        metadata();
+    }
+    if wanted.contains("ablation") {
+        ablation(reps);
+    }
+    println!();
+}

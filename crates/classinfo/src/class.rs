@@ -1,0 +1,312 @@
+//! Class declarations, class hashes, and the combined [`ClassInfo`] record.
+
+use std::fmt;
+
+use crate::field::{FieldDecl, FieldKind};
+use crate::natural::NaturalLayout;
+
+/// A 64-bit stable identifier for a class declaration.
+///
+/// The paper's instrumented code names classes by hash at allocation and
+/// member-access sites (Figure 4: the metadata table is keyed by "class
+/// hash"). The hash covers the class name and the ordered member list, so
+/// two structurally different classes collide with negligible probability.
+///
+/// ```
+/// use polar_classinfo::{ClassDecl, FieldKind};
+/// let a = ClassDecl::builder("A").field("x", FieldKind::I32).build();
+/// let b = ClassDecl::builder("B").field("x", FieldKind::I32).build();
+/// assert_ne!(a.class_hash(), b.class_hash());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassHash(pub u64);
+
+impl fmt::Display for ClassHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// The declared shape of a class: its name and ordered member list.
+///
+/// A `ClassDecl` carries no layout decision; both the deterministic
+/// [`NaturalLayout`] and POLaR's randomized plans are derived from it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClassDecl {
+    name: String,
+    fields: Vec<FieldDecl>,
+}
+
+impl ClassDecl {
+    /// Start building a class declaration with the given name.
+    pub fn builder(name: impl Into<String>) -> ClassDeclBuilder {
+        ClassDeclBuilder { name: name.into(), fields: Vec::new() }
+    }
+
+    /// Construct a declaration directly from a field list.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDecl>) -> Self {
+        ClassDecl { name: name.into(), fields }
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered member list.
+    pub fn fields(&self) -> &[FieldDecl] {
+        &self.fields
+    }
+
+    /// Number of declared members.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Look up a field index by member name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name() == name)
+    }
+
+    /// Whether any member is a pointer (vtable, data, or function pointer).
+    /// Classes composed only of function pointers are what the kernel's
+    /// `randstruct` randomizes unconditionally (Section II-C).
+    pub fn has_pointer_field(&self) -> bool {
+        self.fields.iter().any(|f| f.kind().is_pointer())
+    }
+
+    /// Whether the class consists solely of function pointers — the
+    /// `randstruct` auto-selection rule.
+    pub fn is_all_function_pointers(&self) -> bool {
+        !self.fields.is_empty()
+            && self.fields.iter().all(|f| matches!(f.kind(), FieldKind::FnPtr))
+    }
+
+    /// The stable class hash covering name and member list.
+    pub fn class_hash(&self) -> ClassHash {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, self.name.as_bytes());
+        fnv1a(&mut h, &[0xff]);
+        for f in &self.fields {
+            fnv1a(&mut h, f.name().as_bytes());
+            fnv1a(&mut h, &[f.kind().tag()]);
+            fnv1a(&mut h, &f.kind().size().to_le_bytes());
+        }
+        ClassHash(h)
+    }
+
+    /// Compute the deterministic compiler layout for this declaration.
+    pub fn compute_natural_layout(&self) -> NaturalLayout {
+        NaturalLayout::compute(&self.fields)
+    }
+}
+
+impl fmt::Display for ClassDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class {} {{ ", self.name)?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// Incremental builder for [`ClassDecl`].
+///
+/// ```
+/// use polar_classinfo::{ClassDecl, FieldKind};
+/// let c = ClassDecl::builder("Node")
+///     .field("next", FieldKind::Ptr)
+///     .field("value", FieldKind::I64)
+///     .build();
+/// assert_eq!(c.field_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassDeclBuilder {
+    name: String,
+    fields: Vec<FieldDecl>,
+}
+
+impl ClassDeclBuilder {
+    /// Append a member with the given name and type.
+    pub fn field(mut self, name: impl Into<String>, kind: FieldKind) -> Self {
+        self.fields.push(FieldDecl::new(name, kind));
+        self
+    }
+
+    /// Append several members at once.
+    pub fn fields<I>(mut self, fields: I) -> Self
+    where
+        I: IntoIterator<Item = FieldDecl>,
+    {
+        self.fields.extend(fields);
+        self
+    }
+
+    /// Finish building the declaration.
+    pub fn build(self) -> ClassDecl {
+        ClassDecl { name: self.name, fields: self.fields }
+    }
+}
+
+/// A class declaration combined with everything the POLaR runtime needs:
+/// the natural layout, total size, and the class hash.
+///
+/// This is the per-class record the CIE embeds into the hardened binary
+/// (paper Figure 4, "Class Information generated by CIE").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    decl: ClassDecl,
+    natural: NaturalLayout,
+    hash: ClassHash,
+}
+
+impl ClassInfo {
+    /// Build the full class record from a declaration.
+    pub fn from_decl(decl: ClassDecl) -> Self {
+        let natural = decl.compute_natural_layout();
+        let hash = decl.class_hash();
+        ClassInfo { decl, natural, hash }
+    }
+
+    /// The underlying declaration.
+    pub fn decl(&self) -> &ClassDecl {
+        &self.decl
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        self.decl.name()
+    }
+
+    /// The ordered member list.
+    pub fn fields(&self) -> &[FieldDecl] {
+        self.decl.fields()
+    }
+
+    /// Number of declared members.
+    pub fn field_count(&self) -> usize {
+        self.decl.field_count()
+    }
+
+    /// The deterministic compiler layout.
+    pub fn natural(&self) -> &NaturalLayout {
+        &self.natural
+    }
+
+    /// Natural object size in bytes.
+    pub fn size(&self) -> u32 {
+        self.natural.size()
+    }
+
+    /// The stable class hash.
+    pub fn hash(&self) -> ClassHash {
+        self.hash
+    }
+}
+
+impl fmt::Display for ClassInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (hash {}, size {})", self.decl, self.hash, self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> ClassDecl {
+        ClassDecl::builder("People")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("age", FieldKind::I32)
+            .field("height", FieldKind::I32)
+            .build()
+    }
+
+    #[test]
+    fn hash_is_stable_across_calls() {
+        assert_eq!(people().class_hash(), people().class_hash());
+    }
+
+    #[test]
+    fn hash_depends_on_name_fields_and_order() {
+        let base = people().class_hash();
+        let renamed = ClassDecl::builder("Peoples")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("age", FieldKind::I32)
+            .field("height", FieldKind::I32)
+            .build();
+        assert_ne!(base, renamed.class_hash());
+
+        let reordered = ClassDecl::builder("People")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("height", FieldKind::I32)
+            .field("age", FieldKind::I32)
+            .build();
+        assert_ne!(base, reordered.class_hash());
+
+        let retyped = ClassDecl::builder("People")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("age", FieldKind::I64)
+            .field("height", FieldKind::I32)
+            .build();
+        assert_ne!(base, retyped.class_hash());
+    }
+
+    #[test]
+    fn field_index_lookup() {
+        let c = people();
+        assert_eq!(c.field_index("height"), Some(2));
+        assert_eq!(c.field_index("weight"), None);
+    }
+
+    #[test]
+    fn randstruct_fnptr_rule() {
+        let ops = ClassDecl::builder("file_operations")
+            .field("read", FieldKind::FnPtr)
+            .field("write", FieldKind::FnPtr)
+            .build();
+        assert!(ops.is_all_function_pointers());
+        assert!(!people().is_all_function_pointers());
+        let empty = ClassDecl::builder("Empty").build();
+        assert!(!empty.is_all_function_pointers());
+    }
+
+    #[test]
+    fn class_info_combines_everything() {
+        let info = ClassInfo::from_decl(people());
+        assert_eq!(info.name(), "People");
+        assert_eq!(info.size(), 16);
+        assert_eq!(info.hash(), people().class_hash());
+        assert_eq!(info.field_count(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = people();
+        let s = c.to_string();
+        assert!(s.contains("class People"));
+        assert!(s.contains("height: i32"));
+        assert!(ClassInfo::from_decl(c).to_string().contains("hash 0x"));
+    }
+
+    #[test]
+    fn pointer_field_detection() {
+        assert!(people().has_pointer_field());
+        let plain = ClassDecl::builder("Plain").field("x", FieldKind::I32).build();
+        assert!(!plain.has_pointer_field());
+    }
+}

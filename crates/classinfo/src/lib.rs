@@ -1,0 +1,54 @@
+//! Class model for the POLaR reproduction.
+//!
+//! POLaR's *Class Information Extractor* (CIE, Section IV-A1 of the paper)
+//! walks LLVM type information and emits, for every class or struct the
+//! program declares, the data the runtime needs to randomize it: the member
+//! list, member sizes and types, the total class size, and a stable *class
+//! hash* that instrumented code uses to name the type at allocation and
+//! member-access sites (Figure 4 of the paper).
+//!
+//! This crate is the CIE of the reproduction. It provides:
+//!
+//! * [`FieldKind`] / [`FieldDecl`] / [`ClassDecl`] — the declared shape of a
+//!   class, independent of any layout decision;
+//! * [`NaturalLayout`] — the deterministic C-style layout a conventional
+//!   compiler would assign (the baseline the paper attacks);
+//! * [`ClassInfo`] — a declaration combined with its natural layout and its
+//!   64-bit [`ClassHash`];
+//! * [`ClassRegistry`] — the table embedded in a "binary", mapping
+//!   [`ClassId`]s and hashes to [`ClassInfo`];
+//! * [`parse`] — a miniature class-declaration language so workloads and
+//!   examples can state their classes the way C++ source states them.
+//!
+//! # Example
+//!
+//! ```
+//! use polar_classinfo::{ClassDecl, FieldKind, ClassRegistry};
+//!
+//! let people = ClassDecl::builder("People")
+//!     .field("vtable", FieldKind::VtablePtr)
+//!     .field("age", FieldKind::I32)
+//!     .field("height", FieldKind::I32)
+//!     .build();
+//!
+//! let mut registry = ClassRegistry::new();
+//! let id = registry.register(people).unwrap();
+//! let info = registry.get(id);
+//! // The natural (compiler) layout is deterministic: vtable at 0, age at 8,
+//! // height at 12 — exactly the predictability POLaR removes.
+//! assert_eq!(info.natural().offset(2), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod field;
+mod natural;
+pub mod parse;
+mod registry;
+
+pub use class::{ClassDecl, ClassDeclBuilder, ClassHash, ClassInfo};
+pub use field::{FieldDecl, FieldKind};
+pub use natural::NaturalLayout;
+pub use registry::{ClassId, ClassRegistry, RegistryError};

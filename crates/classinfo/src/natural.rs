@@ -1,0 +1,182 @@
+//! Natural (compiler-deterministic) layout computation.
+//!
+//! This is the layout a conventional C/C++ compiler assigns: members placed
+//! in declaration order, each aligned to its natural alignment, with the
+//! struct size rounded up to the maximum member alignment. The paper's
+//! Figure 1 shows exactly this layout for the `People` example; the fixed
+//! constants it produces (e.g. `base + 12` for `height`) are what attackers
+//! rely on and what POLaR destroys.
+
+use crate::field::FieldDecl;
+
+/// The deterministic layout of a class as a conventional compiler would
+/// emit it.
+///
+/// ```
+/// use polar_classinfo::{ClassDecl, FieldKind};
+/// let c = ClassDecl::builder("People")
+///     .field("vtable", FieldKind::VtablePtr)
+///     .field("age", FieldKind::I32)
+///     .field("height", FieldKind::I32)
+///     .build();
+/// let n = c.compute_natural_layout();
+/// assert_eq!(n.offset(0), 0);  // vtable
+/// assert_eq!(n.offset(1), 8);  // age
+/// assert_eq!(n.offset(2), 12); // height — the paper's "base + 12"
+/// assert_eq!(n.size(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NaturalLayout {
+    offsets: Vec<u32>,
+    size: u32,
+    align: u32,
+}
+
+impl NaturalLayout {
+    /// Compute the natural layout for an ordered field list.
+    pub fn compute(fields: &[FieldDecl]) -> Self {
+        let mut offsets = Vec::with_capacity(fields.len());
+        let mut cursor: u32 = 0;
+        let mut align: u32 = 1;
+        for field in fields {
+            let fa = field.kind().align();
+            align = align.max(fa);
+            cursor = round_up(cursor, fa);
+            offsets.push(cursor);
+            cursor += field.kind().size();
+        }
+        let size = round_up(cursor.max(1), align);
+        NaturalLayout { offsets, size, align }
+    }
+
+    /// Byte offset of field `index` from the object base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds for the class's field list.
+    pub fn offset(&self, index: usize) -> u32 {
+        self.offsets[index]
+    }
+
+    /// Offset of field `index`, or `None` when out of bounds.
+    pub fn offset_checked(&self, index: usize) -> Option<u32> {
+        self.offsets.get(index).copied()
+    }
+
+    /// All field offsets in declaration order.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Total object size in bytes (padded to the struct alignment).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Struct alignment in bytes.
+    pub fn align(&self) -> u32 {
+        self.align
+    }
+
+    /// Number of fields in the layout.
+    pub fn field_count(&self) -> usize {
+        self.offsets.len()
+    }
+}
+
+/// Round `value` up to the next multiple of `to` (a power of two).
+pub(crate) fn round_up(value: u32, to: u32) -> u32 {
+    debug_assert!(to.is_power_of_two());
+    (value + to - 1) & !(to - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{FieldDecl, FieldKind};
+
+    fn f(name: &str, kind: FieldKind) -> FieldDecl {
+        FieldDecl::new(name, kind)
+    }
+
+    #[test]
+    fn paper_people_example() {
+        // Figure 1 of the paper: vtable, age (i32), height (i32) with the
+        // height member at base + 12.
+        let n = NaturalLayout::compute(&[
+            f("vtable", FieldKind::VtablePtr),
+            f("age", FieldKind::I32),
+            f("height", FieldKind::I32),
+        ]);
+        assert_eq!(n.offsets(), &[0, 8, 12]);
+        assert_eq!(n.size(), 16);
+        assert_eq!(n.align(), 8);
+    }
+
+    #[test]
+    fn padding_is_inserted_for_alignment() {
+        let n = NaturalLayout::compute(&[
+            f("a", FieldKind::I8),
+            f("b", FieldKind::I64),
+            f("c", FieldKind::I16),
+        ]);
+        assert_eq!(n.offsets(), &[0, 8, 16]);
+        // 18 bytes of content rounded up to 8-byte alignment.
+        assert_eq!(n.size(), 24);
+    }
+
+    #[test]
+    fn byte_arrays_pack_tightly() {
+        let n = NaturalLayout::compute(&[
+            f("tag", FieldKind::I8),
+            f("name", FieldKind::Bytes(5)),
+            f("next", FieldKind::Ptr),
+        ]);
+        assert_eq!(n.offsets(), &[0, 1, 8]);
+        assert_eq!(n.size(), 16);
+    }
+
+    #[test]
+    fn empty_class_occupies_one_byte() {
+        let n = NaturalLayout::compute(&[]);
+        assert_eq!(n.size(), 1);
+        assert_eq!(n.field_count(), 0);
+    }
+
+    #[test]
+    fn offset_checked_handles_out_of_bounds() {
+        let n = NaturalLayout::compute(&[f("a", FieldKind::I32)]);
+        assert_eq!(n.offset_checked(0), Some(0));
+        assert_eq!(n.offset_checked(1), None);
+    }
+
+    #[test]
+    fn fields_never_overlap() {
+        let fields = vec![
+            f("a", FieldKind::I8),
+            f("b", FieldKind::I32),
+            f("c", FieldKind::Bytes(3)),
+            f("d", FieldKind::I64),
+            f("e", FieldKind::I16),
+        ];
+        let n = NaturalLayout::compute(&fields);
+        let mut spans: Vec<(u32, u32)> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, fd)| (n.offset(i), n.offset(i) + fd.kind().size()))
+            .collect();
+        spans.sort();
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+        assert!(spans.last().unwrap().1 <= n.size());
+    }
+
+    #[test]
+    fn round_up_behaviour() {
+        assert_eq!(round_up(0, 8), 0);
+        assert_eq!(round_up(1, 8), 8);
+        assert_eq!(round_up(8, 8), 8);
+        assert_eq!(round_up(9, 4), 12);
+    }
+}

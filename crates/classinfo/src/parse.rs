@@ -1,0 +1,377 @@
+//! A miniature class-declaration language.
+//!
+//! The paper's CIE consumes C/C++ source through Clang. Our stand-in lets
+//! workloads and examples write their class inventory in a compact textual
+//! form that is parsed into [`ClassDecl`]s:
+//!
+//! ```text
+//! // comments run to end of line
+//! class People {
+//!     vtable: vptr,
+//!     age: i32,
+//!     height: i32,
+//! }
+//!
+//! class Packet { tag: i8, len: i32, body: bytes[64], next: ptr }
+//! ```
+//!
+//! Field types: `i8 i16 i32 i64 f32 f64 ptr fnptr vptr bytes[N]`.
+//!
+//! ```
+//! use polar_classinfo::parse::parse_classes;
+//! let decls = parse_classes("class P { v: vptr, age: i32 }")?;
+//! assert_eq!(decls[0].name(), "P");
+//! assert_eq!(decls[0].field_count(), 2);
+//! # Ok::<(), polar_classinfo::parse::ParseError>(())
+//! ```
+
+use std::fmt;
+
+use crate::class::ClassDecl;
+use crate::field::{FieldDecl, FieldKind};
+
+/// Error reported while parsing class declarations, with a 1-based line
+/// number for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+
+    /// 1-based line number the error was detected on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Class,
+    Ident(String),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    Number(u32),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0, line: 1 }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
+        loop {
+            match self.peek() {
+                None => return Ok(None),
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Line comment `// ...`.
+                    let start_line = self.line;
+                    self.bump();
+                    if self.peek() == Some('/') {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    } else {
+                        return Err(ParseError::new(start_line, "unexpected `/`"));
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        let line = self.line;
+        let c = self.bump().expect("peeked");
+        let tok = match c {
+            '{' => Token::LBrace,
+            '}' => Token::RBrace,
+            '[' => Token::LBracket,
+            ']' => Token::RBracket,
+            ':' => Token::Colon,
+            ',' => Token::Comma,
+            c if c.is_ascii_digit() => {
+                let mut value = u32::from(c as u8 - b'0');
+                while let Some(d) = self.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(digit))
+                            .ok_or_else(|| ParseError::new(line, "number too large"))?;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Token::Number(value)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                ident.push(c);
+                while let Some(d) = self.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if ident == "class" {
+                    Token::Class
+                } else {
+                    Token::Ident(ident)
+                }
+            }
+            other => {
+                return Err(ParseError::new(line, format!("unexpected character `{other}`")))
+            }
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |(_, l)| *l)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(ParseError::new(line, format!("expected {what}, found {t:?}"))),
+            None => Err(ParseError::new(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            Some(t) => Err(ParseError::new(line, format!("expected {what}, found {t:?}"))),
+            None => Err(ParseError::new(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn field_kind(&mut self) -> Result<FieldKind, ParseError> {
+        let line = self.line();
+        let name = self.ident("a field type")?;
+        let kind = match name.as_str() {
+            "i8" => FieldKind::I8,
+            "i16" => FieldKind::I16,
+            "i32" => FieldKind::I32,
+            "i64" => FieldKind::I64,
+            "f32" => FieldKind::F32,
+            "f64" => FieldKind::F64,
+            "ptr" => FieldKind::Ptr,
+            "fnptr" => FieldKind::FnPtr,
+            "vptr" => FieldKind::VtablePtr,
+            "bytes" => {
+                self.expect(&Token::LBracket, "`[`")?;
+                let len_line = self.line();
+                let len = match self.next() {
+                    Some(Token::Number(n)) => n,
+                    other => {
+                        return Err(ParseError::new(
+                            len_line,
+                            format!("expected byte-array length, found {other:?}"),
+                        ))
+                    }
+                };
+                if len == 0 {
+                    return Err(ParseError::new(len_line, "byte array length must be non-zero"));
+                }
+                self.expect(&Token::RBracket, "`]`")?;
+                FieldKind::Bytes(len)
+            }
+            other => {
+                return Err(ParseError::new(line, format!("unknown field type `{other}`")))
+            }
+        };
+        Ok(kind)
+    }
+
+    fn class(&mut self) -> Result<ClassDecl, ParseError> {
+        self.expect(&Token::Class, "`class`")?;
+        let name = self.ident("a class name")?;
+        self.expect(&Token::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        loop {
+            if self.peek() == Some(&Token::RBrace) {
+                self.next();
+                break;
+            }
+            let fname = self.ident("a field name")?;
+            self.expect(&Token::Colon, "`:`")?;
+            let kind = self.field_kind()?;
+            fields.push(FieldDecl::new(fname, kind));
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                Some(Token::RBrace) => {}
+                _ => {
+                    return Err(ParseError::new(self.line(), "expected `,` or `}` after field"))
+                }
+            }
+        }
+        Ok(ClassDecl::new(name, fields))
+    }
+}
+
+/// Parse a sequence of class declarations from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on the first syntax error.
+pub fn parse_classes(src: &str) -> Result<Vec<ClassDecl>, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        tokens.push(tok);
+    }
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut decls = Vec::new();
+    while parser.peek().is_some() {
+        decls.push(parser.class()?);
+    }
+    Ok(decls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let decls = parse_classes(
+            "// Figure 1
+             class People {
+                 vtable: vptr,
+                 age: i32,
+                 height: i32,
+             }",
+        )
+        .unwrap();
+        assert_eq!(decls.len(), 1);
+        let p = &decls[0];
+        assert_eq!(p.name(), "People");
+        assert_eq!(p.fields()[0].kind(), FieldKind::VtablePtr);
+        assert_eq!(p.compute_natural_layout().offset(2), 12);
+    }
+
+    #[test]
+    fn parses_multiple_classes_and_all_types() {
+        let decls = parse_classes(
+            "class A { a: i8, b: i16, c: i32, d: i64 }
+             class B { e: f32, f: f64, g: ptr, h: fnptr, i: vptr, j: bytes[16] }",
+        )
+        .unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[1].fields()[5].kind(), FieldKind::Bytes(16));
+    }
+
+    #[test]
+    fn trailing_comma_is_accepted() {
+        let decls = parse_classes("class T { x: i32, }").unwrap();
+        assert_eq!(decls[0].field_count(), 1);
+    }
+
+    #[test]
+    fn empty_class_is_accepted() {
+        let decls = parse_classes("class Empty {}").unwrap();
+        assert_eq!(decls[0].field_count(), 0);
+    }
+
+    #[test]
+    fn error_carries_line_numbers() {
+        let err = parse_classes("class A { x: i32 }\nclass B { y: quux }").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("quux"));
+        assert!(err.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn rejects_zero_length_byte_arrays() {
+        let err = parse_classes("class T { b: bytes[0] }").unwrap_err();
+        assert!(err.message().contains("non-zero"));
+    }
+
+    #[test]
+    fn rejects_missing_colon() {
+        assert!(parse_classes("class T { x i32 }").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(parse_classes("class T { x: i32 } #").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert!(parse_classes("class T { x: ").is_err());
+        assert!(parse_classes("class").is_err());
+    }
+}

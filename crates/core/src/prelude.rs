@@ -1,0 +1,26 @@
+//! Convenient glob-import surface: `use polar::prelude::*;`.
+
+pub use crate::{HardenedProgram, Polar};
+
+pub use polar_classinfo::{ClassDecl, ClassId, ClassInfo, ClassRegistry, FieldKind};
+pub use polar_instrument::{check_compatibility, instrument, InstrumentOptions, Targets};
+pub use polar_ir::builder::{FunctionBuilder, ModuleBuilder};
+pub use polar_ir::interp::{run, run_native, run_with_mode, ExecLimits, ExecReport};
+pub use polar_ir::{BinOp, CmpOp, Inst, Module, Terminator};
+pub use polar_layout::{
+    DummyPolicy, LayoutEngine, LayoutPlan, PermuteMode, RandomizationPolicy,
+};
+pub use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig, RuntimeStats};
+pub use polar_simheap::{Addr, HeapConfig, SimHeap};
+pub use polar_taint::{analyze, analyze_corpus, TaintClassReport, TaintConfig};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use super::*;
+        let _ = Polar::new();
+        let _ = RandomizationPolicy::default();
+        let _ = ExecLimits::default();
+    }
+}

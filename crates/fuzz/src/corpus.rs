@@ -1,0 +1,128 @@
+//! The fuzzing corpus: inputs retained for finding new coverage.
+
+use rand::{Rng, RngExt};
+
+/// One retained input.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The input bytes.
+    pub data: Vec<u8>,
+    /// Distinct edges this input touched when it was added.
+    pub edges: usize,
+    /// Scheduling energy: how often this entry gets picked relative to
+    /// others (new/coverage-rich entries start hot and cool down).
+    pub energy: u32,
+}
+
+/// The corpus, with energy-weighted selection.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retained inputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add an input (because it produced new coverage).
+    pub fn add(&mut self, data: Vec<u8>, edges: usize) {
+        // Fresh finds get energy proportional to their edge richness.
+        let energy = 8 + (edges as u32).min(64);
+        self.entries.push(CorpusEntry { data, edges, energy });
+    }
+
+    /// Pick an entry index, energy-weighted; cools the winner down by one
+    /// so the schedule rotates. Returns `None` on an empty corpus.
+    pub fn pick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let total: u64 = self.entries.iter().map(|e| u64::from(e.energy.max(1))).sum();
+        let mut ticket = rng.random_range(0..total);
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            let w = u64::from(e.energy.max(1));
+            if ticket < w {
+                if e.energy > 1 {
+                    e.energy -= 1;
+                }
+                return Some(i);
+            }
+            ticket -= w;
+        }
+        Some(self.entries.len() - 1)
+    }
+
+    /// The entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn entry(&self, index: usize) -> &CorpusEntry {
+        &self.entries[index]
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &CorpusEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_corpus_picks_nothing() {
+        let mut c = Corpus::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(c.pick(&mut rng).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn add_and_pick() {
+        let mut c = Corpus::new();
+        c.add(vec![1], 5);
+        c.add(vec![2], 50);
+        assert_eq!(c.len(), 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 2];
+        for _ in 0..300 {
+            counts[c.pick(&mut rng).unwrap()] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "both entries must be scheduled: {counts:?}");
+        // The richer entry starts with more energy and is picked more.
+        assert!(counts[1] > counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn energy_cools_down() {
+        let mut c = Corpus::new();
+        c.add(vec![1], 0);
+        let initial = c.entry(0).energy;
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            c.pick(&mut rng);
+        }
+        assert!(c.entry(0).energy < initial);
+        // Energy never reaches zero (entries stay schedulable).
+        for _ in 0..1000 {
+            c.pick(&mut rng);
+        }
+        assert!(c.entry(0).energy >= 1);
+    }
+}

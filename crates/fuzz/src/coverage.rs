@@ -1,0 +1,198 @@
+//! AFL-style edge coverage.
+
+use polar_ir::trace::{TraceEvent, Tracer};
+
+/// Size of the coverage bitmap (64 KiB, like AFL/libFuzzer).
+pub const MAP_SIZE: usize = 1 << 16;
+
+/// Bucket a raw hit count into AFL's coarse categories so loop iteration
+/// counts don't register as endless "new coverage".
+fn bucket(count: u32) -> u8 {
+    match count {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 4,
+        4..=7 => 8,
+        8..=15 => 16,
+        16..=31 => 32,
+        32..=127 => 64,
+        _ => 128,
+    }
+}
+
+/// The accumulated coverage bitmap across a whole campaign.
+#[derive(Clone)]
+pub struct CoverageMap {
+    virgin: Vec<u8>,
+    edges_seen: usize,
+}
+
+impl std::fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CoverageMap({} edges)", self.edges_seen)
+    }
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        CoverageMap { virgin: vec![0; MAP_SIZE], edges_seen: 0 }
+    }
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct map slots ever hit.
+    pub fn edges_seen(&self) -> usize {
+        self.edges_seen
+    }
+
+    /// Merge one execution's hit counts; returns `true` when the run
+    /// contributed a new edge or a new hit-count bucket.
+    pub fn merge(&mut self, run: &RunCoverage) -> bool {
+        let mut interesting = false;
+        for (&slot, &count) in run.hits.iter() {
+            let b = bucket(count);
+            let v = &mut self.virgin[slot as usize];
+            if *v == 0 {
+                self.edges_seen += 1;
+                interesting = true;
+            }
+            if *v & b == 0 {
+                interesting = true;
+            }
+            *v |= b;
+        }
+        interesting
+    }
+}
+
+/// Hit counts for a single execution (sparse).
+#[derive(Debug, Clone, Default)]
+pub struct RunCoverage {
+    hits: std::collections::HashMap<u16, u32>,
+}
+
+impl RunCoverage {
+    /// Number of distinct slots hit this run.
+    pub fn distinct_edges(&self) -> usize {
+        self.hits.len()
+    }
+}
+
+/// A [`Tracer`] recording edge coverage for one execution.
+///
+/// Edges are hashed from `(function, from-block, to-block)`; call entries
+/// contribute a pseudo-edge per callee so cross-function flow registers.
+#[derive(Debug, Default)]
+pub struct CoverageTracer {
+    run: RunCoverage,
+}
+
+impl CoverageTracer {
+    /// Fresh per-run tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish the run and extract its coverage.
+    pub fn into_run(self) -> RunCoverage {
+        self.run
+    }
+
+    fn hit(&mut self, slot: u16) {
+        *self.run.hits.entry(slot).or_insert(0) += 1;
+    }
+}
+
+fn mix(a: u64, b: u64, c: u64) -> u16 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for v in [a, b, c] {
+        h ^= v.wrapping_add(0x517c_c1b7_2722_0a95);
+        h = h.rotate_left(23).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+    (h ^ (h >> 32)) as u16
+}
+
+impl Tracer for CoverageTracer {
+    fn on_event(&mut self, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::Edge { func, from, to } => {
+                self.hit(mix(func.0 as u64, from.0 as u64, to.0 as u64));
+            }
+            TraceEvent::CallEnter { callee, .. } => {
+                self.hit(mix(0xCA11, callee.0 as u64, 0));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_ir::{BlockId, FuncId};
+
+    fn edge(f: u32, a: u32, b: u32) -> TraceEvent<'static> {
+        TraceEvent::Edge { func: FuncId(f), from: BlockId(a), to: BlockId(b) }
+    }
+
+    #[test]
+    fn new_edges_are_interesting_once() {
+        let mut map = CoverageMap::new();
+        let mut t = CoverageTracer::new();
+        t.on_event(&edge(0, 0, 1));
+        let run = t.into_run();
+        assert!(map.merge(&run), "first sighting is interesting");
+        assert_eq!(map.edges_seen(), 1);
+        let mut t = CoverageTracer::new();
+        t.on_event(&edge(0, 0, 1));
+        assert!(!map.merge(&t.into_run()), "same edge, same bucket: boring");
+    }
+
+    #[test]
+    fn hit_count_buckets_register_as_new() {
+        let mut map = CoverageMap::new();
+        let mut t = CoverageTracer::new();
+        t.on_event(&edge(0, 0, 1));
+        map.merge(&t.into_run());
+        // 50 hits lands in a different bucket than 1 hit.
+        let mut t = CoverageTracer::new();
+        for _ in 0..50 {
+            t.on_event(&edge(0, 0, 1));
+        }
+        assert!(map.merge(&t.into_run()));
+    }
+
+    #[test]
+    fn bucket_is_monotone_in_magnitude() {
+        let mut last = 0u8;
+        for c in [0u32, 1, 2, 3, 4, 8, 16, 32, 128, 100_000] {
+            let b = bucket(c);
+            assert!(b >= last || c == 0);
+            last = b;
+        }
+        assert_eq!(bucket(0), 0);
+    }
+
+    #[test]
+    fn distinct_edges_counted_per_run() {
+        let mut t = CoverageTracer::new();
+        t.on_event(&edge(0, 0, 1));
+        t.on_event(&edge(0, 1, 2));
+        t.on_event(&edge(0, 0, 1));
+        assert_eq!(t.into_run().distinct_edges(), 2);
+    }
+
+    #[test]
+    fn call_entries_count_as_coverage() {
+        let mut map = CoverageMap::new();
+        let mut t = CoverageTracer::new();
+        t.on_event(&TraceEvent::CallEnter { callee: FuncId(3), args: &[], callee_regs: 4 });
+        assert!(map.merge(&t.into_run()));
+    }
+}

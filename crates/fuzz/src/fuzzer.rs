@@ -1,0 +1,236 @@
+//! The fuzzing driver loop.
+
+use std::fmt;
+
+use polar_ir::interp::{run, ExecError, ExecLimits};
+use polar_ir::Module;
+use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+
+use crate::corpus::Corpus;
+use crate::coverage::{CoverageMap, CoverageTracer};
+use crate::mutate::Mutator;
+
+/// Fuzzer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzerOptions {
+    /// Per-execution limits (keep the step budget tight — fuzzing inputs
+    /// love infinite loops).
+    pub limits: ExecLimits,
+    /// RNG seed for mutation/scheduling determinism.
+    pub seed: u64,
+    /// Maximum generated input length.
+    pub max_input_len: usize,
+    /// Cap on retained crash records.
+    pub max_crashes: usize,
+}
+
+impl Default for FuzzerOptions {
+    fn default() -> Self {
+        FuzzerOptions {
+            limits: ExecLimits::steps(200_000),
+            seed: 0xF0CC,
+            max_input_len: 256,
+            max_crashes: 64,
+        }
+    }
+}
+
+/// A crashing input found during fuzzing.
+#[derive(Debug, Clone)]
+pub struct CrashRecord {
+    /// The input that crashed the target.
+    pub input: Vec<u8>,
+    /// The abnormal-exit reason.
+    pub error: ExecError,
+}
+
+/// Campaign statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuzzStats {
+    /// Executions performed.
+    pub execs: u64,
+    /// Executions that found new coverage.
+    pub interesting: u64,
+    /// Crashing executions (faults, aborts, div-by-zero).
+    pub crashes: u64,
+    /// Executions stopped by the step/call-depth limits.
+    pub hangs: u64,
+    /// Distinct coverage-map slots hit over the campaign.
+    pub edges: usize,
+}
+
+impl fmt::Display for FuzzStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "execs={} interesting={} crashes={} hangs={} edges={}",
+            self.execs, self.interesting, self.crashes, self.hangs, self.edges
+        )
+    }
+}
+
+/// The coverage-guided fuzzer (libFuzzer's role in the TaintClass
+/// pipeline). Targets execute **natively** — TaintClass analyzes the
+/// unhardened program.
+#[derive(Debug)]
+pub struct Fuzzer<'m> {
+    module: &'m Module,
+    options: FuzzerOptions,
+    corpus: Corpus,
+    coverage: CoverageMap,
+    mutator: Mutator,
+    stats: FuzzStats,
+    crashes: Vec<CrashRecord>,
+}
+
+impl<'m> Fuzzer<'m> {
+    /// Create a fuzzer for `module`.
+    pub fn new(module: &'m Module, options: FuzzerOptions) -> Self {
+        Fuzzer {
+            module,
+            options,
+            corpus: Corpus::new(),
+            coverage: CoverageMap::new(),
+            mutator: Mutator::new(options.seed, options.max_input_len),
+            stats: FuzzStats::default(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Add a seed input, executing it once to prime the coverage map.
+    pub fn add_seed(&mut self, seed: Vec<u8>) {
+        self.execute(seed);
+    }
+
+    /// The retained corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Campaign statistics so far.
+    pub fn stats(&self) -> &FuzzStats {
+        &self.stats
+    }
+
+    /// Crashing inputs found so far.
+    pub fn crashes(&self) -> &[CrashRecord] {
+        &self.crashes
+    }
+
+    /// Run `iterations` fuzzing executions.
+    pub fn run(&mut self, iterations: u64) {
+        for _ in 0..iterations {
+            let mut input = match self.corpus.pick(self.mutator.rng()) {
+                Some(i) => self.corpus.entry(i).data.clone(),
+                None => Vec::new(),
+            };
+            let splice = self
+                .corpus
+                .pick(self.mutator.rng())
+                .map(|i| self.corpus.entry(i).data.clone());
+            self.mutator.mutate(&mut input, splice.as_deref());
+            self.execute(input);
+        }
+        self.stats.edges = self.coverage.edges_seen();
+    }
+
+    fn execute(&mut self, input: Vec<u8>) {
+        let mut rt = ObjectRuntime::new(RandomizeMode::Native, RuntimeConfig::default());
+        let mut tracer = CoverageTracer::new();
+        let report = run(self.module, &mut rt, &input, self.options.limits, &mut tracer);
+        self.stats.execs += 1;
+        let run_cov = tracer.into_run();
+        let distinct = run_cov.distinct_edges();
+        if self.coverage.merge(&run_cov) {
+            self.stats.interesting += 1;
+            self.corpus.add(input.clone(), distinct);
+        }
+        match report.result {
+            Ok(_) => {}
+            Err(ExecError::StepLimit) | Err(ExecError::CallDepth) => {
+                self.stats.hangs += 1;
+            }
+            Err(error) => {
+                self.stats.crashes += 1;
+                if self.crashes.len() < self.options.max_crashes {
+                    self.crashes.push(CrashRecord { input, error });
+                }
+            }
+        }
+        self.stats.edges = self.coverage.edges_seen();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_ir::builder::ModuleBuilder;
+    use polar_ir::CmpOp;
+
+    /// A target that aborts when the first two bytes are "OK".
+    fn crashy_module() -> Module {
+        let mut mb = ModuleBuilder::new("crashy");
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let second = f.block();
+        let boom = f.block();
+        let safe = f.block();
+        let i0 = f.const_(bb, 0);
+        let b0 = f.input_byte(bb, i0);
+        let is_o = f.cmpi(bb, CmpOp::Eq, b0, b'O' as u64);
+        f.br(bb, is_o, second, safe);
+        let i1 = f.const_(second, 1);
+        let b1 = f.input_byte(second, i1);
+        let is_k = f.cmpi(second, CmpOp::Eq, b1, b'K' as u64);
+        f.br(second, is_k, boom, safe);
+        f.abort(boom, 99);
+        f.ret(boom, None);
+        f.ret(safe, None);
+        mb.finish_function(f);
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn fuzzer_accumulates_coverage_and_corpus() {
+        let module = crashy_module();
+        let mut fuzzer = Fuzzer::new(&module, FuzzerOptions { seed: 1, ..Default::default() });
+        fuzzer.add_seed(vec![0, 0]);
+        fuzzer.run(500);
+        assert_eq!(fuzzer.stats().execs, 501);
+        assert!(fuzzer.stats().edges >= 2);
+        assert!(fuzzer.corpus().len() >= 1);
+    }
+
+    #[test]
+    fn fuzzer_finds_the_two_byte_crash() {
+        let module = crashy_module();
+        let mut fuzzer = Fuzzer::new(&module, FuzzerOptions { seed: 7, ..Default::default() });
+        fuzzer.add_seed(vec![b'A', b'A']);
+        fuzzer.run(20_000);
+        assert!(
+            fuzzer.stats().crashes > 0,
+            "coverage guidance should find the OK crash: {}",
+            fuzzer.stats()
+        );
+        let crash = &fuzzer.crashes()[0];
+        assert_eq!(crash.error, ExecError::Abort(99));
+        assert_eq!(&crash.input[..2], b"OK");
+    }
+
+    #[test]
+    fn hangs_are_classified_separately() {
+        let mut mb = ModuleBuilder::new("spin");
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        f.jmp(bb, bb);
+        mb.finish_function(f);
+        let module = mb.build().unwrap();
+        let mut fuzzer = Fuzzer::new(
+            &module,
+            FuzzerOptions { limits: ExecLimits::steps(100), seed: 3, ..Default::default() },
+        );
+        fuzzer.add_seed(vec![1]);
+        assert_eq!(fuzzer.stats().hangs, 1);
+        assert_eq!(fuzzer.stats().crashes, 0);
+    }
+}

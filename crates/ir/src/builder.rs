@@ -1,0 +1,495 @@
+//! Ergonomic construction of IR modules.
+//!
+//! Workloads in this repository are hand-written IR programs; the builder
+//! keeps that bearable. [`ModuleBuilder`] owns the class registry and the
+//! function table; each function is assembled through a [`FunctionBuilder`]
+//! whose convenience methods allocate fresh destination registers.
+
+use polar_classinfo::{ClassDecl, ClassId, ClassRegistry, RegistryError};
+
+use crate::types::{BinOp, Block, BlockId, CmpOp, FuncId, Function, Inst, Module, Reg, Terminator};
+use crate::validate::{validate, ValidateError};
+
+/// Builds a [`Module`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    registry: ClassRegistry,
+    funcs: Vec<Option<Function>>,
+    names: Vec<String>,
+    params: Vec<u16>,
+    entry: Option<FuncId>,
+}
+
+impl ModuleBuilder {
+    /// Start a module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            registry: ClassRegistry::new(),
+            funcs: Vec::new(),
+            names: Vec::new(),
+            params: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Register a class declaration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistryError`] for duplicate names.
+    pub fn add_class(&mut self, decl: ClassDecl) -> Result<ClassId, RegistryError> {
+        self.registry.register(decl)
+    }
+
+    /// Register every class declared in mini-DSL `src` (see
+    /// [`polar_classinfo::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a string describing the first parse or registry error.
+    pub fn add_classes_src(&mut self, src: &str) -> Result<Vec<ClassId>, String> {
+        let decls = polar_classinfo::parse::parse_classes(src).map_err(|e| e.to_string())?;
+        decls
+            .into_iter()
+            .map(|d| self.registry.register(d).map_err(|e| e.to_string()))
+            .collect()
+    }
+
+    /// Access the registry built so far.
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    /// Forward-declare a function (needed for recursion / call cycles).
+    pub fn declare(&mut self, name: impl Into<String>, params: u16) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(None);
+        self.names.push(name.into());
+        self.params.push(params);
+        id
+    }
+
+    /// Declare a function and start building its body.
+    pub fn function(&mut self, name: impl Into<String>, params: u16) -> FunctionBuilder {
+        let id = self.declare(name, params);
+        FunctionBuilder::new(id, params)
+    }
+
+    /// Start building the body of a previously declared function.
+    pub fn body(&self, id: FuncId) -> FunctionBuilder {
+        FunctionBuilder::new(id, self.params[id.0 as usize])
+    }
+
+    /// Install a finished function body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was already finished.
+    pub fn finish_function(&mut self, fb: FunctionBuilder) {
+        let idx = fb.id.0 as usize;
+        assert!(self.funcs[idx].is_none(), "function {idx} finished twice");
+        let name = self.names[idx].clone();
+        self.funcs[idx] = Some(fb.into_function(name));
+    }
+
+    /// Set the entry function (defaults to the function named `main`).
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.entry = Some(id);
+    }
+
+    /// Finish and validate the module.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidateError`] when a body is missing, the entry cannot be
+    /// resolved, or validation fails.
+    pub fn build(self) -> Result<Module, ValidateError> {
+        let entry = match self.entry {
+            Some(e) => e,
+            None => self
+                .names
+                .iter()
+                .position(|n| n == "main")
+                .map(|i| FuncId(i as u32))
+                .ok_or_else(|| ValidateError::new("no entry function (declare `main`)"))?,
+        };
+        let mut funcs = Vec::with_capacity(self.funcs.len());
+        for (i, f) in self.funcs.into_iter().enumerate() {
+            funcs.push(f.ok_or_else(|| {
+                ValidateError::new(format!("function `{}` has no body", self.names[i]))
+            })?);
+        }
+        let module = Module { name: self.name, registry: self.registry, funcs, entry };
+        validate(&module)?;
+        Ok(module)
+    }
+}
+
+/// Builds one [`Function`]. Block 0 (the entry) exists from the start.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    id: FuncId,
+    params: u16,
+    next_reg: u16,
+    blocks: Vec<(Vec<Inst>, Option<Terminator>)>,
+}
+
+impl FunctionBuilder {
+    fn new(id: FuncId, params: u16) -> Self {
+        FunctionBuilder { id, params, next_reg: params, blocks: vec![(Vec::new(), None)] }
+    }
+
+    /// The function's id (usable in `Call` instructions).
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The entry block (always block 0).
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Create a new empty block.
+    pub fn block(&mut self) -> BlockId {
+        self.blocks.push((Vec::new(), None));
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// The register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a parameter index.
+    pub fn param(&self, i: u16) -> Reg {
+        assert!(i < self.params, "param {i} out of range");
+        Reg(i)
+    }
+
+    /// Append a raw instruction to `bb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bb` is already terminated.
+    pub fn push(&mut self, bb: BlockId, inst: Inst) {
+        let (insts, term) = &mut self.blocks[bb.0 as usize];
+        assert!(term.is_none(), "pushing into terminated block {bb}");
+        insts.push(inst);
+    }
+
+    /// Set the terminator of `bb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bb` is already terminated.
+    pub fn terminate(&mut self, bb: BlockId, term: Terminator) {
+        let slot = &mut self.blocks[bb.0 as usize].1;
+        assert!(slot.is_none(), "block {bb} terminated twice");
+        *slot = Some(term);
+    }
+
+    // ---- terminator shorthands -------------------------------------
+
+    /// `jmp target`.
+    pub fn jmp(&mut self, bb: BlockId, target: BlockId) {
+        self.terminate(bb, Terminator::Jmp(target));
+    }
+
+    /// `br cond, then_bb, else_bb`.
+    pub fn br(&mut self, bb: BlockId, cond: Reg, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(bb, Terminator::Br { cond, then_bb, else_bb });
+    }
+
+    /// `ret [value]`.
+    pub fn ret(&mut self, bb: BlockId, value: Option<Reg>) {
+        self.terminate(bb, Terminator::Ret(value));
+    }
+
+    // ---- instruction shorthands (fresh destination registers) -------
+
+    /// `dst = const value`.
+    pub fn const_(&mut self, bb: BlockId, value: u64) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::Const { dst, value });
+        dst
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, bb: BlockId, src: Reg) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::Mov { dst, src });
+        dst
+    }
+
+    /// Copy `src` into the existing register `dst`.
+    pub fn mov_to(&mut self, bb: BlockId, dst: Reg, src: Reg) {
+        self.push(bb, Inst::Mov { dst, src });
+    }
+
+    /// `dst = a <op> b`.
+    pub fn bin(&mut self, bb: BlockId, op: BinOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::Bin { op, dst, a, b });
+        dst
+    }
+
+    /// `dst = a <op> imm`.
+    pub fn bini(&mut self, bb: BlockId, op: BinOp, a: Reg, imm: u64) -> Reg {
+        let b = self.const_(bb, imm);
+        self.bin(bb, op, a, b)
+    }
+
+    /// `dst = a <cmp> b`.
+    pub fn cmp(&mut self, bb: BlockId, op: CmpOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::Cmp { op, dst, a, b });
+        dst
+    }
+
+    /// `dst = a <cmp> imm`.
+    pub fn cmpi(&mut self, bb: BlockId, op: CmpOp, a: Reg, imm: u64) -> Reg {
+        let b = self.const_(bb, imm);
+        self.cmp(bb, op, a, b)
+    }
+
+    /// Native `new class`.
+    pub fn alloc_obj(&mut self, bb: BlockId, class: ClassId) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::AllocObj { dst, class });
+        dst
+    }
+
+    /// Native `delete ptr`.
+    pub fn free_obj(&mut self, bb: BlockId, ptr: Reg) {
+        self.push(bb, Inst::FreeObj { ptr });
+    }
+
+    /// Native `getelementptr`.
+    pub fn gep(&mut self, bb: BlockId, obj: Reg, class: ClassId, field: u16) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::Gep { dst, obj, class, field });
+        dst
+    }
+
+    /// Native object copy.
+    pub fn copy_obj(&mut self, bb: BlockId, dst: Reg, src: Reg, class: ClassId) {
+        self.push(bb, Inst::CopyObj { dst, src, class });
+    }
+
+    /// `malloc(size)` for a raw buffer.
+    pub fn alloc_buf(&mut self, bb: BlockId, size: Reg) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::AllocBuf { dst, size });
+        dst
+    }
+
+    /// `malloc(bytes)` with an immediate size.
+    pub fn alloc_buf_bytes(&mut self, bb: BlockId, bytes: u64) -> Reg {
+        let size = self.const_(bb, bytes);
+        self.alloc_buf(bb, size)
+    }
+
+    /// Free a raw buffer.
+    pub fn free_buf(&mut self, bb: BlockId, ptr: Reg) {
+        self.push(bb, Inst::FreeBuf { ptr });
+    }
+
+    /// `dst = load.width [addr]`.
+    pub fn load(&mut self, bb: BlockId, addr: Reg, width: u8) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::Load { dst, addr, width });
+        dst
+    }
+
+    /// `store.width [addr], src`.
+    pub fn store(&mut self, bb: BlockId, addr: Reg, src: Reg, width: u8) {
+        self.push(bb, Inst::Store { addr, src, width });
+    }
+
+    /// `memcpy dst, src, len`.
+    pub fn memcpy(&mut self, bb: BlockId, dst: Reg, src: Reg, len: Reg) {
+        self.push(bb, Inst::Memcpy { dst, src, len });
+    }
+
+    /// `dst = input_len`.
+    pub fn input_len(&mut self, bb: BlockId) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::InputLen { dst });
+        dst
+    }
+
+    /// `dst = input[index]`.
+    pub fn input_byte(&mut self, bb: BlockId, index: Reg) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::InputByte { dst, index });
+        dst
+    }
+
+    /// `input_read buf, off, len`.
+    pub fn input_read(&mut self, bb: BlockId, buf: Reg, off: Reg, len: Reg) {
+        self.push(bb, Inst::InputRead { buf, off, len });
+    }
+
+    /// `dst = call func(args…)`.
+    pub fn call(&mut self, bb: BlockId, func: FuncId, args: &[Reg]) -> Reg {
+        let dst = self.reg();
+        self.push(bb, Inst::Call { func, args: args.to_vec(), dst: Some(dst) });
+        dst
+    }
+
+    /// `call func(args…)` discarding the result.
+    pub fn call_void(&mut self, bb: BlockId, func: FuncId, args: &[Reg]) {
+        self.push(bb, Inst::Call { func, args: args.to_vec(), dst: None });
+    }
+
+    /// Emit a value to the program output.
+    pub fn out(&mut self, bb: BlockId, src: Reg) {
+        self.push(bb, Inst::Out { src });
+    }
+
+    /// Abort execution with `code`.
+    pub fn abort(&mut self, bb: BlockId, code: u32) {
+        self.push(bb, Inst::Abort { code });
+    }
+
+    fn into_function(self, name: String) -> Function {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (insts, term))| Block {
+                insts,
+                term: term.unwrap_or_else(|| panic!("block bb{i} not terminated")),
+            })
+            .collect();
+        Function { name, params: self.params, regs: self.next_reg.max(self.params), blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_classinfo::FieldKind;
+
+    #[test]
+    fn build_a_minimal_module() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let v = f.const_(bb, 41);
+        let one = f.const_(bb, 1);
+        let sum = f.bin(bb, BinOp::Add, v, one);
+        f.ret(bb, Some(sum));
+        mb.finish_function(f);
+        let m = mb.build().unwrap();
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.entry, FuncId(0));
+        assert!(!m.is_instrumented());
+        assert!(m.inst_count() >= 4);
+    }
+
+    #[test]
+    fn classes_via_dsl() {
+        let mut mb = ModuleBuilder::new("m");
+        let ids = mb
+            .add_classes_src("class A { x: i32 } class B { p: ptr }")
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(mb.registry().get(ids[1]).name(), "B");
+    }
+
+    #[test]
+    fn forward_declaration_allows_recursion() {
+        let mut mb = ModuleBuilder::new("m");
+        let main_id = mb.declare("main", 0);
+        let fib = mb.declare("fib", 1);
+
+        let mut f = mb.body(fib);
+        let bb = f.entry_block();
+        let n = f.param(0);
+        let base = f.block();
+        let rec = f.block();
+        let is_small = f.cmpi(bb, CmpOp::Lt, n, 2);
+        f.br(bb, is_small, base, rec);
+        f.ret(base, Some(n));
+        let n1 = f.bini(rec, BinOp::Sub, n, 1);
+        let n2 = f.bini(rec, BinOp::Sub, n, 2);
+        let a = f.call(rec, fib, &[n1]);
+        let b = f.call(rec, fib, &[n2]);
+        let sum = f.bin(rec, BinOp::Add, a, b);
+        f.ret(rec, Some(sum));
+        mb.finish_function(f);
+
+        let mut m = mb.body(main_id);
+        let bb = m.entry_block();
+        let ten = m.const_(bb, 10);
+        let r = m.call(bb, fib, &[ten]);
+        m.ret(bb, Some(r));
+        mb.finish_function(m);
+
+        let module = mb.build().unwrap();
+        assert_eq!(module.func_by_name("fib"), Some(fib));
+    }
+
+    #[test]
+    #[should_panic(expected = "not terminated")]
+    fn unterminated_block_panics_at_finish() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("main", 0);
+        let _bb = f.entry_block();
+        mb.finish_function(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_termination_panics() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        f.ret(bb, None);
+        f.ret(bb, None);
+    }
+
+    #[test]
+    fn missing_body_is_a_build_error() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.declare("main", 0);
+        assert!(mb.build().is_err());
+    }
+
+    #[test]
+    fn missing_entry_is_a_build_error() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("helper", 0);
+        let bb = f.entry_block();
+        f.ret(bb, None);
+        mb.finish_function(f);
+        assert!(mb.build().is_err());
+    }
+
+    #[test]
+    fn object_shorthands_produce_native_insts() {
+        let mut mb = ModuleBuilder::new("m");
+        let class = mb
+            .add_class(ClassDecl::builder("T").field("x", FieldKind::I64).build())
+            .unwrap();
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let obj = f.alloc_obj(bb, class);
+        let fld = f.gep(bb, obj, class, 0);
+        let v = f.load(bb, fld, 8);
+        f.free_obj(bb, obj);
+        f.ret(bb, Some(v));
+        mb.finish_function(f);
+        let m = mb.build().unwrap();
+        assert!(!m.is_instrumented());
+    }
+}

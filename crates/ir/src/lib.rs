@@ -1,0 +1,72 @@
+//! A miniature compiler IR — the reproduction's stand-in for LLVM IR.
+//!
+//! POLaR's prototype instruments four kinds of LLVM sites: allocation
+//! functions, `getelementptr`-like instructions, `memcpy`-like functions
+//! and deallocation functions (Section IV-A2 of the paper). This crate
+//! defines an IR with exactly those operations plus the scalar/control
+//! scaffolding needed to write realistic programs against it:
+//!
+//! * [`Module`]/[`Function`]/[`Block`] — SSA-ish register machine with
+//!   basic blocks and explicit terminators;
+//! * object instructions ([`Inst::AllocObj`], [`Inst::Gep`],
+//!   [`Inst::CopyObj`], [`Inst::FreeObj`]) that execute with **native,
+//!   deterministic layouts** — what an unhardened binary does;
+//! * their instrumented counterparts ([`Inst::OlrMalloc`],
+//!   [`Inst::OlrGetptr`], [`Inst::OlrMemcpy`], [`Inst::OlrFree`]) that
+//!   route through the POLaR [`ObjectRuntime`](polar_runtime::ObjectRuntime)
+//!   — what the `polar-instrument` pass rewrites the former into;
+//! * raw-buffer and scalar instructions, untrusted-input sources
+//!   ([`Inst::InputByte`], [`Inst::InputRead`]) and calls;
+//! * a [`builder`] for ergonomic program construction, a [`validate`]
+//!   pass, and the [`interp`] interpreter with a [`trace::Tracer`] hook
+//!   interface that the taint tracker and the fuzzer's coverage map plug
+//!   into.
+//!
+//! # Example
+//!
+//! ```
+//! use polar_classinfo::{ClassDecl, FieldKind};
+//! use polar_ir::builder::ModuleBuilder;
+//! use polar_ir::interp::{run_native, ExecLimits};
+//! use polar_ir::{BinOp, Terminator};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let people = mb
+//!     .add_class(
+//!         ClassDecl::builder("People")
+//!             .field("vtable", FieldKind::VtablePtr)
+//!             .field("age", FieldKind::I32)
+//!             .field("height", FieldKind::I32)
+//!             .build(),
+//!     )
+//!     .unwrap();
+//! let mut f = mb.function("main", 0);
+//! let bb = f.entry_block();
+//! let obj = f.alloc_obj(bb, people);
+//! let height = f.gep(bb, obj, people, 2);
+//! let v = f.const_(bb, 170);
+//! f.store(bb, height, v, 4);
+//! let loaded = f.load(bb, height, 4);
+//! f.ret(bb, Some(loaded));
+//! mb.finish_function(f);
+//! let module = mb.build()?;
+//!
+//! let report = run_native(&module, &[], ExecLimits::default());
+//! assert_eq!(report.result.unwrap(), 170);
+//! # Ok::<(), polar_ir::validate::ValidateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod interp;
+pub mod stats;
+pub mod text;
+pub mod trace;
+mod types;
+pub mod validate;
+
+pub use types::{
+    BinOp, Block, BlockId, CmpOp, FuncId, Function, Inst, Module, Reg, Terminator,
+};

@@ -1,0 +1,625 @@
+//! Textual IR: parse the format [`Module`]'s `Display` emits.
+//!
+//! The printer (`module.to_string()`) and this parser round-trip, which
+//! makes IR dumps diffable, lets tests assert on program shape, and gives
+//! the repository a human-writable assembly format:
+//!
+//! ```text
+//! module demo (entry fn#0)
+//! fn#0 main(0 params, 4 regs):
+//!   bb0:
+//!     r0 = alloc_obj class#0
+//!     r1 = gep class#0, r0, field 2
+//!     r2 = const 170
+//!     store.4 [r1], r2
+//!     r3 = load.4 [r1]
+//!     ret r3
+//! ```
+//!
+//! Class tables are not part of the textual form (they come from the
+//! CIE); [`parse_module`] takes the registry separately.
+//!
+//! ```
+//! use polar_classinfo::{ClassDecl, FieldKind};
+//! use polar_ir::builder::ModuleBuilder;
+//! use polar_ir::text::parse_module;
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let c = mb.add_class(ClassDecl::builder("T").field("x", FieldKind::I64).build()).unwrap();
+//! let mut f = mb.function("main", 0);
+//! let bb = f.entry_block();
+//! let o = f.alloc_obj(bb, c);
+//! let fld = f.gep(bb, o, c, 0);
+//! let v = f.load(bb, fld, 8);
+//! f.ret(bb, Some(v));
+//! mb.finish_function(f);
+//! let module = mb.build().unwrap();
+//!
+//! let text = module.to_string();
+//! let reparsed = parse_module(&text, module.registry.clone())?;
+//! assert_eq!(reparsed.to_string(), text);
+//! # Ok::<(), polar_ir::text::TextError>(())
+//! ```
+
+use std::fmt;
+
+use polar_classinfo::{ClassId, ClassRegistry};
+
+use crate::types::{BinOp, Block, BlockId, CmpOp, FuncId, Function, Inst, Module, Reg, Terminator};
+use crate::validate::validate;
+
+/// A parse failure with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    line: usize,
+    message: String,
+}
+
+impl TextError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        TextError { line, message: message.into() }
+    }
+
+    /// 1-based line the error was detected on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> TextError {
+        TextError::new(self.line, message)
+    }
+
+    fn eat(&mut self, prefix: &str) -> Result<(), TextError> {
+        self.skip_ws();
+        if let Some(rest) = self.src.strip_prefix(prefix) {
+            self.src = rest;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{prefix}`, found `{}`",
+                self.src.chars().take(16).collect::<String>()
+            )))
+        }
+    }
+
+    fn try_eat(&mut self, prefix: &str) -> bool {
+        self.skip_ws();
+        if let Some(rest) = self.src.strip_prefix(prefix) {
+            self.src = rest;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.src.trim_start_matches([' ', '\t']);
+        self.src = trimmed;
+    }
+
+    fn number(&mut self) -> Result<u64, TextError> {
+        self.skip_ws();
+        let end = self
+            .src
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.src.len());
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let (digits, rest) = self.src.split_at(end);
+        let value = digits
+            .parse::<u64>()
+            .map_err(|e| self.err(format!("bad number `{digits}`: {e}")))?;
+        self.src = rest;
+        Ok(value)
+    }
+
+    fn ident(&mut self) -> Result<&'a str, TextError> {
+        self.skip_ws();
+        let end = self
+            .src
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+            .unwrap_or(self.src.len());
+        if end == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let (word, rest) = self.src.split_at(end);
+        self.src = rest;
+        Ok(word)
+    }
+
+    fn reg(&mut self) -> Result<Reg, TextError> {
+        self.eat("r")?;
+        Ok(Reg(self.number()? as u16))
+    }
+
+    fn class(&mut self) -> Result<ClassId, TextError> {
+        self.eat("class#")?;
+        Ok(ClassId(self.number()? as u32))
+    }
+
+    fn block_ref(&mut self) -> Result<BlockId, TextError> {
+        self.eat("bb")?;
+        Ok(BlockId(self.number()? as u32))
+    }
+
+    fn func_ref(&mut self) -> Result<FuncId, TextError> {
+        self.eat("fn#")?;
+        Ok(FuncId(self.number()? as u32))
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.src.is_empty()
+    }
+}
+
+fn bin_op(word: &str) -> Option<BinOp> {
+    Some(match word {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn cmp_op(word: &str) -> Option<CmpOp> {
+    Some(match word {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "ult" => CmpOp::Lt,
+        "ule" => CmpOp::Le,
+        "ugt" => CmpOp::Gt,
+        "uge" => CmpOp::Ge,
+        "slt" => CmpOp::Slt,
+        "sgt" => CmpOp::Sgt,
+        _ => return None,
+    })
+}
+
+enum Line {
+    Inst(Inst),
+    Term(Terminator),
+}
+
+/// Parse one instruction or terminator line (without indentation).
+fn parse_line(c: &mut Cursor<'_>) -> Result<Line, TextError> {
+    // Terminators and no-destination instructions first.
+    if c.try_eat("jmp ") {
+        return Ok(Line::Term(Terminator::Jmp(c.block_ref()?)));
+    }
+    if c.try_eat("br ") {
+        let cond = c.reg()?;
+        c.eat(",")?;
+        let then_bb = c.block_ref()?;
+        c.eat(",")?;
+        let else_bb = c.block_ref()?;
+        return Ok(Line::Term(Terminator::Br { cond, then_bb, else_bb }));
+    }
+    if c.try_eat("ret") {
+        if c.at_end() {
+            return Ok(Line::Term(Terminator::Ret(None)));
+        }
+        return Ok(Line::Term(Terminator::Ret(Some(c.reg()?))));
+    }
+    if c.try_eat("free_obj ") {
+        return Ok(Line::Inst(Inst::FreeObj { ptr: c.reg()? }));
+    }
+    if c.try_eat("olr_free ") {
+        return Ok(Line::Inst(Inst::OlrFree { ptr: c.reg()? }));
+    }
+    if c.try_eat("free_buf ") {
+        return Ok(Line::Inst(Inst::FreeBuf { ptr: c.reg()? }));
+    }
+    if c.try_eat("copy_obj ") {
+        let class = c.class()?;
+        c.eat(",")?;
+        let dst = c.reg()?;
+        c.eat(",")?;
+        let src = c.reg()?;
+        return Ok(Line::Inst(Inst::CopyObj { dst, src, class }));
+    }
+    if c.try_eat("olr_memcpy ") {
+        let class = c.class()?;
+        c.eat(",")?;
+        let dst = c.reg()?;
+        c.eat(",")?;
+        let src = c.reg()?;
+        return Ok(Line::Inst(Inst::OlrMemcpy { dst, src, class }));
+    }
+    if c.try_eat("memcpy ") {
+        let dst = c.reg()?;
+        c.eat(",")?;
+        let src = c.reg()?;
+        c.eat(",")?;
+        let len = c.reg()?;
+        return Ok(Line::Inst(Inst::Memcpy { dst, src, len }));
+    }
+    if c.try_eat("store.") {
+        let width = c.number()? as u8;
+        c.eat("[")?;
+        let addr = c.reg()?;
+        c.eat("]")?;
+        c.eat(",")?;
+        let src = c.reg()?;
+        return Ok(Line::Inst(Inst::Store { addr, src, width }));
+    }
+    if c.try_eat("input_read ") {
+        let buf = c.reg()?;
+        c.eat(",")?;
+        let off = c.reg()?;
+        c.eat(",")?;
+        let len = c.reg()?;
+        return Ok(Line::Inst(Inst::InputRead { buf, off, len }));
+    }
+    if c.try_eat("out ") {
+        return Ok(Line::Inst(Inst::Out { src: c.reg()? }));
+    }
+    if c.try_eat("abort ") {
+        return Ok(Line::Inst(Inst::Abort { code: c.number()? as u32 }));
+    }
+    if c.try_eat("nop") {
+        return Ok(Line::Inst(Inst::Nop));
+    }
+    if c.try_eat("call ") {
+        let func = c.func_ref()?;
+        let args = parse_args(c)?;
+        return Ok(Line::Inst(Inst::Call { func, args, dst: None }));
+    }
+
+    // Everything else is `rN = ...`.
+    let dst = c.reg()?;
+    c.eat("=")?;
+    if c.try_eat("const ") {
+        return Ok(Line::Inst(Inst::Const { dst, value: c.number()? }));
+    }
+    if c.try_eat("cmp.") {
+        let word = c.ident()?;
+        let op = cmp_op(word).ok_or_else(|| c.err(format!("unknown compare `{word}`")))?;
+        let a = c.reg()?;
+        c.eat(",")?;
+        let b = c.reg()?;
+        return Ok(Line::Inst(Inst::Cmp { op, dst, a, b }));
+    }
+    if c.try_eat("alloc_obj ") {
+        return Ok(Line::Inst(Inst::AllocObj { dst, class: c.class()? }));
+    }
+    if c.try_eat("olr_malloc ") {
+        return Ok(Line::Inst(Inst::OlrMalloc { dst, class: c.class()? }));
+    }
+    if c.try_eat("alloc_buf ") {
+        return Ok(Line::Inst(Inst::AllocBuf { dst, size: c.reg()? }));
+    }
+    if c.try_eat("gep ") {
+        let class = c.class()?;
+        c.eat(",")?;
+        let obj = c.reg()?;
+        c.eat(",")?;
+        c.eat("field")?;
+        let field = c.number()? as u16;
+        return Ok(Line::Inst(Inst::Gep { dst, obj, class, field }));
+    }
+    if c.try_eat("olr_getptr ") {
+        let class = c.class()?;
+        c.eat(",")?;
+        let obj = c.reg()?;
+        c.eat(",")?;
+        c.eat("field")?;
+        let field = c.number()? as u16;
+        return Ok(Line::Inst(Inst::OlrGetptr { dst, obj, class, field }));
+    }
+    if c.try_eat("load.") {
+        let width = c.number()? as u8;
+        c.eat("[")?;
+        let addr = c.reg()?;
+        c.eat("]")?;
+        return Ok(Line::Inst(Inst::Load { dst, addr, width }));
+    }
+    if c.try_eat("input_len") {
+        return Ok(Line::Inst(Inst::InputLen { dst }));
+    }
+    if c.try_eat("input_byte ") {
+        return Ok(Line::Inst(Inst::InputByte { dst, index: c.reg()? }));
+    }
+    if c.try_eat("call ") {
+        let func = c.func_ref()?;
+        let args = parse_args(c)?;
+        return Ok(Line::Inst(Inst::Call { func, args, dst: Some(dst) }));
+    }
+    // `rA = op rB, rC` or `rA = rB` (mov). The word is read first so
+    // that operator names beginning with `r` (`rem`) are not mistaken
+    // for a register.
+    let word = c.ident()?;
+    if let Some(op) = bin_op(word) {
+        let a = c.reg()?;
+        c.eat(",")?;
+        let b = c.reg()?;
+        return Ok(Line::Inst(Inst::Bin { op, dst, a, b }));
+    }
+    if let Some(digits) = word.strip_prefix('r') {
+        if let Ok(idx) = digits.parse::<u16>() {
+            return Ok(Line::Inst(Inst::Mov { dst, src: Reg(idx) }));
+        }
+    }
+    Err(c.err(format!("unknown instruction `{word}`")))
+}
+
+fn parse_args(c: &mut Cursor<'_>) -> Result<Vec<Reg>, TextError> {
+    c.eat("(")?;
+    let mut args = Vec::new();
+    if !c.try_eat(")") {
+        loop {
+            args.push(c.reg()?);
+            if c.try_eat(")") {
+                break;
+            }
+            c.eat(",")?;
+        }
+    }
+    Ok(args)
+}
+
+/// Parse the textual IR form back into a [`Module`]. The class table is
+/// supplied separately (the text refers to classes by id only).
+///
+/// # Errors
+///
+/// [`TextError`] on syntax errors; the reconstructed module is also run
+/// through [`validate`], so dangling references fail here too.
+pub fn parse_module(text: &str, registry: ClassRegistry) -> Result<Module, TextError> {
+    let mut name = String::new();
+    let mut entry = FuncId(0);
+    let mut funcs: Vec<Function> = Vec::new();
+    let mut current_func: Option<(String, u16, u16, Vec<Block>)> = None;
+    let mut current_block: Option<(Vec<Inst>, Option<Terminator>)> = None;
+
+    fn close_block(
+        func: &mut Option<(String, u16, u16, Vec<Block>)>,
+        block: &mut Option<(Vec<Inst>, Option<Terminator>)>,
+        line: usize,
+    ) -> Result<(), TextError> {
+        if let Some((insts, term)) = block.take() {
+            let term = term
+                .ok_or_else(|| TextError::new(line, "block ended without a terminator"))?;
+            func.as_mut()
+                .ok_or_else(|| TextError::new(line, "block outside a function"))?
+                .3
+                .push(Block { insts, term });
+        }
+        Ok(())
+    }
+
+    fn close_func(
+        funcs: &mut Vec<Function>,
+        func: &mut Option<(String, u16, u16, Vec<Block>)>,
+    ) {
+        if let Some((name, params, regs, blocks)) = func.take() {
+            funcs.push(Function { name, params, regs, blocks });
+        }
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut c = Cursor { src: trimmed, line: line_no };
+        if c.try_eat("module ") {
+            name = c.ident()?.to_owned();
+            c.eat("(entry")?;
+            entry = c.func_ref()?;
+            c.eat(")")?;
+            continue;
+        }
+        if trimmed.starts_with("fn#") {
+            close_block(&mut current_func, &mut current_block, line_no)?;
+            close_func(&mut funcs, &mut current_func);
+            c.eat("fn#")?;
+            let _id = c.number()?;
+            let fname = c.ident()?.to_owned();
+            c.eat("(")?;
+            let params = c.number()? as u16;
+            c.eat("params,")?;
+            let regs = c.number()? as u16;
+            c.eat("regs):")?;
+            current_func = Some((fname, params, regs, Vec::new()));
+            continue;
+        }
+        if trimmed.starts_with("bb") && trimmed.ends_with(':') {
+            close_block(&mut current_func, &mut current_block, line_no)?;
+            current_block = Some((Vec::new(), None));
+            continue;
+        }
+        let (insts, term) = current_block
+            .as_mut()
+            .ok_or_else(|| c.err("instruction outside a block"))?;
+        if term.is_some() {
+            return Err(c.err("instruction after the block terminator"));
+        }
+        match parse_line(&mut c)? {
+            Line::Inst(inst) => insts.push(inst),
+            Line::Term(t) => *term = Some(t),
+        }
+        if !c.at_end() {
+            return Err(c.err(format!("trailing input `{}`", c.src)));
+        }
+    }
+    close_block(&mut current_func, &mut current_block, text.lines().count())?;
+    close_func(&mut funcs, &mut current_func);
+
+    let module = Module { name, registry, funcs, entry };
+    validate(&module).map_err(|e| TextError::new(0, e.message().to_owned()))?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::interp::{run_native, ExecLimits};
+    use polar_classinfo::{ClassDecl, FieldKind};
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("sample");
+        let c = mb
+            .add_class(
+                ClassDecl::builder("T")
+                    .field("x", FieldKind::I64)
+                    .field("buf", FieldKind::Bytes(16))
+                    .build(),
+            )
+            .unwrap();
+        let helper = {
+            let mut f = mb.function("helper", 2);
+            let bb = f.entry_block();
+            let s = f.bin(bb, BinOp::Add, f.param(0), f.param(1));
+            f.ret(bb, Some(s));
+            let id = f.id();
+            mb.finish_function(f);
+            id
+        };
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let next = f.block();
+        let done = f.block();
+        let o = f.alloc_obj(bb, c);
+        let fld = f.gep(bb, o, c, 0);
+        let v = f.const_(bb, 41);
+        f.store(bb, fld, v, 8);
+        let ld = f.load(bb, fld, 8);
+        let one = f.const_(bb, 1);
+        let sum = f.call(bb, helper, &[ld, one]);
+        let cond = f.cmp(bb, CmpOp::Gt, sum, one);
+        f.br(bb, cond, next, done);
+        let buf = f.alloc_buf_bytes(next, 8);
+        let len = f.input_len(next);
+        let zero = f.const_(next, 0);
+        f.input_read(next, buf, zero, len);
+        f.memcpy(next, buf, buf, zero);
+        f.out(next, sum);
+        f.free_obj(next, o);
+        f.jmp(next, done);
+        f.ret(done, Some(sum));
+        mb.finish_function(f);
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn print_parse_roundtrip_is_stable() {
+        let module = sample();
+        let text = module.to_string();
+        let reparsed = parse_module(&text, module.registry.clone()).unwrap();
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn reparsed_module_behaves_identically() {
+        let module = sample();
+        let reparsed = parse_module(&module.to_string(), module.registry.clone()).unwrap();
+        let a = run_native(&module, &[1, 2, 3], ExecLimits::default());
+        let b = run_native(&reparsed, &[1, 2, 3], ExecLimits::default());
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn instrumented_modules_roundtrip_too() {
+        let module = sample();
+        let (hardened, _) = polar_instrument_stub::instrument_all(&module);
+        let text = hardened.to_string();
+        let reparsed = parse_module(&text, hardened.registry.clone()).unwrap();
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    // A tiny local re-implementation of the instrumentation rewrite so
+    // this crate's tests don't depend on `polar-instrument` (which
+    // depends on us).
+    mod polar_instrument_stub {
+        use crate::types::{Inst, Module};
+
+        pub fn instrument_all(module: &Module) -> (Module, ()) {
+            let mut out = module.clone();
+            for func in &mut out.funcs {
+                for block in &mut func.blocks {
+                    for inst in &mut block.insts {
+                        *inst = match *inst {
+                            Inst::AllocObj { dst, class } => Inst::OlrMalloc { dst, class },
+                            Inst::Gep { dst, obj, class, field } => {
+                                Inst::OlrGetptr { dst, obj, class, field }
+                            }
+                            Inst::CopyObj { dst, src, class } => {
+                                Inst::OlrMemcpy { dst, src, class }
+                            }
+                            Inst::FreeObj { ptr } => Inst::OlrFree { ptr },
+                            ref other => other.clone(),
+                        };
+                    }
+                }
+            }
+            (out, ())
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let module = sample();
+        let mut text = module.to_string();
+        text.push_str("  bb99:\n    r0 = quux r1, r2\n");
+        let err = parse_module(&text, module.registry.clone()).unwrap_err();
+        assert!(err.message().contains("quux") || err.message().contains("terminator"),
+            "{err}");
+        assert!(err.line() > 0);
+    }
+
+    #[test]
+    fn rejects_instruction_outside_block() {
+        let err = parse_module("module m (entry fn#0)\nnop\n", ClassRegistry::new())
+            .unwrap_err();
+        assert!(err.message().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let text = "module m (entry fn#0)\nfn#0 main(0 params, 1 regs):\n  bb0:\n    nop\n";
+        let err = parse_module(text, ClassRegistry::new()).unwrap_err();
+        assert!(err.message().contains("terminator"));
+    }
+
+    #[test]
+    fn validation_runs_after_parse() {
+        // Register out of range is caught by the validator.
+        let text = "module m (entry fn#0)\nfn#0 main(0 params, 1 regs):\n  bb0:\n    r9 = const 1\n    ret\n";
+        let err = parse_module(text, ClassRegistry::new()).unwrap_err();
+        assert!(err.message().contains("register"));
+    }
+
+    use crate::types::{BinOp, CmpOp};
+}

@@ -1,0 +1,209 @@
+//! Execution tracing hooks.
+//!
+//! The interpreter reports fine-grained events through the [`Tracer`]
+//! trait. Two consumers exist in this repository: the DFSan-like taint
+//! tracker (`polar-taint`), which mirrors data flow through registers and
+//! heap bytes, and the fuzzer's edge-coverage map (`polar-fuzz`). The
+//! interpreter is generic over the tracer, so a [`NopTracer`] compiles to
+//! nothing in the timed benchmark runs.
+
+use polar_classinfo::ClassId;
+use polar_simheap::Addr;
+
+use crate::types::{BlockId, FuncId, Inst, Reg};
+
+/// One traced event. Memory events carry **resolved addresses** so
+/// consumers never need to re-run address computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent<'a> {
+    /// A scalar instruction (`Const`/`Mov`/`Bin`/`Cmp`) retired.
+    Scalar {
+        /// The instruction.
+        inst: &'a Inst,
+    },
+    /// A load retired.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Resolved address.
+        addr: Addr,
+        /// Width in bytes.
+        width: u8,
+    },
+    /// A store retired.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Resolved address.
+        addr: Addr,
+        /// Width in bytes.
+        width: u8,
+    },
+    /// A raw byte copy retired.
+    Memcpy {
+        /// Destination address.
+        dst: Addr,
+        /// Source address.
+        src: Addr,
+        /// Copied length in bytes.
+        len: u64,
+    },
+    /// `input_len` retired.
+    InputLen {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// One input byte was read into a register (byte-granular taint
+    /// source).
+    InputByte {
+        /// Destination register.
+        dst: Reg,
+        /// Input index.
+        index: u64,
+    },
+    /// A bulk input read into heap memory (the `fread` taint source).
+    InputRead {
+        /// Destination buffer address.
+        buf: Addr,
+        /// Offset into the program input.
+        off: u64,
+        /// Bytes actually copied.
+        copied: u64,
+    },
+    /// An object was allocated (native or instrumented).
+    ObjAlloc {
+        /// Register receiving the base address.
+        dst: Reg,
+        /// Object base address.
+        base: Addr,
+        /// Allocated class.
+        class: ClassId,
+        /// Allocated size in bytes (plan size under POLaR).
+        size: u32,
+    },
+    /// An object was freed.
+    ObjFree {
+        /// Object base address.
+        base: Addr,
+    },
+    /// A member address was computed (native `gep` or `olr_getptr`).
+    FieldAddr {
+        /// Register receiving the member address.
+        dst: Reg,
+        /// Register holding the object base pointer (for pointer-taint
+        /// propagation).
+        obj: Reg,
+        /// Object base address.
+        base: Addr,
+        /// Resolved member address.
+        addr: Addr,
+        /// Class the site was compiled against.
+        class: ClassId,
+        /// Member index.
+        field: u16,
+    },
+    /// An object-level copy retired.
+    ObjCopy {
+        /// Destination base address.
+        dst: Addr,
+        /// Source base address.
+        src: Addr,
+        /// Copied class.
+        class: ClassId,
+    },
+    /// A raw buffer was allocated.
+    BufAlloc {
+        /// Register receiving the address.
+        dst: Reg,
+        /// Buffer base address.
+        base: Addr,
+        /// Buffer size in bytes.
+        size: u64,
+    },
+    /// A raw buffer was freed.
+    BufFree {
+        /// Buffer base address.
+        base: Addr,
+    },
+    /// A call is being entered (fired before the callee runs; argument
+    /// registers refer to the **caller** frame).
+    CallEnter {
+        /// Callee function.
+        callee: FuncId,
+        /// Argument registers in the caller frame.
+        args: &'a [Reg],
+        /// Callee frame register count.
+        callee_regs: u16,
+    },
+    /// A call returned (fired while the callee frame is still current;
+    /// `ret_src` is in the callee frame, `ret_dst` in the caller frame).
+    CallExit {
+        /// Return-value register in the callee frame.
+        ret_src: Option<Reg>,
+        /// Destination register in the caller frame.
+        ret_dst: Option<Reg>,
+    },
+    /// A conditional branch was evaluated.
+    Branch {
+        /// The condition register.
+        cond: Reg,
+        /// Whether the `then` target was taken.
+        taken: bool,
+    },
+    /// Control transferred between basic blocks (coverage signal).
+    Edge {
+        /// The function.
+        func: FuncId,
+        /// Source block.
+        from: BlockId,
+        /// Target block.
+        to: BlockId,
+    },
+}
+
+/// Receives [`TraceEvent`]s from the interpreter.
+pub trait Tracer {
+    /// Observe one event.
+    fn on_event(&mut self, event: &TraceEvent<'_>);
+}
+
+/// A tracer that ignores everything (zero overhead in benchmark runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopTracer;
+
+impl Tracer for NopTracer {
+    #[inline(always)]
+    fn on_event(&mut self, _event: &TraceEvent<'_>) {}
+}
+
+/// A tracer that records every event's debug rendering — handy in tests.
+#[derive(Debug, Default)]
+pub struct RecordingTracer {
+    /// The rendered events in order.
+    pub events: Vec<String>,
+}
+
+impl Tracer for RecordingTracer {
+    fn on_event(&mut self, event: &TraceEvent<'_>) {
+        self.events.push(format!("{event:?}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_tracer_is_callable() {
+        let mut t = NopTracer;
+        t.on_event(&TraceEvent::InputLen { dst: Reg(0) });
+    }
+
+    #[test]
+    fn recording_tracer_records() {
+        let mut t = RecordingTracer::default();
+        t.on_event(&TraceEvent::Edge { func: FuncId(0), from: BlockId(0), to: BlockId(1) });
+        assert_eq!(t.events.len(), 1);
+        assert!(t.events[0].contains("Edge"));
+    }
+}

@@ -1,0 +1,578 @@
+//! Core IR data types.
+
+use std::fmt;
+
+use polar_classinfo::{ClassId, ClassRegistry};
+
+/// Virtual register index within a function frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Function index within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Basic-block index within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Binary arithmetic / bitwise operators. Arithmetic wraps (two's
+/// complement on 64-bit values); shifts mask their amount to 6 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (division by zero faults the program).
+    Div,
+    /// Unsigned remainder (remainder by zero faults the program).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (amount masked to 63).
+    Shl,
+    /// Logical right shift (amount masked to 63).
+    Shr,
+}
+
+impl BinOp {
+    /// Apply the operator. Returns `None` for division/remainder by zero.
+    pub fn apply(self, a: u64, b: u64) -> Option<u64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => return a.checked_div(b),
+            BinOp::Rem => return a.checked_rem(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators producing `0`/`1`. `S*` variants compare as
+/// signed 64-bit integers, the bare variants as unsigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+    /// Signed less-than.
+    Slt,
+    /// Signed greater-than.
+    Sgt,
+}
+
+impl CmpOp {
+    /// Apply the comparison, producing 1 for true and 0 for false.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        let r = match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Slt => (a as i64) < (b as i64),
+            CmpOp::Sgt => (a as i64) > (b as i64),
+        };
+        u64::from(r)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "ult",
+            CmpOp::Le => "ule",
+            CmpOp::Gt => "ugt",
+            CmpOp::Ge => "uge",
+            CmpOp::Slt => "slt",
+            CmpOp::Sgt => "sgt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One IR instruction.
+///
+/// The object instructions come in two flavours mirroring the paper's
+/// before/after-instrumentation split (Figure 4): the *native* forms
+/// compute deterministic compiler layouts inline, and the `Olr*` forms
+/// call into the POLaR runtime. `polar-instrument` rewrites the former
+/// into the latter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = value`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: u64,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = a <op> b`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = a <cmp> b` (0 or 1).
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Native object allocation (`new T` in an unhardened binary):
+    /// allocates the class's natural size, no metadata.
+    AllocObj {
+        /// Receives the object base address.
+        dst: Reg,
+        /// Allocated class.
+        class: ClassId,
+    },
+    /// Native object deallocation (`delete`).
+    FreeObj {
+        /// Object base address.
+        ptr: Reg,
+    },
+    /// Native member-address computation (`getelementptr`): `dst = obj +
+    /// natural_offset(class, field)` — the fixed constant attackers rely
+    /// on.
+    Gep {
+        /// Receives the member address.
+        dst: Reg,
+        /// Object base address.
+        obj: Reg,
+        /// Class the access site was compiled against.
+        class: ClassId,
+        /// Member index in declaration order.
+        field: u16,
+    },
+    /// Native object copy (`memcpy(dst, src, sizeof(T))`).
+    CopyObj {
+        /// Destination base address register.
+        dst: Reg,
+        /// Source base address register.
+        src: Reg,
+        /// Copied class.
+        class: ClassId,
+    },
+    /// Instrumented allocation: `olr_malloc(class)` (Figure 4).
+    OlrMalloc {
+        /// Receives the object base address.
+        dst: Reg,
+        /// Allocated class.
+        class: ClassId,
+    },
+    /// Instrumented deallocation: `olr_free(ptr)`.
+    OlrFree {
+        /// Object base address.
+        ptr: Reg,
+    },
+    /// Instrumented member access: `olr_getptr(obj, field)` resolved
+    /// through per-object metadata.
+    OlrGetptr {
+        /// Receives the member address.
+        dst: Reg,
+        /// Object base address.
+        obj: Reg,
+        /// Class the access site was compiled against (checked against
+        /// the metadata's class hash).
+        class: ClassId,
+        /// Member index in declaration order.
+        field: u16,
+    },
+    /// Instrumented object copy: `olr_memcpy(dst, src)` — the duplicate
+    /// gets a fresh randomized layout.
+    OlrMemcpy {
+        /// Destination base address register.
+        dst: Reg,
+        /// Source base address register.
+        src: Reg,
+        /// Class the copy site was compiled against (used when the source
+        /// carries no metadata, e.g. deserialized bytes).
+        class: ClassId,
+    },
+    /// Raw buffer allocation (`malloc(size)` for non-object data).
+    AllocBuf {
+        /// Receives the buffer address.
+        dst: Reg,
+        /// Size in bytes (clamped to at least 1).
+        size: Reg,
+    },
+    /// Raw buffer free.
+    FreeBuf {
+        /// Buffer address.
+        ptr: Reg,
+    },
+    /// `dst = *(addr)` of `width` ∈ {1,2,4,8} bytes (little-endian).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address register.
+        addr: Reg,
+        /// Access width in bytes.
+        width: u8,
+    },
+    /// `*(addr) = src` of `width` bytes.
+    Store {
+        /// Address register.
+        addr: Reg,
+        /// Value register.
+        src: Reg,
+        /// Access width in bytes.
+        width: u8,
+    },
+    /// Raw byte copy `memmove(dst, src, len)`.
+    Memcpy {
+        /// Destination address register.
+        dst: Reg,
+        /// Source address register.
+        src: Reg,
+        /// Length register.
+        len: Reg,
+    },
+    /// `dst =` length of the program input.
+    InputLen {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = input[index]` (0 beyond the end) — a byte-granular taint
+    /// source.
+    InputByte {
+        /// Destination register.
+        dst: Reg,
+        /// Index register.
+        index: Reg,
+    },
+    /// Copy `input[off .. off+len]` into heap memory at `buf` (the
+    /// `fread`-style bulk taint source; short reads copy what exists).
+    InputRead {
+        /// Destination buffer address register.
+        buf: Reg,
+        /// Input offset register.
+        off: Reg,
+        /// Length register.
+        len: Reg,
+    },
+    /// Call `func` with `args` (copied into the callee's first registers);
+    /// `dst` receives the return value if present.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument registers in the caller frame.
+        args: Vec<Reg>,
+        /// Return-value register in the caller frame.
+        dst: Option<Reg>,
+    },
+    /// Append `src` to the observable program output.
+    Out {
+        /// Value register.
+        src: Reg,
+    },
+    /// Terminate execution with an abort code (an assertion failure).
+    Abort {
+        /// Abort code reported in the execution outcome.
+        code: u32,
+    },
+    /// No operation.
+    Nop,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Mov { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Inst::Cmp { op, dst, a, b } => write!(f, "{dst} = cmp.{op} {a}, {b}"),
+            Inst::AllocObj { dst, class } => write!(f, "{dst} = alloc_obj {class}"),
+            Inst::FreeObj { ptr } => write!(f, "free_obj {ptr}"),
+            Inst::Gep { dst, obj, class, field } => {
+                write!(f, "{dst} = gep {class}, {obj}, field {field}")
+            }
+            Inst::CopyObj { dst, src, class } => write!(f, "copy_obj {class}, {dst}, {src}"),
+            Inst::OlrMalloc { dst, class } => write!(f, "{dst} = olr_malloc {class}"),
+            Inst::OlrFree { ptr } => write!(f, "olr_free {ptr}"),
+            Inst::OlrGetptr { dst, obj, class, field } => {
+                write!(f, "{dst} = olr_getptr {class}, {obj}, field {field}")
+            }
+            Inst::OlrMemcpy { dst, src, class } => write!(f, "olr_memcpy {class}, {dst}, {src}"),
+            Inst::AllocBuf { dst, size } => write!(f, "{dst} = alloc_buf {size}"),
+            Inst::FreeBuf { ptr } => write!(f, "free_buf {ptr}"),
+            Inst::Load { dst, addr, width } => write!(f, "{dst} = load.{width} [{addr}]"),
+            Inst::Store { addr, src, width } => write!(f, "store.{width} [{addr}], {src}"),
+            Inst::Memcpy { dst, src, len } => write!(f, "memcpy {dst}, {src}, {len}"),
+            Inst::InputLen { dst } => write!(f, "{dst} = input_len"),
+            Inst::InputByte { dst, index } => write!(f, "{dst} = input_byte {index}"),
+            Inst::InputRead { buf, off, len } => write!(f, "input_read {buf}, {off}, {len}"),
+            Inst::Call { func, args, dst } => {
+                match dst {
+                    Some(d) => write!(f, "{d} = call {func}(")?,
+                    None => write!(f, "call {func}(")?,
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Out { src } => write!(f, "out {src}"),
+            Inst::Abort { code } => write!(f, "abort {code}"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch on `cond != 0`.
+    Br {
+        /// Condition register.
+        cond: Reg,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Return from the function (optionally with a value).
+    Ret(Option<Reg>),
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jmp(b) => write!(f, "jmp {b}"),
+            Terminator::Br { cond, then_bb, else_bb } => {
+                write!(f, "br {cond}, {then_bb}, {else_bb}")
+            }
+            Terminator::Ret(Some(r)) => write!(f, "ret {r}"),
+            Terminator::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block body.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A function: a register frame, parameters arriving in `r0..rN`, and a
+/// list of basic blocks; block 0 is the entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (for diagnostics).
+    pub name: String,
+    /// Number of parameters (passed in the first registers).
+    pub params: u16,
+    /// Total register count of the frame.
+    pub regs: u16,
+    /// Basic blocks; index 0 is the entry block.
+    pub blocks: Vec<Block>,
+}
+
+/// A whole program: classes + functions + entry point.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Module name (for diagnostics).
+    pub name: String,
+    /// The class table (the CIE output embedded in the binary).
+    pub registry: ClassRegistry,
+    /// All functions.
+    pub funcs: Vec<Function>,
+    /// The entry function (must take no parameters).
+    pub entry: FuncId,
+}
+
+impl Module {
+    /// The function for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Find a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Total instruction count across all functions (a code-size metric).
+    pub fn inst_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.insts.len() + 1)
+            .sum()
+    }
+
+    /// Whether the module contains any instrumented (`Olr*`) instruction.
+    pub fn is_instrumented(&self) -> bool {
+        self.funcs.iter().flat_map(|f| &f.blocks).flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::OlrMalloc { .. }
+                    | Inst::OlrFree { .. }
+                    | Inst::OlrGetptr { .. }
+                    | Inst::OlrMemcpy { .. }
+            )
+        })
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} (entry {})", self.name, self.entry)?;
+        for (fi, func) in self.funcs.iter().enumerate() {
+            writeln!(
+                f,
+                "fn#{fi} {}({} params, {} regs):",
+                func.name, func.params, func.regs
+            )?;
+            for (bi, block) in func.blocks.iter().enumerate() {
+                writeln!(f, "  bb{bi}:")?;
+                for inst in &block.insts {
+                    writeln!(f, "    {inst}")?;
+                }
+                writeln!(f, "    {}", block.term)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(u64::MAX, 1), Some(0));
+        assert_eq!(BinOp::Sub.apply(0, 1), Some(u64::MAX));
+        assert_eq!(BinOp::Mul.apply(1 << 63, 2), Some(0));
+        assert_eq!(BinOp::Div.apply(7, 2), Some(3));
+        assert_eq!(BinOp::Div.apply(7, 0), None);
+        assert_eq!(BinOp::Rem.apply(7, 0), None);
+        assert_eq!(BinOp::Shl.apply(1, 64), Some(1), "shift amount masks to 0");
+        assert_eq!(BinOp::Shr.apply(0x80, 4), Some(8));
+        assert_eq!(BinOp::Xor.apply(0b1100, 0b1010), Some(0b0110));
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert_eq!(CmpOp::Eq.apply(3, 3), 1);
+        assert_eq!(CmpOp::Ne.apply(3, 3), 0);
+        assert_eq!(CmpOp::Lt.apply(1, 2), 1);
+        assert_eq!(CmpOp::Ge.apply(2, 2), 1);
+        // -1 (as u64) is huge unsigned but less than 0 signed.
+        let minus_one = u64::MAX;
+        assert_eq!(CmpOp::Lt.apply(minus_one, 0), 0);
+        assert_eq!(CmpOp::Slt.apply(minus_one, 0), 1);
+        assert_eq!(CmpOp::Sgt.apply(0, minus_one), 1);
+    }
+
+    #[test]
+    fn display_of_instructions() {
+        let s = Inst::Gep {
+            dst: Reg(3),
+            obj: Reg(1),
+            class: polar_classinfo::ClassId(0),
+            field: 2,
+        }
+        .to_string();
+        assert_eq!(s, "r3 = gep class#0, r1, field 2");
+        assert_eq!(Inst::Nop.to_string(), "nop");
+        assert_eq!(
+            Terminator::Br { cond: Reg(0), then_bb: BlockId(1), else_bb: BlockId(2) }.to_string(),
+            "br r0, bb1, bb2"
+        );
+    }
+}

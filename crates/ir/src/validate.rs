@@ -1,0 +1,339 @@
+//! Static validation of IR modules.
+
+use std::fmt;
+
+use polar_classinfo::ClassId;
+
+use crate::types::{FuncId, Inst, Module, Reg, Terminator};
+
+/// A validation failure with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    message: String,
+}
+
+impl ValidateError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ValidateError { message: message.into() }
+    }
+
+    /// The failure description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid module: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+struct Ctx<'m> {
+    module: &'m Module,
+    func: usize,
+    block: usize,
+}
+
+impl Ctx<'_> {
+    fn err(&self, what: impl fmt::Display) -> ValidateError {
+        ValidateError::new(format!(
+            "fn `{}` bb{}: {what}",
+            self.module.funcs[self.func].name, self.block
+        ))
+    }
+
+    fn reg(&self, r: Reg) -> Result<(), ValidateError> {
+        if r.0 >= self.module.funcs[self.func].regs {
+            return Err(self.err(format_args!("register {r} out of range")));
+        }
+        Ok(())
+    }
+
+    fn class(&self, c: ClassId) -> Result<(), ValidateError> {
+        if self.module.registry.get_checked(c).is_none() {
+            return Err(self.err(format_args!("unknown class {c}")));
+        }
+        Ok(())
+    }
+
+    fn field(&self, c: ClassId, field: u16) -> Result<(), ValidateError> {
+        let info = self
+            .module
+            .registry
+            .get_checked(c)
+            .ok_or_else(|| self.err(format_args!("unknown class {c}")))?;
+        if usize::from(field) >= info.field_count() {
+            return Err(self.err(format_args!(
+                "field {field} out of range for {} ({} fields)",
+                info.name(),
+                info.field_count()
+            )));
+        }
+        Ok(())
+    }
+
+    fn func_ref(&self, f: FuncId, args: usize) -> Result<(), ValidateError> {
+        let callee = self
+            .module
+            .funcs
+            .get(f.0 as usize)
+            .ok_or_else(|| self.err(format_args!("unknown function {f}")))?;
+        if usize::from(callee.params) != args {
+            return Err(self.err(format_args!(
+                "call to `{}` passes {} args, expects {}",
+                callee.name, args, callee.params
+            )));
+        }
+        Ok(())
+    }
+
+    fn width(&self, w: u8) -> Result<(), ValidateError> {
+        if !matches!(w, 1 | 2 | 4 | 8) {
+            return Err(self.err(format_args!("invalid access width {w}")));
+        }
+        Ok(())
+    }
+}
+
+/// Validate a module: register/block/class/field/callee references must be
+/// in range, access widths legal, and the entry function parameterless.
+///
+/// # Errors
+///
+/// The first [`ValidateError`] found.
+pub fn validate(module: &Module) -> Result<(), ValidateError> {
+    let entry = module
+        .funcs
+        .get(module.entry.0 as usize)
+        .ok_or_else(|| ValidateError::new("entry function out of range"))?;
+    if entry.params != 0 {
+        return Err(ValidateError::new(format!(
+            "entry `{}` must take no parameters",
+            entry.name
+        )));
+    }
+    for (fi, func) in module.funcs.iter().enumerate() {
+        if func.params > func.regs {
+            return Err(ValidateError::new(format!(
+                "fn `{}`: params {} exceed regs {}",
+                func.name, func.params, func.regs
+            )));
+        }
+        if func.blocks.is_empty() {
+            return Err(ValidateError::new(format!("fn `{}` has no blocks", func.name)));
+        }
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let ctx = Ctx { module, func: fi, block: bi };
+            for inst in &block.insts {
+                validate_inst(&ctx, inst)?;
+            }
+            match &block.term {
+                Terminator::Jmp(t) => {
+                    if t.0 as usize >= func.blocks.len() {
+                        return Err(ctx.err(format_args!("jump target {t} out of range")));
+                    }
+                }
+                Terminator::Br { cond, then_bb, else_bb } => {
+                    ctx.reg(*cond)?;
+                    for t in [then_bb, else_bb] {
+                        if t.0 as usize >= func.blocks.len() {
+                            return Err(ctx.err(format_args!("branch target {t} out of range")));
+                        }
+                    }
+                }
+                Terminator::Ret(Some(r)) => ctx.reg(*r)?,
+                Terminator::Ret(None) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_inst(ctx: &Ctx<'_>, inst: &Inst) -> Result<(), ValidateError> {
+    match inst {
+        Inst::Const { dst, .. } => ctx.reg(*dst),
+        Inst::Mov { dst, src } => ctx.reg(*dst).and_then(|()| ctx.reg(*src)),
+        Inst::Bin { dst, a, b, .. } | Inst::Cmp { dst, a, b, .. } => {
+            ctx.reg(*dst)?;
+            ctx.reg(*a)?;
+            ctx.reg(*b)
+        }
+        Inst::AllocObj { dst, class } | Inst::OlrMalloc { dst, class } => {
+            ctx.reg(*dst)?;
+            ctx.class(*class)
+        }
+        Inst::FreeObj { ptr } | Inst::OlrFree { ptr } | Inst::FreeBuf { ptr } => ctx.reg(*ptr),
+        Inst::Gep { dst, obj, class, field } | Inst::OlrGetptr { dst, obj, class, field } => {
+            ctx.reg(*dst)?;
+            ctx.reg(*obj)?;
+            ctx.field(*class, *field)
+        }
+        Inst::CopyObj { dst, src, class } => {
+            ctx.reg(*dst)?;
+            ctx.reg(*src)?;
+            ctx.class(*class)
+        }
+        Inst::OlrMemcpy { dst, src, class } => {
+            ctx.reg(*dst)?;
+            ctx.reg(*src)?;
+            ctx.class(*class)
+        }
+        Inst::AllocBuf { dst, size } => ctx.reg(*dst).and_then(|()| ctx.reg(*size)),
+        Inst::Load { dst, addr, width } => {
+            ctx.reg(*dst)?;
+            ctx.reg(*addr)?;
+            ctx.width(*width)
+        }
+        Inst::Store { addr, src, width } => {
+            ctx.reg(*addr)?;
+            ctx.reg(*src)?;
+            ctx.width(*width)
+        }
+        Inst::Memcpy { dst, src, len } => {
+            ctx.reg(*dst)?;
+            ctx.reg(*src)?;
+            ctx.reg(*len)
+        }
+        Inst::InputLen { dst } => ctx.reg(*dst),
+        Inst::InputByte { dst, index } => ctx.reg(*dst).and_then(|()| ctx.reg(*index)),
+        Inst::InputRead { buf, off, len } => {
+            ctx.reg(*buf)?;
+            ctx.reg(*off)?;
+            ctx.reg(*len)
+        }
+        Inst::Call { func, args, dst } => {
+            for a in args {
+                ctx.reg(*a)?;
+            }
+            if let Some(d) = dst {
+                ctx.reg(*d)?;
+            }
+            ctx.func_ref(*func, args.len())
+        }
+        Inst::Out { src } => ctx.reg(*src),
+        Inst::Abort { .. } | Inst::Nop => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Block, BlockId, Function};
+    use polar_classinfo::ClassRegistry;
+
+    fn module_with(func: Function) -> Module {
+        Module {
+            name: "t".into(),
+            registry: ClassRegistry::new(),
+            funcs: vec![func],
+            entry: FuncId(0),
+        }
+    }
+
+    fn simple_func(insts: Vec<Inst>, regs: u16) -> Function {
+        Function {
+            name: "main".into(),
+            params: 0,
+            regs,
+            blocks: vec![Block { insts, term: Terminator::Ret(None) }],
+        }
+    }
+
+    #[test]
+    fn accepts_a_valid_module() {
+        let m = module_with(simple_func(vec![Inst::Const { dst: Reg(0), value: 1 }], 1));
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_register_out_of_range() {
+        let m = module_with(simple_func(vec![Inst::Const { dst: Reg(5), value: 1 }], 1));
+        let err = validate(&m).unwrap_err();
+        assert!(err.message().contains("register"));
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let m = module_with(simple_func(
+            vec![Inst::AllocObj { dst: Reg(0), class: ClassId(7) }],
+            1,
+        ));
+        assert!(validate(&m).unwrap_err().message().contains("unknown class"));
+    }
+
+    #[test]
+    fn rejects_bad_field_index() {
+        let mut registry = ClassRegistry::new();
+        let class = registry
+            .register(
+                polar_classinfo::ClassDecl::builder("T")
+                    .field("x", polar_classinfo::FieldKind::I64)
+                    .build(),
+            )
+            .unwrap();
+        let m = Module {
+            name: "t".into(),
+            registry,
+            funcs: vec![simple_func(
+                vec![Inst::Gep { dst: Reg(0), obj: Reg(0), class, field: 3 }],
+                1,
+            )],
+            entry: FuncId(0),
+        };
+        assert!(validate(&m).unwrap_err().message().contains("field 3"));
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let m = module_with(simple_func(
+            vec![Inst::Load { dst: Reg(0), addr: Reg(0), width: 3 }],
+            1,
+        ));
+        assert!(validate(&m).unwrap_err().message().contains("width"));
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let func = Function {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![Block {
+                insts: vec![],
+                term: Terminator::Br { cond: Reg(0), then_bb: BlockId(0), else_bb: BlockId(9) },
+            }],
+        };
+        assert!(validate(&module_with(func)).unwrap_err().message().contains("target"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let callee = Function {
+            name: "callee".into(),
+            params: 2,
+            regs: 2,
+            blocks: vec![Block { insts: vec![], term: Terminator::Ret(None) }],
+        };
+        let main = simple_func(
+            vec![Inst::Call { func: FuncId(1), args: vec![Reg(0)], dst: None }],
+            1,
+        );
+        let m = Module {
+            name: "t".into(),
+            registry: ClassRegistry::new(),
+            funcs: vec![main, callee],
+            entry: FuncId(0),
+        };
+        assert!(validate(&m).unwrap_err().message().contains("expects 2"));
+    }
+
+    #[test]
+    fn rejects_entry_with_params() {
+        let mut func = simple_func(vec![], 1);
+        func.params = 1;
+        assert!(validate(&module_with(func)).unwrap_err().message().contains("no parameters"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Entropy accounting for randomized layouts.
+//!
+//! The security argument of OLR-style defenses is probabilistic: an
+//! attacker who must guess where a member lives succeeds with probability
+//! `2^-H` per attempt, where `H` is the layout entropy in bits. This
+//! module computes the analytic entropy of a class under a policy and
+//! offers an empirical estimator used by the ablation experiments.
+
+use std::collections::HashSet;
+
+use polar_classinfo::ClassInfo;
+use rand::Rng;
+
+use crate::engine::LayoutEngine;
+use crate::policy::{PermuteMode, RandomizationPolicy};
+
+/// Natural log of `n!` computed by summation (exact enough for n ≤ a few
+/// thousand fields).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|k| (k as f64).ln()).sum()
+}
+
+/// log2 of `n!`.
+fn log2_factorial(n: u64) -> f64 {
+    ln_factorial(n) / std::f64::consts::LN_2
+}
+
+/// log2 of the binomial coefficient C(n, k).
+fn log2_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    log2_factorial(n) - log2_factorial(k) - log2_factorial(n - k)
+}
+
+/// Analytic layout entropy (bits) of `info` under `policy`.
+///
+/// Counts the distinct *orderings* the engine can emit:
+///
+/// * permutation of the real fields — `log2(n!)` for full mode, the sum of
+///   per-group `log2(k!)` terms for cache-line-aware mode, `0` when off;
+/// * dummy placement — for each admissible dummy count `d`, dummies can
+///   occupy any of `C(slots + d, d)` interleavings; counts are averaged
+///   over the uniform choice of `d` in `[min, max]`.
+///
+/// This is an upper bound on attacker uncertainty about a *specific*
+/// member's location (distinct orderings can place one member at the same
+/// offset), and it is exactly the quantity DSLR-style analyses report.
+///
+/// ```
+/// use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
+/// use polar_layout::{entropy, RandomizationPolicy};
+///
+/// let mut b = ClassDecl::builder("T");
+/// for i in 0..8 {
+///     b = b.field(format!("f{i}"), FieldKind::I64);
+/// }
+/// let info = ClassInfo::from_decl(b.build());
+/// let bits = entropy::layout_entropy_bits(&info, &RandomizationPolicy::permute_only());
+/// assert!((bits - 15.29).abs() < 0.01); // log2(8!) ≈ 15.299
+/// ```
+pub fn layout_entropy_bits(info: &ClassInfo, policy: &RandomizationPolicy) -> f64 {
+    let n = info.field_count() as u64;
+    let perm_bits = match policy.permute {
+        PermuteMode::Off => 0.0,
+        PermuteMode::Full => log2_factorial(n),
+        PermuteMode::CacheLineAware { line_size } => {
+            // Reconstruct the greedy grouping the engine uses.
+            let mut bits = 0.0;
+            let mut group_len: u64 = 0;
+            let mut used: u32 = 0;
+            for f in info.fields() {
+                let size = f.kind().size();
+                if used + size > line_size && group_len > 0 {
+                    bits += log2_factorial(group_len);
+                    group_len = 0;
+                    used = 0;
+                }
+                group_len += 1;
+                used += size;
+            }
+            bits + log2_factorial(group_len)
+        }
+    };
+    let dummy_bits = if policy.dummies.max == 0 {
+        0.0
+    } else {
+        // Guards are deterministic given the permutation; only the free
+        // dummies add placement entropy.
+        let counts = policy.dummies.min..=policy.dummies.max;
+        let mut total = 0.0f64;
+        let mut n_counts = 0u32;
+        for d in counts {
+            total += log2_choose(n + u64::from(d), u64::from(d)).max(0.0);
+            n_counts += 1;
+        }
+        let avg = if n_counts > 0 { total / f64::from(n_counts) } else { 0.0 };
+        // Count choice itself adds log2(max - min + 1) bits.
+        avg + f64::from(policy.dummies.max - policy.dummies.min + 1).log2()
+    };
+    perm_bits + dummy_bits
+}
+
+/// Empirical estimate: how many structurally distinct plans appear over
+/// `trials` generations. Saturates at the true layout count for small
+/// classes; used by tests and the ablation bench.
+pub fn empirical_distinct_plans<R: Rng + ?Sized>(
+    engine: &LayoutEngine,
+    info: &ClassInfo,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
+    let mut seen = HashSet::new();
+    for _ in 0..trials {
+        seen.insert(engine.generate(info, rng).plan_hash());
+    }
+    seen.len()
+}
+
+/// Probability that a single guess of one member's offset is correct,
+/// estimated empirically: the highest observed frequency of any offset for
+/// `field` over `trials` plans. This is the success probability of the
+/// paper's "attacker writes at the expected offset" model.
+pub fn guess_success_probability<R: Rng + ?Sized>(
+    engine: &LayoutEngine,
+    info: &ClassInfo,
+    field: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for _ in 0..trials {
+        let plan = engine.generate(info, rng);
+        *counts.entry(plan.offset(field)).or_insert(0) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0) as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_classinfo::{ClassDecl, FieldKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_class(n: usize) -> ClassInfo {
+        let mut b = ClassDecl::builder(format!("U{n}"));
+        for i in 0..n {
+            b = b.field(format!("f{i}"), FieldKind::I64);
+        }
+        ClassInfo::from_decl(b.build())
+    }
+
+    #[test]
+    fn factorial_log_identities() {
+        assert_eq!(log2_factorial(0), 0.0);
+        assert_eq!(log2_factorial(1), 0.0);
+        assert!((log2_factorial(4) - (24f64).log2()).abs() < 1e-9);
+        assert!((log2_choose(5, 2) - (10f64).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permute_only_entropy_is_log2_factorial() {
+        let info = uniform_class(6);
+        let bits = layout_entropy_bits(&info, &RandomizationPolicy::permute_only());
+        assert!((bits - log2_factorial(6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_policy_has_zero_entropy() {
+        let info = uniform_class(6);
+        assert_eq!(layout_entropy_bits(&info, &RandomizationPolicy::off()), 0.0);
+    }
+
+    #[test]
+    fn dummies_increase_entropy() {
+        let info = uniform_class(6);
+        let without = layout_entropy_bits(&info, &RandomizationPolicy::permute_only());
+        let with = layout_entropy_bits(&info, &RandomizationPolicy::default());
+        assert!(with > without);
+    }
+
+    #[test]
+    fn cache_line_mode_has_less_entropy_than_full() {
+        let info = uniform_class(16); // 128 bytes of i64 fields = 2 lines
+        let full = layout_entropy_bits(&info, &RandomizationPolicy::permute_only());
+        let partial = layout_entropy_bits(&info, &RandomizationPolicy::randstruct_like());
+        assert!(partial < full);
+        assert!(partial > 0.0);
+    }
+
+    #[test]
+    fn empirical_distinct_plans_saturates_for_tiny_class() {
+        let info = uniform_class(2);
+        let engine = LayoutEngine::new(RandomizationPolicy::permute_only());
+        let mut rng = StdRng::seed_from_u64(1);
+        let distinct = empirical_distinct_plans(&engine, &info, 300, &mut rng);
+        assert_eq!(distinct, 2);
+    }
+
+    #[test]
+    fn guess_probability_drops_with_field_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let engine = LayoutEngine::new(RandomizationPolicy::permute_only());
+        let p_small = guess_success_probability(&engine, &uniform_class(2), 0, 400, &mut rng);
+        let p_large = guess_success_probability(&engine, &uniform_class(8), 0, 400, &mut rng);
+        assert!(p_small > 0.4 && p_small < 0.6, "p_small = {p_small}");
+        assert!(p_large < 0.25, "p_large = {p_large}");
+    }
+}

@@ -1,0 +1,983 @@
+//! The object runtime: metadata table, offset cache, and the four
+//! instrumented entry points.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use polar_classinfo::{ClassHash, ClassInfo};
+use polar_layout::{LayoutEngine, LayoutPlan, PlanInterner, RandomizationPolicy, StaticOlrTable};
+use polar_simheap::{Addr, HeapConfig, SimHeap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::{RuntimeError, TrapReport};
+use crate::stats::RuntimeStats;
+
+/// Which layout discipline the runtime applies at allocation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RandomizeMode {
+    /// No randomization: every object gets its natural compiler layout.
+    /// Models the unhardened baseline binary.
+    Native,
+    /// Compile-time OLR (`randstruct`/DSLR/RFOR): one randomized layout
+    /// per class, fixed by the binary seed, identical across instances
+    /// and executions.
+    StaticOlr {
+        /// Layout policy for the per-class plans.
+        policy: RandomizationPolicy,
+        /// The "binary" identity; reverse engineering the binary reveals
+        /// it, which is exactly the paper's hidden-binary problem.
+        binary_seed: u64,
+    },
+    /// POLaR: an independent randomized layout for every allocation.
+    PerAllocation {
+        /// Layout policy for the per-allocation plans.
+        policy: RandomizationPolicy,
+    },
+}
+
+impl RandomizeMode {
+    /// POLaR with the paper's default policy.
+    pub fn per_allocation() -> Self {
+        RandomizeMode::PerAllocation { policy: RandomizationPolicy::default() }
+    }
+
+    /// Compile-time OLR with permute-only policy (the DSLR analogue).
+    pub fn static_olr(binary_seed: u64) -> Self {
+        RandomizeMode::StaticOlr { policy: RandomizationPolicy::permute_only(), binary_seed }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RandomizeMode::Native => "native",
+            RandomizeMode::StaticOlr { .. } => "static-olr",
+            RandomizeMode::PerAllocation { .. } => "polar",
+        }
+    }
+}
+
+/// Runtime configuration knobs (detections and optimizations; each maps
+/// to a feature discussed in Sections IV–VI of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Simulated-heap configuration.
+    pub heap: HeapConfig,
+    /// Seed for the runtime's plan RNG (the process's secret entropy).
+    pub seed: u64,
+    /// Detect accesses whose expected class hash mismatches the metadata.
+    pub detect_class_mismatch: bool,
+    /// Detect member accesses to freed objects.
+    pub detect_use_after_free: bool,
+    /// Verify booby-trap canaries when an object is freed.
+    pub check_traps_on_free: bool,
+    /// Enable the hashtable offset-lookup cache (Section V-B).
+    pub offset_cache: bool,
+    /// Re-randomize object copies made through `olr_memcpy` (Section
+    /// IV-A2; "could be disabled … but the current implementation
+    /// considers this feature enabled by default").
+    pub memcpy_rerandomize: bool,
+    /// Enforce ASan-style redzones: every raw load/store/copy must stay
+    /// inside its heap block. Models the redzone-based defenses of the
+    /// paper's Section VII-C — which stop *inter*-object overflows but,
+    /// unlike POLaR, cannot see *in-object* ones.
+    pub redzone_checks: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            heap: HeapConfig::default(),
+            seed: 0x504f_4c61_52_u64, // "POLaR"
+            detect_class_mismatch: true,
+            detect_use_after_free: true,
+            check_traps_on_free: true,
+            offset_cache: true,
+            memcpy_rerandomize: true,
+            redzone_checks: false,
+        }
+    }
+}
+
+/// Lifecycle state of a tracked object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectState {
+    /// Allocated and usable.
+    Live,
+    /// Freed; metadata retained to recognize dangling accesses.
+    Freed,
+}
+
+/// Per-object metadata: the paper's Figure 4 record (`base addr → class
+/// hash, layout ptr`).
+#[derive(Debug, Clone)]
+pub struct ObjectMeta {
+    /// The object's class.
+    pub class: Arc<ClassInfo>,
+    /// The (possibly shared, interned) layout plan.
+    pub plan: Arc<LayoutPlan>,
+    /// Lifecycle state.
+    pub state: ObjectState,
+    /// Bumped every time the base address is reassigned to a new object.
+    pub generation: u64,
+}
+
+/// The POLaR runtime: simulated heap + object metadata + offset cache.
+#[derive(Debug)]
+pub struct ObjectRuntime {
+    heap: SimHeap,
+    mode: RandomizeMode,
+    engine: LayoutEngine,
+    static_table: Option<StaticOlrTable>,
+    interner: PlanInterner,
+    meta: HashMap<u64, ObjectMeta>,
+    cache: HashMap<u64, (ClassHash, Arc<LayoutPlan>)>,
+    rng: StdRng,
+    stats: RuntimeStats,
+    config: RuntimeConfig,
+}
+
+impl ObjectRuntime {
+    /// Create a runtime in the given mode.
+    pub fn new(mode: RandomizeMode, config: RuntimeConfig) -> Self {
+        let (engine, static_table) = match mode {
+            RandomizeMode::Native => (LayoutEngine::new(RandomizationPolicy::off()), None),
+            RandomizeMode::StaticOlr { policy, binary_seed } => (
+                LayoutEngine::new(policy),
+                Some(StaticOlrTable::new(policy, binary_seed)),
+            ),
+            RandomizeMode::PerAllocation { policy } => (LayoutEngine::new(policy), None),
+        };
+        ObjectRuntime {
+            heap: SimHeap::new(config.heap),
+            mode,
+            engine,
+            static_table,
+            interner: PlanInterner::new(),
+            meta: HashMap::new(),
+            cache: HashMap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: RuntimeStats::default(),
+            config,
+        }
+    }
+
+    /// The runtime's mode.
+    pub fn mode(&self) -> &RandomizeMode {
+        &self.mode
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Borrow the simulated heap (for raw buffer traffic).
+    pub fn heap(&self) -> &SimHeap {
+        &self.heap
+    }
+
+    /// Mutably borrow the simulated heap.
+    pub fn heap_mut(&mut self) -> &mut SimHeap {
+        &mut self.heap
+    }
+
+    /// Snapshot of the statistics counters (dedup figures included).
+    pub fn stats(&self) -> RuntimeStats {
+        let mut s = self.stats;
+        s.unique_plans = self.interner.unique_plans() as u64;
+        s.dedup_saved = self.interner.dedup_hits();
+        s
+    }
+
+    /// Reset the event counters (interner contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = RuntimeStats::default();
+    }
+
+    /// Metadata for the object at `base`, if tracked.
+    pub fn object_meta(&self, base: Addr) -> Option<&ObjectMeta> {
+        self.meta.get(&base.0)
+    }
+
+    /// Number of metadata records currently held (live + retained-freed).
+    pub fn meta_records(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Estimated bytes of POLaR bookkeeping: per-object records, the
+    /// offset cache, and the interned (deduplicated) plans. This is the
+    /// memory cost Table III's dedup optimization attacks.
+    pub fn estimated_metadata_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Per-object record: key + class/plan pointers + state/generation.
+        let per_meta = size_of::<u64>() + size_of::<ObjectMeta>();
+        // Interned plan payload: offsets/sizes/aligns (3×u32/field) plus
+        // dummy slots.
+        let plan_bytes: usize = self
+            .interner_plans()
+            .map(|p| 3 * 4 * p.field_count() + 24 * p.dummies().len() + 32)
+            .sum();
+        self.meta.len() * per_meta + self.cache.len() * (8 + 16) + plan_bytes
+    }
+
+    fn interner_plans(&self) -> impl Iterator<Item = &Arc<LayoutPlan>> {
+        self.interner.iter()
+    }
+
+    /// The layout a *compile-time* site bakes in for `info`: the natural
+    /// layout for native and POLaR binaries (POLaR's non-instrumented
+    /// leftovers keep compiler offsets), or the per-binary randomized
+    /// plan under static OLR — `randstruct`-style binaries carry their
+    /// permuted offsets in the code itself, with no runtime metadata.
+    pub fn compile_time_plan(&mut self, info: &Arc<ClassInfo>) -> Arc<LayoutPlan> {
+        match &self.mode {
+            RandomizeMode::StaticOlr { .. } => self
+                .static_table
+                .as_mut()
+                .expect("static table present in StaticOlr mode")
+                .plan_for(info),
+            _ => self.interner.intern(LayoutPlan::natural_for(info)),
+        }
+    }
+
+    fn draw_plan(&mut self, info: &Arc<ClassInfo>) -> Arc<LayoutPlan> {
+        match &self.mode {
+            RandomizeMode::Native => self.interner.intern(LayoutPlan::natural_for(info)),
+            RandomizeMode::StaticOlr { .. } => self
+                .static_table
+                .as_mut()
+                .expect("static table present in StaticOlr mode")
+                .plan_for(info),
+            RandomizeMode::PerAllocation { .. } => {
+                let plan = self.engine.generate(info, &mut self.rng);
+                self.interner.intern(plan)
+            }
+        }
+    }
+
+    /// Instrumented allocation: draw a layout plan, allocate, seed booby
+    /// traps, and record metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap exhaustion as [`RuntimeError::Heap`].
+    pub fn olr_malloc(&mut self, info: &Arc<ClassInfo>) -> Result<Addr, RuntimeError> {
+        let plan = self.draw_plan(info);
+        let base = self.heap.malloc(plan.size().max(1) as usize)?;
+        self.seed_canaries(base, &plan)?;
+        let generation = self.meta.get(&base.0).map_or(0, |m| m.generation) + 1;
+        self.meta.insert(
+            base.0,
+            ObjectMeta { class: Arc::clone(info), plan, state: ObjectState::Live, generation },
+        );
+        self.cache.remove(&base.0);
+        self.stats.allocations += 1;
+        Ok(base)
+    }
+
+    fn seed_canaries(&mut self, base: Addr, plan: &LayoutPlan) -> Result<(), RuntimeError> {
+        for dummy in plan.dummies() {
+            if let Some(canary) = dummy.canary {
+                let width = canary_width(dummy.size);
+                self.heap.write_uint(base.offset(dummy.offset as u64), canary, width)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Instrumented deallocation: verify booby traps, retire metadata,
+    /// release the block.
+    ///
+    /// Like the paper's hooked `free()`, this accepts *any* pointer:
+    /// addresses without POLaR metadata (raw buffers, native objects) are
+    /// released directly.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DoubleFree`] on repeated frees of a tracked object,
+    /// [`RuntimeError::TrapTriggered`] when a canary was corrupted (the
+    /// object is *not* freed in that case — the program should abort), and
+    /// heap errors for invalid raw frees.
+    pub fn olr_free(&mut self, base: Addr) -> Result<(), RuntimeError> {
+        let meta = match self.meta.get(&base.0) {
+            Some(m) => m,
+            None => {
+                // Untracked pointer: behave like plain free().
+                self.heap.free(base)?;
+                return Ok(());
+            }
+        };
+        if meta.state == ObjectState::Freed {
+            return Err(RuntimeError::DoubleFree(base));
+        }
+        if self.config.check_traps_on_free {
+            let reports = self.scan_traps(base)?;
+            if let Some(report) = reports.first() {
+                return Err(RuntimeError::TrapTriggered(*report));
+            }
+        }
+        let meta = self.meta.get_mut(&base.0).expect("checked above");
+        meta.state = ObjectState::Freed;
+        self.cache.remove(&base.0);
+        self.heap.free(base)?;
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Instrumented member access (the rewritten `getelementptr`): resolve
+    /// field `field` of the object at `base`, which the access site
+    /// believes to be of class `expected`.
+    ///
+    /// Consults the offset-lookup cache first; on a miss the metadata
+    /// table is consulted, use-after-free and class mismatch are detected,
+    /// and the entry is cached.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownObject`], [`RuntimeError::UseAfterFree`],
+    /// [`RuntimeError::ClassMismatch`] and
+    /// [`RuntimeError::FieldOutOfBounds`] per the configured detections.
+    pub fn olr_getptr(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+    ) -> Result<Addr, RuntimeError> {
+        self.stats.member_accesses += 1;
+        if self.config.offset_cache {
+            if let Some((class, plan)) = self.cache.get(&base.0) {
+                self.stats.cache_hits += 1;
+                let class = *class;
+                let plan = Arc::clone(plan);
+                return self.resolve(base, class, &plan, expected, field);
+            }
+        }
+        let meta = self.meta.get(&base.0).ok_or(RuntimeError::UnknownObject(base))?;
+        if meta.state == ObjectState::Freed {
+            if self.config.detect_use_after_free {
+                self.stats.uaf_detected += 1;
+                return Err(RuntimeError::UseAfterFree { addr: base });
+            }
+            // Detection disabled: the access proceeds through the stale
+            // plan, exactly like an uninstrumented dangling dereference.
+        }
+        let class = meta.class.hash();
+        let plan = Arc::clone(&meta.plan);
+        if self.config.offset_cache && meta.state == ObjectState::Live {
+            self.cache.insert(base.0, (class, Arc::clone(&plan)));
+        }
+        self.resolve(base, class, &plan, expected, field)
+    }
+
+    fn resolve(
+        &mut self,
+        base: Addr,
+        actual: ClassHash,
+        plan: &LayoutPlan,
+        expected: ClassHash,
+        field: usize,
+    ) -> Result<Addr, RuntimeError> {
+        if actual != expected {
+            self.stats.mismatch_detected += 1;
+            if self.config.detect_class_mismatch {
+                return Err(RuntimeError::ClassMismatch { addr: base, expected, actual });
+            }
+            // Detection disabled: resolve through the *actual* object's
+            // randomized plan — the confused access lands on an
+            // unpredictable member, which is POLaR's probabilistic defense.
+        }
+        let offset = plan
+            .offset_checked(field)
+            .ok_or(RuntimeError::FieldOutOfBounds { class: actual, field })?;
+        Ok(base.offset(offset as u64))
+    }
+
+    /// Instrumented object copy (`memcpy`/`memmove` on objects): copies
+    /// `src`'s fields into `dst` and — by default — gives the duplicate
+    /// its own fresh randomized layout and metadata (Section IV-A2).
+    ///
+    /// `dst` must be the base of a heap block large enough for the copy's
+    /// plan; if the randomized plan does not fit after a few draws the
+    /// runtime falls back to a dummy-free permutation.
+    ///
+    /// When `src` carries no metadata (deserialized bytes, a native
+    /// object), it is interpreted through `site_class`'s natural layout —
+    /// the copy site's compile-time type, which the instrumentation pass
+    /// knows.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UseAfterFree`] for a freed `src`;
+    /// [`RuntimeError::Heap`] when `dst` cannot hold the object.
+    pub fn olr_memcpy(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        site_class: &Arc<ClassInfo>,
+    ) -> Result<(), RuntimeError> {
+        self.stats.memcpys += 1;
+        let (info, src_plan) = match self.meta.get(&src.0) {
+            Some(src_meta) => {
+                if src_meta.state == ObjectState::Freed && self.config.detect_use_after_free {
+                    self.stats.uaf_detected += 1;
+                    return Err(RuntimeError::UseAfterFree { addr: src });
+                }
+                (Arc::clone(&src_meta.class), Arc::clone(&src_meta.plan))
+            }
+            None => (
+                Arc::clone(site_class),
+                self.interner.intern(LayoutPlan::natural_for(site_class)),
+            ),
+        };
+
+        let dst_block = self
+            .heap
+            .block_at(dst)
+            .ok_or(RuntimeError::Heap(polar_simheap::HeapError::Fault {
+                addr: dst,
+                len: src_plan.size() as usize,
+            }))?;
+
+        let dst_plan = if self.config.memcpy_rerandomize {
+            // Reuse live same-class metadata at dst when present;
+            // otherwise mint a fresh randomized plan for the duplicate.
+            match self.meta.get(&dst.0) {
+                Some(m) if m.state == ObjectState::Live && m.class.hash() == info.hash() => {
+                    Arc::clone(&m.plan)
+                }
+                _ => self.plan_fitting(&info, dst_block.size)?,
+            }
+        } else {
+            Arc::clone(&src_plan)
+        };
+
+        // Field-by-field translation between the two plans.
+        for field in 0..src_plan.field_count() {
+            let size = src_plan.field_size(field) as usize;
+            let from = src.offset(src_plan.offset(field) as u64);
+            let to = dst.offset(dst_plan.offset(field) as u64);
+            self.heap.memmove(to, from, size)?;
+        }
+        self.seed_canaries(dst, &dst_plan)?;
+        let generation = self.meta.get(&dst.0).map_or(0, |m| m.generation) + 1;
+        self.meta.insert(
+            dst.0,
+            ObjectMeta { class: info, plan: dst_plan, state: ObjectState::Live, generation },
+        );
+        self.cache.remove(&dst.0);
+        Ok(())
+    }
+
+    fn plan_fitting(
+        &mut self,
+        info: &Arc<ClassInfo>,
+        limit: usize,
+    ) -> Result<Arc<LayoutPlan>, RuntimeError> {
+        for _ in 0..8 {
+            let plan = self.draw_plan(info);
+            if plan.size() as usize <= limit {
+                return Ok(plan);
+            }
+        }
+        let fallback = LayoutEngine::new(RandomizationPolicy::permute_only())
+            .generate(info, &mut self.rng);
+        if fallback.size() as usize <= limit {
+            return Ok(self.interner.intern(fallback));
+        }
+        Err(RuntimeError::Heap(polar_simheap::HeapError::Fault {
+            addr: Addr::NULL,
+            len: info.size() as usize,
+        }))
+    }
+
+    /// Read the member's value (`olr_getptr` + load). For byte-array
+    /// members wider than 8 bytes the first 8 bytes are returned.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ObjectRuntime::olr_getptr`] plus heap faults.
+    pub fn read_field(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+    ) -> Result<u64, RuntimeError> {
+        let addr = self.olr_getptr(base, expected, field)?;
+        let width = self.field_width(base, field);
+        Ok(self.heap.read_uint(addr, width)?)
+    }
+
+    /// Write the member's value (`olr_getptr` + store).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ObjectRuntime::olr_getptr`] plus heap faults.
+    pub fn write_field(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        value: u64,
+    ) -> Result<(), RuntimeError> {
+        let addr = self.olr_getptr(base, expected, field)?;
+        let width = self.field_width(base, field);
+        Ok(self.heap.write_uint(addr, value, width)?)
+    }
+
+    fn field_width(&self, base: Addr, field: usize) -> usize {
+        let size = self
+            .meta
+            .get(&base.0)
+            .and_then(|m| m.plan.offset_checked(field).map(|_| m.plan.field_size(field)))
+            .unwrap_or(8);
+        match size {
+            1 | 2 | 4 | 8 => size as usize,
+            s if s >= 8 => 8,
+            _ => 1,
+        }
+    }
+
+    /// Sweep the object's booby traps, returning every corrupted canary
+    /// and counting them in the statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownObject`] for untracked addresses.
+    pub fn check_traps(&mut self, base: Addr) -> Result<Vec<TrapReport>, RuntimeError> {
+        let reports = self.scan_traps(base)?;
+        self.stats.traps_triggered += reports.len() as u64;
+        Ok(reports)
+    }
+
+    fn scan_traps(&self, base: Addr) -> Result<Vec<TrapReport>, RuntimeError> {
+        let meta = self.meta.get(&base.0).ok_or(RuntimeError::UnknownObject(base))?;
+        let mut reports = Vec::new();
+        for dummy in meta.plan.dummies() {
+            if let Some(expected) = dummy.canary {
+                let width = canary_width(dummy.size);
+                let found = self
+                    .heap
+                    .read_uint(base.offset(dummy.offset as u64), width)
+                    .unwrap_or(0);
+                let expected_trunc = truncate(expected, width);
+                if found != expected_trunc {
+                    reports.push(TrapReport {
+                        base,
+                        offset: dummy.offset,
+                        expected: expected_trunc,
+                        found,
+                    });
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Allocate a raw (non-object) buffer: not randomized, not tracked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors.
+    pub fn malloc_raw(&mut self, size: usize) -> Result<Addr, RuntimeError> {
+        Ok(self.heap.malloc(size)?)
+    }
+
+    /// Free a raw buffer allocated with [`ObjectRuntime::malloc_raw`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors.
+    pub fn free_raw(&mut self, addr: Addr) -> Result<(), RuntimeError> {
+        Ok(self.heap.free(addr)?)
+    }
+}
+
+fn canary_width(size: u32) -> usize {
+    match size {
+        1 | 2 | 4 | 8 => size as usize,
+        s if s >= 8 => 8,
+        _ => 1,
+    }
+}
+
+fn truncate(value: u64, width: usize) -> u64 {
+    if width >= 8 {
+        value
+    } else {
+        value & ((1u64 << (width * 8)) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_classinfo::{ClassDecl, FieldKind};
+    use std::collections::HashSet;
+
+    fn people() -> Arc<ClassInfo> {
+        Arc::new(ClassInfo::from_decl(
+            ClassDecl::builder("People")
+                .field("vtable", FieldKind::VtablePtr)
+                .field("age", FieldKind::I32)
+                .field("height", FieldKind::I32)
+                .build(),
+        ))
+    }
+
+    fn confusable() -> (Arc<ClassInfo>, Arc<ClassInfo>) {
+        let a = Arc::new(ClassInfo::from_decl(
+            ClassDecl::builder("A")
+                .field("x", FieldKind::I64)
+                .field("y", FieldKind::I64)
+                .field("fp", FieldKind::FnPtr)
+                .build(),
+        ));
+        let b = Arc::new(ClassInfo::from_decl(
+            ClassDecl::builder("B")
+                .field("x", FieldKind::I64)
+                .field("y", FieldKind::I64)
+                .field("user_id", FieldKind::I64)
+                .build(),
+        ));
+        (a, b)
+    }
+
+    fn polar_rt() -> ObjectRuntime {
+        ObjectRuntime::new(RandomizeMode::per_allocation(), RuntimeConfig::default())
+    }
+
+    #[test]
+    fn field_roundtrip_under_randomization() {
+        let mut rt = polar_rt();
+        let info = people();
+        for _ in 0..20 {
+            let obj = rt.olr_malloc(&info).unwrap();
+            rt.write_field(obj, info.hash(), 1, 30).unwrap();
+            rt.write_field(obj, info.hash(), 2, 170).unwrap();
+            assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), 30);
+            assert_eq!(rt.read_field(obj, info.hash(), 2).unwrap(), 170);
+            rt.olr_free(obj).unwrap();
+        }
+    }
+
+    #[test]
+    fn same_type_instances_get_diverse_layouts() {
+        let mut rt = polar_rt();
+        let info = people();
+        let mut offsets = HashSet::new();
+        let mut objs = Vec::new();
+        for _ in 0..40 {
+            let obj = rt.olr_malloc(&info).unwrap();
+            let height = rt.olr_getptr(obj, info.hash(), 2).unwrap();
+            offsets.insert(height.0 - obj.0);
+            objs.push(obj);
+        }
+        assert!(offsets.len() > 1, "per-allocation randomization produced one layout");
+    }
+
+    #[test]
+    fn static_olr_shares_one_layout_per_class() {
+        let mut rt = ObjectRuntime::new(RandomizeMode::static_olr(9), RuntimeConfig::default());
+        let info = people();
+        let mut offsets = HashSet::new();
+        for _ in 0..20 {
+            let obj = rt.olr_malloc(&info).unwrap();
+            offsets.insert(rt.olr_getptr(obj, info.hash(), 2).unwrap().0 - obj.0);
+        }
+        assert_eq!(offsets.len(), 1, "static OLR must be deterministic per class");
+    }
+
+    #[test]
+    fn native_mode_uses_natural_offsets() {
+        let mut rt = ObjectRuntime::new(RandomizeMode::Native, RuntimeConfig::default());
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        assert_eq!(rt.olr_getptr(obj, info.hash(), 2).unwrap().0 - obj.0, 12);
+    }
+
+    #[test]
+    fn use_after_free_is_detected() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        rt.olr_free(obj).unwrap();
+        let err = rt.olr_getptr(obj, info.hash(), 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::UseAfterFree { .. }));
+        assert_eq!(rt.stats().uaf_detected, 1);
+    }
+
+    #[test]
+    fn cache_does_not_mask_use_after_free() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        // Warm the cache, then free: the entry must be invalidated.
+        rt.olr_getptr(obj, info.hash(), 1).unwrap();
+        rt.olr_getptr(obj, info.hash(), 1).unwrap();
+        assert!(rt.stats().cache_hits >= 1);
+        rt.olr_free(obj).unwrap();
+        assert!(matches!(
+            rt.olr_getptr(obj, info.hash(), 1).unwrap_err(),
+            RuntimeError::UseAfterFree { .. }
+        ));
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        rt.olr_free(obj).unwrap();
+        assert!(matches!(rt.olr_free(obj).unwrap_err(), RuntimeError::DoubleFree(_)));
+    }
+
+    #[test]
+    fn type_confusion_is_detected_when_enabled() {
+        let mut rt = polar_rt();
+        let (a, b) = confusable();
+        let obj_b = rt.olr_malloc(&b).unwrap();
+        // The site believes obj_b is an A (the paper's Section III-A1
+        // scenario) and reaches for the function pointer member.
+        let err = rt.olr_getptr(obj_b, a.hash(), 2).unwrap_err();
+        assert!(matches!(err, RuntimeError::ClassMismatch { .. }));
+        assert_eq!(rt.stats().mismatch_detected, 1);
+    }
+
+    #[test]
+    fn type_confusion_without_detection_resolves_through_actual_plan() {
+        let mut config = RuntimeConfig::default();
+        config.detect_class_mismatch = false;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let (a, b) = confusable();
+        let obj_b = rt.olr_malloc(&b).unwrap();
+        let addr = rt.olr_getptr(obj_b, a.hash(), 2).unwrap();
+        // Resolution lands inside the B object's (randomized) extent.
+        let plan_size = rt.object_meta(obj_b).unwrap().plan.size() as u64;
+        assert!(addr.0 >= obj_b.0 && addr.0 < obj_b.0 + plan_size);
+        assert_eq!(rt.stats().mismatch_detected, 1);
+    }
+
+    #[test]
+    fn booby_trap_fires_on_overflow_at_free() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        // Simulate a buffer overflow smashing the whole object.
+        let size = rt.object_meta(obj).unwrap().plan.size() as usize;
+        rt.heap_mut().memset(obj, 0x41, size).unwrap();
+        let err = rt.olr_free(obj).unwrap_err();
+        assert!(matches!(err, RuntimeError::TrapTriggered(_)));
+    }
+
+    #[test]
+    fn check_traps_reports_and_counts() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        assert!(rt.check_traps(obj).unwrap().is_empty());
+        let dummy = rt.object_meta(obj).unwrap().plan.dummies()[0];
+        rt.heap_mut()
+            .write_u64(obj.offset(dummy.offset as u64), 0x4242_4242)
+            .unwrap();
+        let reports = rt.check_traps(obj).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].offset, dummy.offset);
+        assert_eq!(rt.stats().traps_triggered, 1);
+    }
+
+    #[test]
+    fn memcpy_rerandomizes_the_duplicate() {
+        let mut rt = polar_rt();
+        let info = people();
+        let src = rt.olr_malloc(&info).unwrap();
+        rt.write_field(src, info.hash(), 1, 30).unwrap();
+        rt.write_field(src, info.hash(), 2, 170).unwrap();
+        // Raw destination buffer: no object metadata yet.
+        let dst = rt.malloc_raw(128).unwrap();
+        rt.olr_memcpy(dst, src, &info).unwrap();
+        // The duplicate has metadata and field values survive the
+        // plan-to-plan translation.
+        assert!(rt.object_meta(dst).is_some());
+        assert_eq!(rt.read_field(dst, info.hash(), 1).unwrap(), 30);
+        assert_eq!(rt.read_field(dst, info.hash(), 2).unwrap(), 170);
+        assert_eq!(rt.stats().memcpys, 1);
+    }
+
+    #[test]
+    fn memcpy_without_rerandomization_shares_the_plan() {
+        let mut config = RuntimeConfig::default();
+        config.memcpy_rerandomize = false;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let info = people();
+        let src = rt.olr_malloc(&info).unwrap();
+        let dst = rt.malloc_raw(128).unwrap();
+        rt.olr_memcpy(dst, src, &info).unwrap();
+        let src_plan = rt.object_meta(src).unwrap().plan.plan_hash();
+        let dst_plan = rt.object_meta(dst).unwrap().plan.plan_hash();
+        assert_eq!(src_plan, dst_plan);
+    }
+
+    #[test]
+    fn memcpy_from_freed_source_is_detected() {
+        let mut rt = polar_rt();
+        let info = people();
+        let src = rt.olr_malloc(&info).unwrap();
+        let dst = rt.malloc_raw(128).unwrap();
+        rt.olr_free(src).unwrap();
+        assert!(matches!(
+            rt.olr_memcpy(dst, src, &info).unwrap_err(),
+            RuntimeError::UseAfterFree { .. }
+        ));
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        for _ in 0..100 {
+            rt.read_field(obj, info.hash(), 1).unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.member_accesses, 100);
+        assert_eq!(stats.cache_hits, 99);
+    }
+
+    #[test]
+    fn disabling_the_cache_forces_metadata_lookups() {
+        let mut config = RuntimeConfig::default();
+        config.offset_cache = false;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        for _ in 0..10 {
+            rt.read_field(obj, info.hash(), 1).unwrap();
+        }
+        assert_eq!(rt.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn field_out_of_bounds_is_rejected() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        assert!(matches!(
+            rt.olr_getptr(obj, info.hash(), 99).unwrap_err(),
+            RuntimeError::FieldOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_object_is_rejected() {
+        let mut rt = polar_rt();
+        let info = people();
+        assert!(matches!(
+            rt.olr_getptr(Addr(0x9999), info.hash(), 0).unwrap_err(),
+            RuntimeError::UnknownObject(_)
+        ));
+    }
+
+    #[test]
+    fn plan_dedup_shows_up_in_stats() {
+        let mut rt = polar_rt();
+        // A one-field class has very few distinct plans; allocate a lot.
+        let tiny = Arc::new(ClassInfo::from_decl(
+            ClassDecl::builder("Tiny").field("x", FieldKind::I64).build(),
+        ));
+        for _ in 0..100 {
+            rt.olr_malloc(&tiny).unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.allocations, 100);
+        assert!(stats.unique_plans < 100, "dedup had no effect");
+        assert!(stats.dedup_saved > 0);
+    }
+
+    #[test]
+    fn slot_reuse_replaces_metadata_with_new_generation() {
+        let mut rt = polar_rt();
+        let info = people();
+        let a = rt.olr_malloc(&info).unwrap();
+        let gen1 = rt.object_meta(a).unwrap().generation;
+        rt.olr_free(a).unwrap();
+        let b = rt.olr_malloc(&info).unwrap();
+        assert_eq!(a, b, "allocator should reuse the slot");
+        let meta = rt.object_meta(b).unwrap();
+        assert_eq!(meta.state, ObjectState::Live);
+        assert!(meta.generation > gen1);
+        // The dangling pointer now resolves against the NEW object's
+        // random layout — no detection, but no determinism either.
+        assert!(rt.olr_getptr(a, info.hash(), 2).is_ok());
+    }
+
+    #[test]
+    fn raw_allocations_are_untracked() {
+        let mut rt = polar_rt();
+        let buf = rt.malloc_raw(64).unwrap();
+        assert!(rt.object_meta(buf).is_none());
+        rt.free_raw(buf).unwrap();
+        assert_eq!(rt.stats().allocations, 0);
+    }
+
+    #[test]
+    fn compile_time_plans_follow_the_mode() {
+        let info = people();
+        // Native & POLaR binaries bake natural offsets into leftover
+        // (non-instrumented) sites.
+        let mut rt = ObjectRuntime::new(RandomizeMode::Native, RuntimeConfig::default());
+        assert!(rt.compile_time_plan(&info).is_natural());
+        let mut rt =
+            ObjectRuntime::new(RandomizeMode::per_allocation(), RuntimeConfig::default());
+        assert!(rt.compile_time_plan(&info).is_natural());
+        // Static-OLR binaries bake the per-binary permutation — stable
+        // across calls within one "binary".
+        let mut rt = ObjectRuntime::new(RandomizeMode::static_olr(5), RuntimeConfig::default());
+        let a = rt.compile_time_plan(&info).plan_hash();
+        let b = rt.compile_time_plan(&info).plan_hash();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memcpy_from_untracked_source_uses_the_site_class() {
+        // Deserialized bytes: the source is a raw buffer laid out
+        // naturally; the copy site's compile-time class interprets it.
+        let mut rt = polar_rt();
+        let info = people();
+        let src = rt.malloc_raw(64).unwrap();
+        // Write field values at their natural offsets.
+        rt.heap_mut().write_uint(src.offset(8), 33, 4).unwrap(); // age
+        rt.heap_mut().write_uint(src.offset(12), 180, 4).unwrap(); // height
+        let dst = rt.malloc_raw(128).unwrap();
+        rt.olr_memcpy(dst, src, &info).unwrap();
+        assert_eq!(rt.read_field(dst, info.hash(), 1).unwrap(), 33);
+        assert_eq!(rt.read_field(dst, info.hash(), 2).unwrap(), 180);
+        // The duplicate is tracked and randomized.
+        assert!(rt.object_meta(dst).is_some());
+    }
+
+    #[test]
+    fn metadata_accounting_is_populated() {
+        let mut rt = polar_rt();
+        let info = people();
+        for _ in 0..10 {
+            rt.olr_malloc(&info).unwrap();
+        }
+        assert_eq!(rt.meta_records(), 10);
+        let bytes = rt.estimated_metadata_bytes();
+        assert!(bytes > 0);
+        // More allocations → no fewer bookkeeping bytes.
+        for _ in 0..10 {
+            rt.olr_malloc(&info).unwrap();
+        }
+        assert!(rt.estimated_metadata_bytes() >= bytes);
+        assert_eq!(rt.meta_records(), 20);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(RandomizeMode::Native.label(), "native");
+        assert_eq!(RandomizeMode::static_olr(1).label(), "static-olr");
+        assert_eq!(RandomizeMode::per_allocation().label(), "polar");
+    }
+}

@@ -1,0 +1,111 @@
+//! Runtime statistics — the Table III counters.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters the runtime maintains, matching the columns of the paper's
+/// Table III ("number of allocation/free, member variable access, and
+/// cache hit attempts against the randomized objects") plus the detection
+/// counters used by the security evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Randomized object allocations (`olr_malloc`).
+    pub allocations: u64,
+    /// Randomized object frees (`olr_free`).
+    pub frees: u64,
+    /// Object-aware memory copies (`olr_memcpy`).
+    pub memcpys: u64,
+    /// Member-variable accesses (`olr_getptr`).
+    pub member_accesses: u64,
+    /// Member accesses satisfied by the offset-lookup cache.
+    pub cache_hits: u64,
+    /// Use-after-free accesses detected.
+    pub uaf_detected: u64,
+    /// Class-hash mismatches (type confusions) detected.
+    pub mismatch_detected: u64,
+    /// Booby-trap canaries found corrupted.
+    pub traps_triggered: u64,
+    /// Distinct layout plans interned (metadata records after dedup).
+    pub unique_plans: u64,
+    /// Metadata records saved by plan deduplication.
+    pub dedup_saved: u64,
+}
+
+impl RuntimeStats {
+    /// Cache hit ratio over member accesses, in `[0, 1]`; `None` when no
+    /// member was ever accessed.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        if self.member_accesses == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / self.member_accesses as f64)
+        }
+    }
+
+    /// Total security detections of any kind.
+    pub fn total_detections(&self) -> u64 {
+        self.uaf_detected + self.mismatch_detected + self.traps_triggered
+    }
+}
+
+impl AddAssign for RuntimeStats {
+    fn add_assign(&mut self, rhs: RuntimeStats) {
+        self.allocations += rhs.allocations;
+        self.frees += rhs.frees;
+        self.memcpys += rhs.memcpys;
+        self.member_accesses += rhs.member_accesses;
+        self.cache_hits += rhs.cache_hits;
+        self.uaf_detected += rhs.uaf_detected;
+        self.mismatch_detected += rhs.mismatch_detected;
+        self.traps_triggered += rhs.traps_triggered;
+        self.unique_plans += rhs.unique_plans;
+        self.dedup_saved += rhs.dedup_saved;
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alloc={} free={} memcpy={} access={} cache_hit={} ({}), detections={}",
+            self.allocations,
+            self.frees,
+            self.memcpys,
+            self.member_accesses,
+            self.cache_hits,
+            match self.cache_hit_ratio() {
+                Some(r) => format!("{:.1}%", r * 100.0),
+                None => "n/a".to_owned(),
+            },
+            self.total_detections(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_zero_accesses() {
+        assert_eq!(RuntimeStats::default().cache_hit_ratio(), None);
+        let s = RuntimeStats { member_accesses: 4, cache_hits: 3, ..Default::default() };
+        assert!((s.cache_hit_ratio().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = RuntimeStats { allocations: 1, cache_hits: 2, ..Default::default() };
+        a += RuntimeStats { allocations: 3, traps_triggered: 1, ..Default::default() };
+        assert_eq!(a.allocations, 4);
+        assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.total_detections(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = RuntimeStats::default().to_string();
+        assert!(s.contains("alloc=0"));
+        assert!(s.contains("n/a"));
+    }
+}

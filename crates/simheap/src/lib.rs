@@ -1,0 +1,785 @@
+//! Simulated process heap for the POLaR reproduction.
+//!
+//! POLaR's security story is about what happens *inside* heap memory: stale
+//! pointers dangling into reused chunks, overflows running off the end of a
+//! buffer into a neighbouring object, fake objects sprayed into freed slots.
+//! Reproducing that in safe Rust requires a heap we fully own. This crate
+//! provides one: a byte arena addressed by plain [`Addr`] offsets, carved
+//! into blocks by a segregated-freelist allocator with glibc-like
+//! **immediate address reuse** — the property every use-after-free exploit
+//! in the paper's threat model depends on.
+//!
+//! Raw [`SimHeap::read`]/[`SimHeap::write`] accesses are bounds-checked
+//! against the *arena*, not against block boundaries, exactly like real
+//! machine loads and stores: out-of-bounds accesses that stay inside the
+//! heap succeed silently and corrupt neighbours. Checked variants
+//! ([`SimHeap::read_in_block`], [`SimHeap::write_in_block`]) are available
+//! for tooling that wants ASan-like precision.
+//!
+//! # Example
+//!
+//! ```
+//! use polar_simheap::{HeapConfig, SimHeap};
+//!
+//! let mut heap = SimHeap::new(HeapConfig::default());
+//! let a = heap.malloc(32)?;
+//! heap.write_u64(a, 0xdead_beef)?;
+//! assert_eq!(heap.read_u64(a)?, 0xdead_beef);
+//! heap.free(a)?;
+//! // Immediate reuse: the next same-sized allocation lands on the freed
+//! // slot — the address a dangling pointer still refers to.
+//! let b = heap.malloc(32)?;
+//! assert_eq!(a, b);
+//! # Ok::<(), polar_simheap::HeapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// A heap address: a byte offset into the arena. `0` is reserved as null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The null address.
+    pub const NULL: Addr = Addr(0);
+
+    /// Whether this is the null address.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Address `offset` bytes past `self`.
+    ///
+    /// ```
+    /// use polar_simheap::Addr;
+    /// assert_eq!(Addr(0x100).offset(8), Addr(0x108));
+    /// ```
+    pub fn offset(self, offset: u64) -> Addr {
+        Addr(self.0 + offset)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Errors returned by heap operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The arena capacity would be exceeded.
+    OutOfMemory {
+        /// Requested allocation size in bytes.
+        requested: usize,
+    },
+    /// `free` was called on an address that is not a live block base.
+    InvalidFree(Addr),
+    /// `free` was called twice on the same block.
+    DoubleFree(Addr),
+    /// A read or write fell outside the arena entirely (a wild access —
+    /// the analogue of a segmentation fault).
+    Fault {
+        /// Faulting address.
+        addr: Addr,
+        /// Access length in bytes.
+        len: usize,
+    },
+    /// A checked access crossed the boundary of its block.
+    OutOfBlock {
+        /// Accessed address.
+        addr: Addr,
+        /// Access length in bytes.
+        len: usize,
+    },
+    /// Zero-byte allocation request.
+    ZeroSize,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes")
+            }
+            HeapError::InvalidFree(a) => write!(f, "invalid free of {a}"),
+            HeapError::DoubleFree(a) => write!(f, "double free of {a}"),
+            HeapError::Fault { addr, len } => {
+                write!(f, "memory fault accessing {len} bytes at {addr}")
+            }
+            HeapError::OutOfBlock { addr, len } => {
+                write!(f, "access of {len} bytes at {addr} crosses its block boundary")
+            }
+            HeapError::ZeroSize => write!(f, "zero-size allocation"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Lifecycle state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// The block is allocated.
+    Live,
+    /// The block has been freed (and possibly sits in quarantine).
+    Freed,
+}
+
+/// Metadata the allocator keeps about one block (outside the arena, so
+/// exploits target object data rather than allocator metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Base address of the usable block.
+    pub base: Addr,
+    /// Usable size in bytes (the rounded size-class size).
+    pub size: usize,
+    /// Requested size at allocation time.
+    pub requested: usize,
+    /// Current lifecycle state.
+    pub state: BlockState,
+    /// Monotonic allocation generation; bumped each time the slot is
+    /// handed out again. Lets tooling tell "same address, new object".
+    pub generation: u64,
+}
+
+/// Allocator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Maximum arena size in bytes.
+    pub capacity: usize,
+    /// Number of freed blocks to hold back before reuse (0 = immediate
+    /// reuse, the default and the exploit-friendly glibc-like behaviour;
+    /// larger values model ASan-style quarantine).
+    pub quarantine: usize,
+    /// Byte written over freed blocks (`None` leaves stale data in place,
+    /// which is what makes use-after-free *reads* informative).
+    pub poison: Option<u8>,
+    /// Zero-fill fresh allocations (calloc-like). Off by default: malloc
+    /// returns whatever the previous occupant left behind.
+    pub zero_on_alloc: bool,
+    /// Redzone gap in bytes left unowned after every block (0 = packed,
+    /// the default; ASan-style defenses set this so linear overflows walk
+    /// into no-man's-land before reaching the neighbour).
+    pub redzone: usize,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            capacity: 64 << 20,
+            quarantine: 0,
+            poison: None,
+            zero_on_alloc: false,
+            redzone: 0,
+        }
+    }
+}
+
+/// Running allocator statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of successful frees.
+    pub frees: u64,
+    /// Allocations satisfied by reusing a freed slot.
+    pub reuses: u64,
+    /// Bytes currently allocated (usable sizes).
+    pub bytes_live: usize,
+    /// High-water mark of `bytes_live`.
+    pub bytes_peak: usize,
+}
+
+const ALIGN: usize = 16;
+const SIZE_CLASSES: [usize; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+fn size_class(size: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| size <= c)
+}
+
+/// The simulated heap: arena + segregated freelists + block table.
+#[derive(Debug, Clone)]
+pub struct SimHeap {
+    arena: Vec<u8>,
+    config: HeapConfig,
+    free_lists: [Vec<u64>; SIZE_CLASSES.len()],
+    large_free: Vec<(u64, usize)>,
+    quarantine: VecDeque<Addr>,
+    blocks: HashMap<u64, BlockInfo>,
+    stats: HeapStats,
+}
+
+impl SimHeap {
+    /// Create a heap with the given configuration. Address `0` is never
+    /// handed out; the arena starts with one reserved alignment unit.
+    pub fn new(config: HeapConfig) -> Self {
+        SimHeap {
+            arena: vec![0; ALIGN],
+            config,
+            free_lists: Default::default(),
+            large_free: Vec::new(),
+            quarantine: VecDeque::new(),
+            blocks: HashMap::new(),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The configuration this heap was built with.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Current arena extent in bytes (grows on demand up to capacity).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Allocate `size` bytes, rounded up to a size class.
+    ///
+    /// Freed slots of the same class are reused in LIFO order, matching
+    /// the immediate-reuse behaviour exploits rely on.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSize`] for `size == 0`;
+    /// [`HeapError::OutOfMemory`] when the arena capacity is exhausted.
+    pub fn malloc(&mut self, size: usize) -> Result<Addr, HeapError> {
+        if size == 0 {
+            return Err(HeapError::ZeroSize);
+        }
+        let (base, usable) = match size_class(size) {
+            Some(class) => {
+                let usable = SIZE_CLASSES[class];
+                match self.free_lists[class].pop() {
+                    Some(base) => {
+                        self.stats.reuses += 1;
+                        (base, usable)
+                    }
+                    None => (self.grow(usable)?, usable),
+                }
+            }
+            None => {
+                let usable = round_up(size, ALIGN);
+                if let Some(pos) = self
+                    .large_free
+                    .iter()
+                    .position(|&(_, free_size)| free_size >= usable)
+                {
+                    let (base, free_size) = self.large_free.swap_remove(pos);
+                    self.stats.reuses += 1;
+                    (base, free_size)
+                } else {
+                    (self.grow(usable)?, usable)
+                }
+            }
+        };
+        let addr = Addr(base);
+        let generation = self.blocks.get(&base).map_or(0, |b| b.generation) + 1;
+        self.blocks.insert(
+            base,
+            BlockInfo {
+                base: addr,
+                size: usable,
+                requested: size,
+                state: BlockState::Live,
+                generation,
+            },
+        );
+        if self.config.zero_on_alloc {
+            let start = base as usize;
+            self.arena[start..start + usable].fill(0);
+        }
+        self.stats.allocs += 1;
+        self.stats.bytes_live += usable;
+        self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_live);
+        Ok(addr)
+    }
+
+    fn grow(&mut self, usable: usize) -> Result<u64, HeapError> {
+        let base = self.arena.len();
+        let new_len = base + usable + round_up(self.config.redzone, ALIGN);
+        if new_len > self.config.capacity {
+            return Err(HeapError::OutOfMemory { requested: usable });
+        }
+        self.arena.resize(new_len, 0);
+        Ok(base as u64)
+    }
+
+    /// Free a block previously returned by [`SimHeap::malloc`].
+    ///
+    /// With `quarantine == 0` the slot becomes immediately reusable.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DoubleFree`] when the block is already freed;
+    /// [`HeapError::InvalidFree`] for any address that is not a live block
+    /// base.
+    pub fn free(&mut self, addr: Addr) -> Result<(), HeapError> {
+        let block = match self.blocks.get_mut(&addr.0) {
+            Some(b) => b,
+            None => return Err(HeapError::InvalidFree(addr)),
+        };
+        match block.state {
+            BlockState::Freed => return Err(HeapError::DoubleFree(addr)),
+            BlockState::Live => block.state = BlockState::Freed,
+        }
+        let size = block.size;
+        if let Some(poison) = self.config.poison {
+            let start = addr.0 as usize;
+            self.arena[start..start + size].fill(poison);
+        }
+        self.stats.frees += 1;
+        self.stats.bytes_live -= size;
+        self.quarantine.push_back(addr);
+        while self.quarantine.len() > self.config.quarantine {
+            let released = self.quarantine.pop_front().expect("non-empty");
+            let released_size = self.blocks[&released.0].size;
+            match size_class(released_size) {
+                Some(class) if SIZE_CLASSES[class] == released_size => {
+                    self.free_lists[class].push(released.0);
+                }
+                _ => self.large_free.push((released.0, released_size)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Block metadata for the block *containing* `addr`, if any.
+    ///
+    /// This is a diagnostic/tooling interface (the runtime and sanitizers
+    /// use it); ordinary program accesses never consult it.
+    pub fn block_containing(&self, addr: Addr) -> Option<BlockInfo> {
+        self.blocks
+            .values()
+            .find(|b| addr.0 >= b.base.0 && addr.0 < b.base.0 + b.size as u64)
+            .copied()
+    }
+
+    /// Block metadata when `addr` is exactly a block base.
+    pub fn block_at(&self, addr: Addr) -> Option<BlockInfo> {
+        self.blocks.get(&addr.0).copied()
+    }
+
+    fn check_range(&self, addr: Addr, len: usize) -> Result<(usize, usize), HeapError> {
+        let start = addr.0 as usize;
+        let end = start.checked_add(len).ok_or(HeapError::Fault { addr, len })?;
+        if addr.is_null() || end > self.arena.len() || len == 0 {
+            return Err(HeapError::Fault { addr, len });
+        }
+        Ok((start, end))
+    }
+
+    /// Read `len` bytes at `addr`. Bounds-checked against the arena only —
+    /// reads that stray out of their block but stay inside the heap
+    /// succeed, exactly like real out-of-bounds reads.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] when the range leaves the arena or `addr` is
+    /// null.
+    pub fn read(&self, addr: Addr, len: usize) -> Result<&[u8], HeapError> {
+        let (start, end) = self.check_range(addr, len)?;
+        Ok(&self.arena[start..end])
+    }
+
+    /// Write `bytes` at `addr` with the same (arena-only) bounds policy as
+    /// [`SimHeap::read`].
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] when the range leaves the arena or `addr` is
+    /// null.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), HeapError> {
+        let (start, end) = self.check_range(addr, bytes.len())?;
+        self.arena[start..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read an unsigned little-endian integer of `width` ∈ {1,2,4,8} bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] as for [`SimHeap::read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn read_uint(&self, addr: Addr, width: usize) -> Result<u64, HeapError> {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid width {width}");
+        let bytes = self.read(addr, width)?;
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Write the low `width` bytes of `value` little-endian at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] as for [`SimHeap::write`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_uint(&mut self, addr: Addr, value: u64, width: usize) -> Result<(), HeapError> {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid width {width}");
+        let bytes = value.to_le_bytes();
+        self.write(addr, &bytes[..width])
+    }
+
+    /// Convenience: read a full 8-byte word.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] as for [`SimHeap::read`].
+    pub fn read_u64(&self, addr: Addr) -> Result<u64, HeapError> {
+        self.read_uint(addr, 8)
+    }
+
+    /// Convenience: write a full 8-byte word.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] as for [`SimHeap::write`].
+    pub fn write_u64(&mut self, addr: Addr, value: u64) -> Result<(), HeapError> {
+        self.write_uint(addr, value, 8)
+    }
+
+    /// Checked read that must stay inside the block containing `addr`
+    /// (ASan-like precision, used by sanitizer tooling and tests).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfBlock`] when the access crosses its block, plus
+    /// the [`HeapError::Fault`] cases of [`SimHeap::read`].
+    pub fn read_in_block(&self, addr: Addr, len: usize) -> Result<&[u8], HeapError> {
+        let block = self.block_containing(addr).ok_or(
+            // Inside the arena but in no block: a redzone/quarantine hit.
+            if (addr.0 as usize) < self.arena.len() && !addr.is_null() {
+                HeapError::OutOfBlock { addr, len }
+            } else {
+                HeapError::Fault { addr, len }
+            },
+        )?;
+        if block.state == BlockState::Freed {
+            // Sanitizer semantics: freed memory is poisoned.
+            return Err(HeapError::OutOfBlock { addr, len });
+        }
+        if addr.0 + len as u64 > block.base.0 + block.size as u64 {
+            return Err(HeapError::OutOfBlock { addr, len });
+        }
+        self.read(addr, len)
+    }
+
+    /// Checked write equivalent of [`SimHeap::read_in_block`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`SimHeap::read_in_block`].
+    pub fn write_in_block(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), HeapError> {
+        let len = bytes.len();
+        let block = self.block_containing(addr).ok_or(
+            if (addr.0 as usize) < self.arena.len() && !addr.is_null() {
+                HeapError::OutOfBlock { addr, len }
+            } else {
+                HeapError::Fault { addr, len }
+            },
+        )?;
+        if block.state == BlockState::Freed {
+            return Err(HeapError::OutOfBlock { addr, len });
+        }
+        if addr.0 + bytes.len() as u64 > block.base.0 + block.size as u64 {
+            return Err(HeapError::OutOfBlock { addr, len: bytes.len() });
+        }
+        self.write(addr, bytes)
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (memmove semantics: overlap is
+    /// handled correctly).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] when either range leaves the arena.
+    pub fn memmove(&mut self, dst: Addr, src: Addr, len: usize) -> Result<(), HeapError> {
+        let (s_start, _) = self.check_range(src, len)?;
+        let (d_start, _) = self.check_range(dst, len)?;
+        self.arena.copy_within(s_start..s_start + len, d_start);
+        Ok(())
+    }
+
+    /// Fill `len` bytes at `addr` with `value` (memset semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] when the range leaves the arena.
+    pub fn memset(&mut self, addr: Addr, value: u8, len: usize) -> Result<(), HeapError> {
+        let (start, end) = self.check_range(addr, len)?;
+        self.arena[start..end].fill(value);
+        Ok(())
+    }
+
+    /// Iterate over all blocks the allocator knows about (live and freed).
+    pub fn blocks(&self) -> impl Iterator<Item = &BlockInfo> {
+        self.blocks.values()
+    }
+}
+
+fn round_up(value: usize, to: usize) -> usize {
+    (value + to - 1) & !(to - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> SimHeap {
+        SimHeap::new(HeapConfig::default())
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut h = heap();
+        let mut spans = Vec::new();
+        for size in [1, 16, 17, 100, 4096, 5000] {
+            let a = h.malloc(size).unwrap();
+            assert_eq!(a.0 % ALIGN as u64, 0, "misaligned at {a}");
+            let b = h.block_at(a).unwrap();
+            spans.push((a.0, a.0 + b.size as u64));
+        }
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "blocks overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn null_is_never_returned() {
+        let mut h = heap();
+        let a = h.malloc(8).unwrap();
+        assert!(!a.is_null());
+    }
+
+    #[test]
+    fn lifo_reuse_of_freed_slot() {
+        let mut h = heap();
+        let a = h.malloc(48).unwrap();
+        let _keep = h.malloc(48).unwrap();
+        h.free(a).unwrap();
+        let b = h.malloc(40).unwrap(); // same size class (64)
+        assert_eq!(a, b, "freed slot should be reused immediately");
+        assert_eq!(h.stats().reuses, 1);
+        assert_eq!(h.block_at(b).unwrap().generation, 2);
+    }
+
+    #[test]
+    fn quarantine_delays_reuse() {
+        let mut h = SimHeap::new(HeapConfig { quarantine: 2, ..HeapConfig::default() });
+        let a = h.malloc(32).unwrap();
+        h.free(a).unwrap();
+        let b = h.malloc(32).unwrap();
+        assert_ne!(a, b, "quarantined slot must not be reused yet");
+        // Push two more frees through to evict `a` from quarantine.
+        let c = h.malloc(32).unwrap();
+        h.free(b).unwrap();
+        h.free(c).unwrap();
+        let d = h.malloc(32).unwrap();
+        assert_eq!(d, a, "evicted slot becomes reusable");
+    }
+
+    #[test]
+    fn double_free_and_invalid_free_are_detected() {
+        let mut h = heap();
+        let a = h.malloc(8).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::DoubleFree(a)));
+        assert_eq!(h.free(Addr(12345)), Err(HeapError::InvalidFree(Addr(12345))));
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        assert_eq!(heap().malloc(0), Err(HeapError::ZeroSize));
+    }
+
+    #[test]
+    fn stale_data_survives_free_by_default() {
+        let mut h = heap();
+        let a = h.malloc(16).unwrap();
+        h.write_u64(a, 0x4141_4141).unwrap();
+        h.free(a).unwrap();
+        // The UAF read still sees the old contents.
+        assert_eq!(h.read_u64(a).unwrap(), 0x4141_4141);
+    }
+
+    #[test]
+    fn poison_overwrites_freed_data() {
+        let mut h = SimHeap::new(HeapConfig { poison: Some(0xDD), ..HeapConfig::default() });
+        let a = h.malloc(16).unwrap();
+        h.write_u64(a, 0x4141_4141).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.read(a, 2).unwrap(), &[0xDD, 0xDD]);
+    }
+
+    #[test]
+    fn zero_on_alloc_clears_recycled_memory() {
+        let mut h = SimHeap::new(HeapConfig { zero_on_alloc: true, ..HeapConfig::default() });
+        let a = h.malloc(16).unwrap();
+        h.write_u64(a, u64::MAX).unwrap();
+        h.free(a).unwrap();
+        let b = h.malloc(16).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(h.read_u64(b).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_write_corrupts_neighbour() {
+        let mut h = heap();
+        let a = h.malloc(16).unwrap();
+        let b = h.malloc(16).unwrap();
+        h.write_u64(b, 7).unwrap();
+        // Overflow from `a`: crosses into `b` silently.
+        let delta = b.0 - a.0;
+        h.write(a, &vec![0x41; (delta + 8) as usize]).unwrap();
+        assert_eq!(h.read_u64(b).unwrap(), 0x4141_4141_4141_4141);
+    }
+
+    #[test]
+    fn wild_access_faults() {
+        let h = heap();
+        let err = h.read(Addr(1 << 40), 8).unwrap_err();
+        assert!(matches!(err, HeapError::Fault { .. }));
+        assert!(matches!(h.read(Addr::NULL, 8).unwrap_err(), HeapError::Fault { .. }));
+    }
+
+    #[test]
+    fn checked_access_detects_overflow() {
+        let mut h = heap();
+        let a = h.malloc(16).unwrap();
+        let _b = h.malloc(16).unwrap();
+        assert!(h.read_in_block(a, 16).is_ok());
+        assert!(matches!(
+            h.read_in_block(a, 17).unwrap_err(),
+            HeapError::OutOfBlock { .. }
+        ));
+        assert!(matches!(
+            h.write_in_block(a.offset(10), &[0; 8]).unwrap_err(),
+            HeapError::OutOfBlock { .. }
+        ));
+    }
+
+    #[test]
+    fn uint_roundtrip_all_widths() {
+        let mut h = heap();
+        let a = h.malloc(32).unwrap();
+        for (width, value) in [(1usize, 0xABu64), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, u64::MAX - 3)]
+        {
+            h.write_uint(a, value, width).unwrap();
+            assert_eq!(h.read_uint(a, width).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn memmove_handles_overlap() {
+        let mut h = heap();
+        let a = h.malloc(32).unwrap();
+        h.write(a, b"abcdefgh").unwrap();
+        h.memmove(a.offset(4), a, 8).unwrap();
+        assert_eq!(h.read(a, 12).unwrap(), b"abcdabcdefgh");
+    }
+
+    #[test]
+    fn memset_fills() {
+        let mut h = heap();
+        let a = h.malloc(16).unwrap();
+        h.memset(a, 0x5A, 16).unwrap();
+        assert!(h.read(a, 16).unwrap().iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn oom_at_capacity() {
+        let mut h = SimHeap::new(HeapConfig { capacity: 1024, ..HeapConfig::default() });
+        let mut last = Ok(Addr::NULL);
+        for _ in 0..200 {
+            last = h.malloc(64);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(last, Err(HeapError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn large_allocations_use_first_fit_reuse() {
+        let mut h = heap();
+        let a = h.malloc(10_000).unwrap();
+        h.free(a).unwrap();
+        let b = h.malloc(9_000).unwrap();
+        assert_eq!(a, b, "large freed block should satisfy a smaller large request");
+    }
+
+    #[test]
+    fn stats_track_live_bytes_and_peak() {
+        let mut h = heap();
+        let a = h.malloc(100).unwrap(); // class 128
+        let b = h.malloc(100).unwrap();
+        assert_eq!(h.stats().bytes_live, 256);
+        assert_eq!(h.stats().bytes_peak, 256);
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.stats().bytes_live, 0);
+        assert_eq!(h.stats().bytes_peak, 256);
+        assert_eq!(h.stats().allocs, 2);
+        assert_eq!(h.stats().frees, 2);
+    }
+
+    #[test]
+    fn redzone_gaps_separate_blocks() {
+        let mut h = SimHeap::new(HeapConfig { redzone: 16, ..HeapConfig::default() });
+        let a = h.malloc(32).unwrap();
+        let b = h.malloc(32).unwrap();
+        // The gap between the blocks belongs to no block…
+        let gap = Addr(a.0 + 32);
+        assert!(h.block_containing(gap).is_none());
+        assert!(b.0 >= a.0 + 48, "blocks must be separated by the gap");
+        // …and checked access into it reports OutOfBlock, not a wild fault.
+        assert!(matches!(
+            h.read_in_block(gap, 1).unwrap_err(),
+            HeapError::OutOfBlock { .. }
+        ));
+    }
+
+    #[test]
+    fn checked_access_to_freed_blocks_is_poisoned() {
+        // Sanitizer semantics: quarantined/freed memory is untouchable
+        // through the checked interface.
+        let mut h = SimHeap::new(HeapConfig { quarantine: 8, ..HeapConfig::default() });
+        let a = h.malloc(32).unwrap();
+        h.free(a).unwrap();
+        assert!(matches!(
+            h.read_in_block(a, 8).unwrap_err(),
+            HeapError::OutOfBlock { .. }
+        ));
+        assert!(matches!(
+            h.write_in_block(a, &[1, 2]).unwrap_err(),
+            HeapError::OutOfBlock { .. }
+        ));
+    }
+
+    #[test]
+    fn block_containing_finds_interior_pointers() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let info = h.block_containing(a.offset(10)).unwrap();
+        assert_eq!(info.base, a);
+        assert!(h.block_containing(Addr(1)).is_none());
+    }
+}

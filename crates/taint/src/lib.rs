@@ -1,0 +1,164 @@
+//! DFSan stand-in and the TaintClass framework.
+//!
+//! POLaR's **TaintClass** (Section IV-B of the paper) automates the choice
+//! of randomization targets: it labels untrusted program input at byte
+//! granularity, tracks the labels through memory with LLVM's
+//! DataFlowSanitizer, and reports every class whose *content* or
+//! *life-cycle* is influenced by the input. Those classes — and only
+//! those — need POLaR randomization; the rest are skipped for performance
+//! (the paper's "object selection problem", Section III-B3).
+//!
+//! This crate rebuilds that pipeline over the reproduction's interpreter:
+//!
+//! * [`LabelTable`] — DFSan's union-label design: 16-bit labels, base
+//!   labels for taint sources, memoized pairwise unions;
+//! * [`ShadowMemory`] — a byte-granular shadow of the simulated heap;
+//! * [`TaintTracker`] — a [`Tracer`](polar_ir::trace::Tracer) that mirrors
+//!   the interpreter's data flow through registers, call frames and heap
+//!   bytes, attributes tainted stores to `(class, field)` through the
+//!   class registry, and tracks a sticky per-frame *control taint* so
+//!   allocations/frees that happen under input-dependent branches are
+//!   reported as life-cycle tainted;
+//! * [`TaintClassReport`] — the per-class result, mergeable across a
+//!   fuzzing corpus (Section IV-B2 combines DFSan with libFuzzer inputs);
+//! * [`analyze`]/[`analyze_corpus`] — the TaintClass drivers.
+//!
+//! # Example
+//!
+//! ```
+//! use polar_classinfo::{ClassDecl, FieldKind};
+//! use polar_ir::builder::ModuleBuilder;
+//! use polar_ir::interp::ExecLimits;
+//! use polar_taint::{analyze, TaintConfig};
+//!
+//! // A parser that copies an input byte into an object field.
+//! let mut mb = ModuleBuilder::new("parser");
+//! let hdr = mb
+//!     .add_class(ClassDecl::builder("Header").field("magic", FieldKind::I32).build())
+//!     .unwrap();
+//! let mut f = mb.function("main", 0);
+//! let bb = f.entry_block();
+//! let obj = f.alloc_obj(bb, hdr);
+//! let idx = f.const_(bb, 0);
+//! let byte = f.input_byte(bb, idx);
+//! let fld = f.gep(bb, obj, hdr, 0);
+//! f.store(bb, fld, byte, 4);
+//! f.ret(bb, None);
+//! mb.finish_function(f);
+//! let module = mb.build().unwrap();
+//!
+//! let (report, _) = analyze(&module, &[0x89], ExecLimits::default(), &TaintConfig::default());
+//! assert!(report.class_taint(hdr).is_some_and(|t| t.content_fields.contains(&0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod labels;
+mod report;
+mod shadow;
+mod tracker;
+
+pub use labels::{Label, LabelTable};
+pub use report::{ClassTaint, TaintClassReport};
+pub use shadow::ShadowMemory;
+pub use tracker::{TaintConfig, TaintTracker};
+
+use polar_ir::interp::{run, ExecLimits, ExecReport};
+use polar_ir::Module;
+use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+
+/// Run one TaintClass analysis execution over `module` with `input`.
+///
+/// The module is executed **natively** (TaintClass runs orthogonally to the
+/// hardened binary, Section IV-B1); the returned report lists the classes
+/// whose content or life-cycle the input influenced during this run.
+pub fn analyze(
+    module: &Module,
+    input: &[u8],
+    limits: ExecLimits,
+    config: &TaintConfig,
+) -> (TaintClassReport, ExecReport) {
+    let mut rt = ObjectRuntime::new(RandomizeMode::Native, RuntimeConfig::default());
+    let mut tracker = TaintTracker::new(&module.registry, config.clone());
+    let exec = run(module, &mut rt, input, limits, &mut tracker);
+    (tracker.into_report(), exec)
+}
+
+/// Run TaintClass over a whole corpus of inputs, merging the per-run
+/// reports — the DFSan + libFuzzer combination of Section IV-B2.
+pub fn analyze_corpus<'a, I>(
+    module: &Module,
+    inputs: I,
+    limits: ExecLimits,
+    config: &TaintConfig,
+) -> TaintClassReport
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut merged = TaintClassReport::default();
+    for input in inputs {
+        let (report, _) = analyze(module, input, limits, config);
+        merged.merge(&report);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_classinfo::{ClassDecl, FieldKind};
+    use polar_ir::builder::ModuleBuilder;
+
+    #[test]
+    fn corpus_analysis_merges_reports() {
+        // Input byte 0 selects which of two classes gets written.
+        let mut mb = ModuleBuilder::new("p");
+        let a = mb
+            .add_class(ClassDecl::builder("A").field("x", FieldKind::I64).build())
+            .unwrap();
+        let b = mb
+            .add_class(ClassDecl::builder("B").field("y", FieldKind::I64).build())
+            .unwrap();
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let use_a = f.block();
+        let use_b = f.block();
+        let done = f.block();
+        let zero = f.const_(bb, 0);
+        let sel = f.input_byte(bb, zero);
+        f.br(bb, sel, use_a, use_b);
+        let idx1 = f.const_(use_a, 1);
+        let v1 = f.input_byte(use_a, idx1);
+        let oa = f.alloc_obj(use_a, a);
+        let fa = f.gep(use_a, oa, a, 0);
+        f.store(use_a, fa, v1, 8);
+        f.jmp(use_a, done);
+        let idx2 = f.const_(use_b, 1);
+        let v2 = f.input_byte(use_b, idx2);
+        let ob = f.alloc_obj(use_b, b);
+        let fb = f.gep(use_b, ob, b, 0);
+        f.store(use_b, fb, v2, 8);
+        f.jmp(use_b, done);
+        f.ret(done, None);
+        mb.finish_function(f);
+        let module = mb.build().unwrap();
+
+        let cfg = TaintConfig::default();
+        let (ra, _) = analyze(&module, &[1, 9], ExecLimits::default(), &cfg);
+        let (rb, _) = analyze(&module, &[0, 9], ExecLimits::default(), &cfg);
+        assert!(ra.class_taint(a).is_some());
+        assert!(ra.class_taint(b).is_none());
+        assert!(rb.class_taint(b).is_some());
+
+        let merged = analyze_corpus(
+            &module,
+            [&[1u8, 9][..], &[0u8, 9][..]],
+            ExecLimits::default(),
+            &cfg,
+        );
+        assert!(merged.class_taint(a).is_some());
+        assert!(merged.class_taint(b).is_some());
+        assert_eq!(merged.tainted_classes().len(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! TaintClass reports: which classes the untrusted input can influence.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use polar_classinfo::{ClassId, ClassRegistry};
+
+/// Per-class taint findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassTaint {
+    /// Field indices whose stored content was input-tainted.
+    pub content_fields: BTreeSet<u16>,
+    /// Whether the class's allocation/deallocation happened under
+    /// input-dependent control flow (the paper's "life-cycle" taint).
+    pub lifecycle: bool,
+    /// How many tainted stores were observed into this class.
+    pub tainted_stores: u64,
+}
+
+impl ClassTaint {
+    /// Whether anything at all is tainted.
+    pub fn is_tainted(&self) -> bool {
+        !self.content_fields.is_empty() || self.lifecycle
+    }
+}
+
+/// The TaintClass result: the object list the randomization framework
+/// consumes as feedback (Figure 3 of the paper), mergeable across a
+/// fuzzing corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintClassReport {
+    per_class: BTreeMap<ClassId, ClassTaint>,
+}
+
+impl TaintClassReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_content(&mut self, class: ClassId, field: u16) {
+        let entry = self.per_class.entry(class).or_default();
+        entry.content_fields.insert(field);
+        entry.tainted_stores += 1;
+    }
+
+    pub(crate) fn record_lifecycle(&mut self, class: ClassId) {
+        self.per_class.entry(class).or_default().lifecycle = true;
+    }
+
+    /// Findings for one class, if any.
+    pub fn class_taint(&self, class: ClassId) -> Option<&ClassTaint> {
+        self.per_class.get(&class).filter(|t| t.is_tainted())
+    }
+
+    /// The randomization target list: every tainted class, in id order.
+    pub fn tainted_classes(&self) -> Vec<ClassId> {
+        self.per_class
+            .iter()
+            .filter(|(_, t)| t.is_tainted())
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Number of tainted classes (the "# of tainted objects" column of
+    /// the paper's Table I).
+    pub fn tainted_class_count(&self) -> usize {
+        self.per_class.values().filter(|t| t.is_tainted()).count()
+    }
+
+    /// Merge another report into this one (corpus aggregation).
+    pub fn merge(&mut self, other: &TaintClassReport) {
+        for (&class, taint) in &other.per_class {
+            let entry = self.per_class.entry(class).or_default();
+            entry.content_fields.extend(taint.content_fields.iter().copied());
+            entry.lifecycle |= taint.lifecycle;
+            entry.tainted_stores += taint.tainted_stores;
+        }
+    }
+
+    /// Render the report with class and field names resolved through the
+    /// registry — the human-readable object list of Table I.
+    pub fn render(&self, registry: &ClassRegistry) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} tainted classes:", self.tainted_class_count());
+        for (&class, taint) in &self.per_class {
+            if !taint.is_tainted() {
+                continue;
+            }
+            let info = match registry.get_checked(class) {
+                Some(i) => i,
+                None => continue,
+            };
+            let fields: Vec<&str> = taint
+                .content_fields
+                .iter()
+                .filter_map(|&i| info.fields().get(usize::from(i)).map(|f| f.name()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {}: fields [{}]{} ({} tainted stores)",
+                info.name(),
+                fields.join(", "),
+                if taint.lifecycle { " + life-cycle" } else { "" },
+                taint.tainted_stores,
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for TaintClassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TaintClass report: {} tainted classes", self.tainted_class_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_classinfo::{ClassDecl, FieldKind};
+
+    #[test]
+    fn record_and_query() {
+        let mut r = TaintClassReport::new();
+        let c = ClassId(0);
+        assert!(r.class_taint(c).is_none());
+        r.record_content(c, 2);
+        r.record_content(c, 2);
+        let t = r.class_taint(c).unwrap();
+        assert_eq!(t.tainted_stores, 2);
+        assert!(t.content_fields.contains(&2));
+        assert_eq!(r.tainted_class_count(), 1);
+    }
+
+    #[test]
+    fn lifecycle_only_counts_as_tainted() {
+        let mut r = TaintClassReport::new();
+        r.record_lifecycle(ClassId(3));
+        assert_eq!(r.tainted_classes(), vec![ClassId(3)]);
+    }
+
+    #[test]
+    fn merge_unions_findings() {
+        let mut a = TaintClassReport::new();
+        a.record_content(ClassId(0), 1);
+        let mut b = TaintClassReport::new();
+        b.record_content(ClassId(0), 2);
+        b.record_lifecycle(ClassId(1));
+        a.merge(&b);
+        assert_eq!(a.tainted_class_count(), 2);
+        let t = a.class_taint(ClassId(0)).unwrap();
+        assert!(t.content_fields.contains(&1) && t.content_fields.contains(&2));
+    }
+
+    #[test]
+    fn render_resolves_names() {
+        let mut registry = ClassRegistry::new();
+        let c = registry
+            .register(
+                ClassDecl::builder("png_struct_def")
+                    .field("width", FieldKind::I32)
+                    .field("height", FieldKind::I32)
+                    .build(),
+            )
+            .unwrap();
+        let mut r = TaintClassReport::new();
+        r.record_content(c, 1);
+        r.record_lifecycle(c);
+        let s = r.render(&registry);
+        assert!(s.contains("png_struct_def"));
+        assert!(s.contains("height"));
+        assert!(s.contains("life-cycle"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = TaintClassReport::new();
+        assert_eq!(r.to_string(), "TaintClass report: 0 tainted classes");
+    }
+}

@@ -1,0 +1,128 @@
+//! Byte-granular shadow memory over the simulated heap.
+
+use polar_simheap::Addr;
+
+use crate::labels::{Label, LabelTable};
+
+/// A shadow byte array parallel to the heap arena, holding one [`Label`]
+/// per data byte — DFSan's shadow-memory scheme.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowMemory {
+    bytes: Vec<u16>,
+}
+
+impl ShadowMemory {
+    /// An empty shadow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, end: usize) {
+        if self.bytes.len() < end {
+            self.bytes.resize(end, 0);
+        }
+    }
+
+    /// The label of the byte at `addr`.
+    pub fn get(&self, addr: Addr) -> Label {
+        self.bytes.get(addr.0 as usize).copied().map(Label).unwrap_or(Label::CLEAN)
+    }
+
+    /// Set `len` bytes starting at `addr` to `label`.
+    pub fn set_range(&mut self, addr: Addr, len: usize, label: Label) {
+        if len == 0 {
+            return;
+        }
+        let start = addr.0 as usize;
+        self.ensure(start + len);
+        self.bytes[start..start + len].fill(label.0);
+    }
+
+    /// Union of the labels over `len` bytes starting at `addr`.
+    pub fn union_range(&self, addr: Addr, len: usize, table: &mut LabelTable) -> Label {
+        let start = addr.0 as usize;
+        let mut acc = Label::CLEAN;
+        for i in 0..len {
+            let l = self.bytes.get(start + i).copied().map(Label).unwrap_or(Label::CLEAN);
+            acc = table.union(acc, l);
+        }
+        acc
+    }
+
+    /// Copy `len` shadow bytes from `src` to `dst` (memmove semantics).
+    pub fn copy_range(&mut self, dst: Addr, src: Addr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let s = src.0 as usize;
+        let d = dst.0 as usize;
+        self.ensure(s + len);
+        self.ensure(d + len);
+        self.bytes.copy_within(s..s + len, d);
+    }
+
+    /// Whether any byte in the range is tainted.
+    pub fn any_tainted(&self, addr: Addr, len: usize) -> bool {
+        let start = addr.0 as usize;
+        (0..len).any(|i| self.bytes.get(start + i).copied().unwrap_or(0) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        let s = ShadowMemory::new();
+        assert_eq!(s.get(Addr(123)), Label::CLEAN);
+        assert!(!s.any_tainted(Addr(0), 64));
+    }
+
+    #[test]
+    fn set_and_get_ranges() {
+        let mut s = ShadowMemory::new();
+        s.set_range(Addr(16), 4, Label(3));
+        assert_eq!(s.get(Addr(15)), Label::CLEAN);
+        assert_eq!(s.get(Addr(16)), Label(3));
+        assert_eq!(s.get(Addr(19)), Label(3));
+        assert_eq!(s.get(Addr(20)), Label::CLEAN);
+        assert!(s.any_tainted(Addr(18), 8));
+    }
+
+    #[test]
+    fn union_range_merges_labels() {
+        let mut table = LabelTable::new();
+        let a = table.create_base("a");
+        let b = table.create_base("b");
+        let mut s = ShadowMemory::new();
+        s.set_range(Addr(0), 2, a);
+        s.set_range(Addr(2), 2, b);
+        let u = s.union_range(Addr(0), 4, &mut table);
+        assert!(table.contains_label(u, a));
+        assert!(table.contains_label(u, b));
+        // Range past the shadow end is clean, not a panic.
+        let tail = s.union_range(Addr(100), 8, &mut table);
+        assert_eq!(tail, Label::CLEAN);
+    }
+
+    #[test]
+    fn copy_range_moves_labels() {
+        let mut s = ShadowMemory::new();
+        s.set_range(Addr(0), 4, Label(7));
+        s.copy_range(Addr(32), Addr(0), 4);
+        assert_eq!(s.get(Addr(32)), Label(7));
+        assert_eq!(s.get(Addr(35)), Label(7));
+        // Overlapping copy behaves like memmove.
+        s.copy_range(Addr(34), Addr(32), 4);
+        assert_eq!(s.get(Addr(37)), Label(7));
+    }
+
+    #[test]
+    fn zero_length_operations_are_noops() {
+        let mut s = ShadowMemory::new();
+        s.set_range(Addr(5), 0, Label(1));
+        s.copy_range(Addr(1), Addr(2), 0);
+        assert!(!s.any_tainted(Addr(0), 16));
+    }
+}

@@ -1,0 +1,137 @@
+//! Mini-ChakraCore: a JS-engine-shaped front end for the Table I and
+//! compatibility experiments.
+//!
+//! The paper reports 42 input-tainted classes for ChakraCore 1.10
+//! (`Js::HashedCharacterBuffer`, `Js::OpLayoutT_Reg1`,
+//! `JsUtil::CharacterBuffer`, `Js::FunctionBody`, …). This scaled-down
+//! engine declares 14 of them (C++ scope operators flattened to `_`):
+//! a tokenizer allocates parser/property objects per source token, a
+//! bytecode writer emits `OpLayout` records, and an interpreter loop
+//! executes them against stack-frame objects. Engine plumbing
+//! (`Recycler`, `ThreadContext`) is initialized from constants and stays
+//! untainted.
+
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, CmpOp, Module};
+
+use crate::util::{begin_for, begin_for_n, class_family, default_fields, end_for, mix};
+use crate::Workload;
+
+/// The 14 input-tainted engine classes (scaled from the paper's 42).
+pub const TAINTED_CLASSES: [&str; 14] = [
+    "Js_HashedCharacterBuffer", "Js_OpLayoutT_Reg1", "JsUtil_CharacterBuffer",
+    "Js_FunctionBody", "Js_JavascriptString", "Js_DynamicTypeHandler",
+    "Js_PropertyRecord", "Js_ByteCodeWriter", "Js_ParseNode", "Js_Scope",
+    "Js_SymbolTable", "Js_InterpreterStackFrame", "Js_JavascriptNumber",
+    "Js_ScriptContext",
+];
+
+/// Build the engine module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("chakracore-1.10");
+    let classes = class_family(&mut mb, &TAINTED_CLASSES, default_fields);
+    let internal = class_family(&mut mb, &["Recycler", "ThreadContext"], default_fields);
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _recycler = f.alloc_obj(bb, internal[0]);
+    let _thread = f.alloc_obj(bb, internal[1]);
+
+    let len = f.input_len(bb);
+    let bytecode = f.alloc_buf_bytes(bb, 1024);
+    let objects = f.alloc_buf_bytes(bb, 512 * 8);
+    let n_obj = f.const_(bb, 0);
+
+    // ---- parse + bytecode generation ----------------------------------
+    let parse = begin_for(&mut f, bb, 0, len);
+    let token = f.input_byte(parse.body, parse.i);
+    let kind = f.bini(parse.body, BinOp::Rem, token, TAINTED_CLASSES.len() as u64);
+    let join = f.block();
+    let node = f.reg();
+    let mut cur = parse.body;
+    for (k, &class) in classes.iter().enumerate() {
+        let hit = f.block();
+        let next = f.block();
+        let is_kind = f.cmpi(cur, CmpOp::Eq, kind, k as u64);
+        f.br(cur, is_kind, hit, next);
+        let obj = f.alloc_obj(hit, class);
+        let fld = f.gep(hit, obj, class, 1);
+        f.store(hit, fld, token, 1);
+        f.mov_to(hit, node, obj);
+        f.jmp(hit, join);
+        cur = next;
+    }
+    let fb = f.alloc_obj(cur, classes[0]);
+    f.mov_to(cur, node, fb);
+    f.jmp(cur, join);
+    // Emit one bytecode op and remember the node.
+    let bc_idx = f.bini(join, BinOp::And, parse.i, 1023);
+    let bc_addr = f.bin(join, BinOp::Add, bytecode, bc_idx);
+    f.store(join, bc_addr, token, 1);
+    let slot_idx = f.bini(join, BinOp::And, n_obj, 511);
+    let slot_off = f.bini(join, BinOp::Mul, slot_idx, 8);
+    let slot = f.bin(join, BinOp::Add, objects, slot_off);
+    f.store(join, slot, node, 8);
+    let bumped = f.bini(join, BinOp::Add, n_obj, 1);
+    f.mov_to(join, n_obj, bumped);
+    end_for(&mut f, &parse, join);
+
+    // ---- interpret: hot loop over flat bytecode ------------------------
+    let acc = f.const_(parse.exit, 0);
+    let frame = f.alloc_obj(parse.exit, classes[11]); // InterpreterStackFrame
+    let rounds = begin_for_n(&mut f, parse.exit, 400);
+    let ops = begin_for(&mut f, rounds.body, 0, len);
+    let bc_addr = f.bin(ops.body, BinOp::Add, bytecode, ops.i);
+    let op = f.load(ops.body, bc_addr, 1);
+    let mixed = mix(&mut f, ops.body, op);
+    let folded = f.bin(ops.body, BinOp::Add, acc, mixed);
+    f.mov_to(ops.body, acc, folded);
+    end_for(&mut f, &ops, ops.body);
+    // One frame update per round (cold object traffic, JS-engine style).
+    let ip_fld = f.gep(ops.exit, frame, classes[11], 1);
+    f.store(ops.exit, ip_fld, acc, 1);
+    end_for(&mut f, &rounds, ops.exit);
+
+    f.out(rounds.exit, acc);
+    f.ret(rounds.exit, Some(acc));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// A "script" covering every token kind.
+pub fn safe_input() -> Vec<u8> {
+    (0u8..112).map(|i| i.wrapping_mul(3).wrapping_add(1)).collect()
+}
+
+/// The canonical workload wrapper.
+pub fn workload() -> Workload {
+    Workload::new("chakracore-1.10", build(), safe_input(), 16_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_ir::interp::{run_native, ExecLimits};
+
+    #[test]
+    fn engine_runs() {
+        let m = build();
+        let report = run_native(&m, &safe_input(), ExecLimits::default());
+        assert!(report.result.is_ok(), "{:?}", report.result);
+    }
+
+    #[test]
+    fn taintclass_finds_the_engine_classes() {
+        use polar_taint::{analyze, TaintConfig};
+        let m = build();
+        let (report, exec) =
+            analyze(&m, &safe_input(), ExecLimits::default(), &TaintConfig::default());
+        assert!(exec.result.is_ok());
+        assert_eq!(
+            report.tainted_class_count(),
+            TAINTED_CLASSES.len(),
+            "{}",
+            report.render(&m.registry)
+        );
+    }
+}

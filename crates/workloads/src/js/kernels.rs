@@ -1,0 +1,520 @@
+//! Kernel archetypes behind the JavaScript benchmark subtests.
+//!
+//! ChakraCore's benchmark suites decompose into a small set of
+//! computational shapes; each function here builds one shape as an IR
+//! module, parameterized by work size. All kernels follow the JS-engine
+//! pattern the paper identifies as the reason for POLaR's ~1 % overhead
+//! there (Section V-B): the engine-internal objects are allocated up
+//! front and the hot loops run over flat arrays and registers, so the
+//! instrumented-site density is low.
+
+use polar_classinfo::{ClassDecl, FieldKind};
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, CmpOp, Module};
+
+use crate::util::{begin_for, begin_for_n, end_for, mix};
+
+fn engine_classes(mb: &mut ModuleBuilder) -> (polar_classinfo::ClassId, polar_classinfo::ClassId) {
+    let func_body = mb
+        .add_class(
+            ClassDecl::builder("Js_FunctionBody")
+                .field("vtable", FieldKind::VtablePtr)
+                .field("byte_code", FieldKind::Ptr)
+                .field("count", FieldKind::I32)
+                .build(),
+        )
+        .unwrap();
+    let dyn_obj = mb
+        .add_class(
+            ClassDecl::builder("Js_DynamicObject")
+                .field("vtable", FieldKind::VtablePtr)
+                .field("type_id", FieldKind::I32)
+                .field("slots", FieldKind::Ptr)
+                .field("length", FieldKind::I32)
+                .build(),
+        )
+        .unwrap();
+    (func_body, dyn_obj)
+}
+
+/// Grid pathfinding (`ai-astar`): wavefront relaxation over a flat grid.
+pub fn astar(grid: u64, waves: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-astar");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let state = f.alloc_obj(bb, obj_c);
+    let dist = f.alloc_buf_bytes(bb, grid * grid * 4);
+    let d_fld = f.gep(bb, state, obj_c, 2);
+    f.store(bb, d_fld, dist, 8);
+    let best = f.const_(bb, 0);
+    let w = begin_for_n(&mut f, bb, waves);
+    let cells = begin_for_n(&mut f, w.body, grid * grid);
+    let off = f.bini(cells.body, BinOp::Mul, cells.i, 4);
+    let addr = f.bin(cells.body, BinOp::Add, dist, off);
+    let d = f.load(cells.body, addr, 4);
+    let left = f.bini(cells.body, BinOp::Add, d, 1);
+    let m = mix(&mut f, cells.body, left);
+    f.store(cells.body, addr, m, 4);
+    let acc = f.bin(cells.body, BinOp::Add, best, m);
+    f.mov_to(cells.body, best, acc);
+    end_for(&mut f, &cells, cells.body);
+    end_for(&mut f, &w, cells.exit);
+    let len_fld = f.gep(w.exit, state, obj_c, 3);
+    f.store(w.exit, len_fld, best, 4);
+    f.ret(w.exit, Some(best));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// Bit-twiddling loops (`bitops-*`, `dry.c`): register-only arithmetic.
+pub fn bitops(iters: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-bitops");
+    let (fb_c, _) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let acc = f.const_(bb, 0x9E37_79B9);
+    let lp = begin_for_n(&mut f, bb, iters);
+    let x = f.bin(lp.body, BinOp::Xor, acc, lp.i);
+    let m = mix(&mut f, lp.body, x);
+    let pop = f.bini(lp.body, BinOp::And, m, 0xFF);
+    let folded = f.bin(lp.body, BinOp::Add, acc, pop);
+    f.mov_to(lp.body, acc, folded);
+    end_for(&mut f, &lp, lp.body);
+    f.ret(lp.exit, Some(acc));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// Block-cipher rounds (`crypto-*`, `zlib`): buffer substitution rounds.
+pub fn crypto(block: u64, rounds: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-crypto");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let ctx = f.alloc_obj(bb, obj_c);
+    let state = f.alloc_buf_bytes(bb, block);
+    let len = f.input_len(bb);
+    let zero = f.const_(bb, 0);
+    f.input_read(bb, state, zero, len);
+    let s_fld = f.gep(bb, ctx, obj_c, 2);
+    f.store(bb, s_fld, state, 8);
+    let r = begin_for_n(&mut f, bb, rounds);
+    let bytes = begin_for_n(&mut f, r.body, block);
+    let addr = f.bin(bytes.body, BinOp::Add, state, bytes.i);
+    let v = f.load(bytes.body, addr, 1);
+    let key = f.bin(bytes.body, BinOp::Xor, r.i, bytes.i);
+    let x = f.bin(bytes.body, BinOp::Xor, v, key);
+    let m = mix(&mut f, bytes.body, x);
+    f.store(bytes.body, addr, m, 1);
+    end_for(&mut f, &bytes, bytes.body);
+    end_for(&mut f, &r, bytes.exit);
+    let digest = f.load(r.exit, state, 8);
+    f.ret(r.exit, Some(digest));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// FFT/DSP butterflies (`audio-*`, `math-*`, `navier-stokes`): strided
+/// passes over a fixed-point signal buffer.
+pub fn fft(n: u64, passes: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-fft");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let plan = f.alloc_obj(bb, obj_c);
+    let signal = f.alloc_buf_bytes(bb, n * 8);
+    let s_fld = f.gep(bb, plan, obj_c, 2);
+    f.store(bb, s_fld, signal, 8);
+    // Seed the signal deterministically.
+    let seed = begin_for_n(&mut f, bb, n);
+    let off = f.bini(seed.body, BinOp::Mul, seed.i, 8);
+    let addr = f.bin(seed.body, BinOp::Add, signal, off);
+    let m = mix(&mut f, seed.body, seed.i);
+    f.store(seed.body, addr, m, 8);
+    end_for(&mut f, &seed, seed.body);
+    let p = begin_for_n(&mut f, seed.exit, passes);
+    let pairs = begin_for_n(&mut f, p.body, n);
+    let partner = f.bini(pairs.body, BinOp::Xor, pairs.i, 1);
+    let a_off = f.bini(pairs.body, BinOp::Mul, pairs.i, 8);
+    let a_addr = f.bin(pairs.body, BinOp::Add, signal, a_off);
+    let b_off = f.bini(pairs.body, BinOp::Mul, partner, 8);
+    let b_addr = f.bin(pairs.body, BinOp::Add, signal, b_off);
+    let a = f.load(pairs.body, a_addr, 8);
+    let b = f.load(pairs.body, b_addr, 8);
+    let sum = f.bin(pairs.body, BinOp::Add, a, b);
+    let tw = mix(&mut f, pairs.body, sum);
+    f.store(pairs.body, a_addr, tw, 8);
+    end_for(&mut f, &pairs, pairs.body);
+    end_for(&mut f, &p, pairs.exit);
+    let out = f.load(p.exit, signal, 8);
+    f.ret(p.exit, Some(out));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// Image filters (`imaging-*`, `gbemu`, `mandreel`): neighbourhood
+/// convolution over a pixel buffer.
+pub fn image(pixels: u64, passes: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-image");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let canvas = f.alloc_obj(bb, obj_c);
+    let buf = f.alloc_buf_bytes(bb, pixels);
+    let b_fld = f.gep(bb, canvas, obj_c, 2);
+    f.store(bb, b_fld, buf, 8);
+    let p = begin_for_n(&mut f, bb, passes);
+    let px = begin_for_n(&mut f, p.body, pixels - 1);
+    let addr = f.bin(px.body, BinOp::Add, buf, px.i);
+    let here = f.load(px.body, addr, 1);
+    let next_i = f.bini(px.body, BinOp::Add, px.i, 1);
+    let next_addr = f.bin(px.body, BinOp::Add, buf, next_i);
+    let next = f.load(px.body, next_addr, 1);
+    let blend = f.bin(px.body, BinOp::Add, here, next);
+    let half = f.bini(px.body, BinOp::Shr, blend, 1);
+    let lit = f.bini(px.body, BinOp::Add, half, 1);
+    f.store(px.body, addr, lit, 1);
+    end_for(&mut f, &px, px.body);
+    end_for(&mut f, &p, px.exit);
+    let out = f.load(p.exit, buf, 8);
+    f.ret(p.exit, Some(out));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// JSON parse/stringify (`json-*`, `typescript`, `hash-map`): builds a
+/// population of property objects, then re-reads them — the most
+/// object-intensive kernel.
+pub fn json(objects: u64, sweeps: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-json");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let table = f.alloc_buf_bytes(bb, objects * 8);
+    let build = begin_for_n(&mut f, bb, objects);
+    let o = f.alloc_obj(build.body, obj_c);
+    let t_fld = f.gep(build.body, o, obj_c, 1);
+    f.store(build.body, t_fld, build.i, 4);
+    let l_fld = f.gep(build.body, o, obj_c, 3);
+    let m = mix(&mut f, build.body, build.i);
+    f.store(build.body, l_fld, m, 4);
+    let off = f.bini(build.body, BinOp::Mul, build.i, 8);
+    let slot = f.bin(build.body, BinOp::Add, table, off);
+    f.store(build.body, slot, o, 8);
+    end_for(&mut f, &build, build.body);
+    let digest = f.const_(build.exit, 0);
+    let s = begin_for_n(&mut f, build.exit, sweeps);
+    let walk = begin_for_n(&mut f, s.body, objects);
+    let off = f.bini(walk.body, BinOp::Mul, walk.i, 8);
+    let slot = f.bin(walk.body, BinOp::Add, table, off);
+    let o = f.load(walk.body, slot, 8);
+    let l_fld = f.gep(walk.body, o, obj_c, 3);
+    let v = f.load(walk.body, l_fld, 4);
+    // Stringify: serialize the property through several hashing rounds —
+    // the compute JS engines spend their time in, dwarfing the single
+    // property access above.
+    let mut ser = v;
+    for _ in 0..14 {
+        ser = mix(&mut f, walk.body, ser);
+    }
+    let acc = f.bin(walk.body, BinOp::Add, digest, ser);
+    f.mov_to(walk.body, digest, acc);
+    end_for(&mut f, &walk, walk.body);
+    end_for(&mut f, &s, walk.exit);
+    f.ret(s.exit, Some(digest));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// N-body physics (`access-nbody`, `box2d`, `cdjs`): positions and
+/// velocities live in flat typed arrays (how JS physics engines lay out
+/// their state); a world descriptor object is updated once per step.
+pub fn nbody(bodies: u64, steps: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-nbody");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let world = f.alloc_obj(bb, obj_c);
+    let pos = f.alloc_buf_bytes(bb, bodies * 8);
+    let vel = f.alloc_buf_bytes(bb, bodies * 8);
+    let s_fld = f.gep(bb, world, obj_c, 2);
+    f.store(bb, s_fld, pos, 8);
+    let init = begin_for_n(&mut f, bb, bodies);
+    let off = f.bini(init.body, BinOp::Mul, init.i, 8);
+    let p_addr = f.bin(init.body, BinOp::Add, pos, off);
+    f.store(init.body, p_addr, init.i, 8);
+    let seeded = mix(&mut f, init.body, init.i);
+    let v_addr = f.bin(init.body, BinOp::Add, vel, off);
+    f.store(init.body, v_addr, seeded, 8);
+    end_for(&mut f, &init, init.body);
+    let st = begin_for_n(&mut f, init.exit, steps);
+    let each = begin_for_n(&mut f, st.body, bodies);
+    let off = f.bini(each.body, BinOp::Mul, each.i, 8);
+    let p_addr = f.bin(each.body, BinOp::Add, pos, off);
+    let v_addr = f.bin(each.body, BinOp::Add, vel, off);
+    let x = f.load(each.body, p_addr, 8);
+    let vx = f.load(each.body, v_addr, 8);
+    let x2 = f.bin(each.body, BinOp::Add, x, vx);
+    f.store(each.body, p_addr, x2, 8);
+    let force = mix(&mut f, each.body, x2);
+    let f2 = mix(&mut f, each.body, force);
+    let damp = f.bini(each.body, BinOp::And, f2, 0xF);
+    let vx2 = f.bin(each.body, BinOp::Add, vx, damp);
+    f.store(each.body, v_addr, vx2, 8);
+    end_for(&mut f, &each, each.body);
+    // One descriptor update per step (the cold object traffic).
+    let t_fld = f.gep(each.exit, world, obj_c, 3);
+    f.store(each.exit, t_fld, st.i, 4);
+    end_for(&mut f, &st, each.exit);
+    let out = f.load(st.exit, pos, 8);
+    f.ret(st.exit, Some(out));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// Regexp scanning (`regexp-*`, `string-validate-input`): a DFA over the
+/// program input.
+pub fn regexp(rounds: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-regexp");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let matcher = f.alloc_obj(bb, obj_c);
+    let matches = f.const_(bb, 0);
+    let state = f.const_(bb, 0);
+    let len = f.input_len(bb);
+    let r = begin_for_n(&mut f, bb, rounds);
+    let scan = begin_for(&mut f, r.body, 0, len);
+    let c = f.input_byte(scan.body, scan.i);
+    // DFA: state' = mix(state*31 + c) mod 7; accept on state 3.
+    let s31 = f.bini(scan.body, BinOp::Mul, state, 31);
+    let s = f.bin(scan.body, BinOp::Add, s31, c);
+    let sm = mix(&mut f, scan.body, s);
+    let s7 = f.bini(scan.body, BinOp::Rem, sm, 7);
+    f.mov_to(scan.body, state, s7);
+    let hit = f.cmpi(scan.body, CmpOp::Eq, s7, 3);
+    let m2 = f.bin(scan.body, BinOp::Add, matches, hit);
+    f.mov_to(scan.body, matches, m2);
+    end_for(&mut f, &scan, scan.body);
+    end_for(&mut f, &r, scan.exit);
+    let c_fld = f.gep(r.exit, matcher, obj_c, 3);
+    f.store(r.exit, c_fld, matches, 4);
+    f.ret(r.exit, Some(matches));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// String building/hashing (`string-*`, `date-format-*`, `pdfjs`).
+pub fn string_ops(len: u64, rounds: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-string");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let sbuf = f.alloc_obj(bb, obj_c);
+    let buf = f.alloc_buf_bytes(bb, len);
+    let b_fld = f.gep(bb, sbuf, obj_c, 2);
+    f.store(bb, b_fld, buf, 8);
+    let hash = f.const_(bb, 5381);
+    let r = begin_for_n(&mut f, bb, rounds);
+    let chars = begin_for_n(&mut f, r.body, len);
+    let addr = f.bin(chars.body, BinOp::Add, buf, chars.i);
+    let old = f.load(chars.body, addr, 1);
+    let h33 = f.bini(chars.body, BinOp::Mul, hash, 33);
+    let h = f.bin(chars.body, BinOp::Xor, h33, old);
+    f.mov_to(chars.body, hash, h);
+    let c = f.bini(chars.body, BinOp::And, h, 0x7F);
+    f.store(chars.body, addr, c, 1);
+    end_for(&mut f, &chars, chars.body);
+    end_for(&mut f, &r, chars.exit);
+    f.ret(r.exit, Some(hash));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// Tree churn (`splay`, `access-binary-trees`, `richards`, `towers`):
+/// allocate/free node populations — the GC-pressure kernel.
+pub fn tree(nodes: u64, rounds: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-tree");
+    let (fb_c, _) = engine_classes(&mut mb);
+    let node_c = mb
+        .add_class(
+            ClassDecl::builder("TreeNode")
+                .field("left", FieldKind::Ptr)
+                .field("right", FieldKind::Ptr)
+                .field("key", FieldKind::I64)
+                .build(),
+        )
+        .unwrap();
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let pool = f.alloc_buf_bytes(bb, nodes * 8);
+    let digest = f.const_(bb, 0);
+    let r = begin_for_n(&mut f, bb, rounds);
+    // Build a linked population…
+    let build = begin_for_n(&mut f, r.body, nodes);
+    let o = f.alloc_obj(build.body, node_c);
+    let k_fld = f.gep(build.body, o, node_c, 2);
+    let key = mix(&mut f, build.body, build.i);
+    f.store(build.body, k_fld, key, 8);
+    let off = f.bini(build.body, BinOp::Mul, build.i, 8);
+    let slot = f.bin(build.body, BinOp::Add, pool, off);
+    f.store(build.body, slot, o, 8);
+    end_for(&mut f, &build, build.body);
+    // …snapshot the keys into a flat array (the engine's inline-slot
+    // fast path: one property read per node per round)…
+    let keys = f.alloc_buf_bytes(build.exit, nodes * 8);
+    let snap = begin_for_n(&mut f, build.exit, nodes);
+    let off = f.bini(snap.body, BinOp::Mul, snap.i, 8);
+    let slot = f.bin(snap.body, BinOp::Add, pool, off);
+    let o = f.load(snap.body, slot, 8);
+    let k_fld = f.gep(snap.body, o, node_c, 2);
+    let kv = f.load(snap.body, k_fld, 8);
+    let k_addr = f.bin(snap.body, BinOp::Add, keys, off);
+    f.store(snap.body, k_addr, kv, 8);
+    end_for(&mut f, &snap, snap.body);
+    // …traverse the snapshot with rebalancing arithmetic…
+    let traversals = begin_for_n(&mut f, snap.exit, 60);
+    let walk = begin_for_n(&mut f, traversals.body, nodes);
+    let off = f.bini(walk.body, BinOp::Mul, walk.i, 8);
+    let k_addr = f.bin(walk.body, BinOp::Add, keys, off);
+    let kv = f.load(walk.body, k_addr, 8);
+    let mut rank = kv;
+    for _ in 0..8 {
+        rank = mix(&mut f, walk.body, rank);
+    }
+    let acc = f.bin(walk.body, BinOp::Add, digest, rank);
+    f.mov_to(walk.body, digest, acc);
+    end_for(&mut f, &walk, walk.body);
+    end_for(&mut f, &traversals, walk.exit);
+    // …and collect it (mark-and-sweep style teardown).
+    let sweep = begin_for_n(&mut f, traversals.exit, nodes);
+    let off = f.bini(sweep.body, BinOp::Mul, sweep.i, 8);
+    let slot = f.bin(sweep.body, BinOp::Add, pool, off);
+    let o = f.load(sweep.body, slot, 8);
+    f.free_obj(sweep.body, o);
+    end_for(&mut f, &sweep, sweep.body);
+    end_for(&mut f, &r, sweep.exit);
+    f.ret(r.exit, Some(digest));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// Sorting (`quicksort.c`, `access-fannkuch`): shell sort over a buffer.
+pub fn sort(n: u64, rounds: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-sort");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let arr_o = f.alloc_obj(bb, obj_c);
+    let buf = f.alloc_buf_bytes(bb, n * 4);
+    let b_fld = f.gep(bb, arr_o, obj_c, 2);
+    f.store(bb, b_fld, buf, 8);
+    let r = begin_for_n(&mut f, bb, rounds);
+    // Refill with pseudo-random values…
+    let fill = begin_for_n(&mut f, r.body, n);
+    let mixed = mix(&mut f, fill.body, fill.i);
+    let salted = f.bin(fill.body, BinOp::Xor, mixed, r.i);
+    let off = f.bini(fill.body, BinOp::Mul, fill.i, 4);
+    let addr = f.bin(fill.body, BinOp::Add, buf, off);
+    f.store(fill.body, addr, salted, 4);
+    end_for(&mut f, &fill, fill.body);
+    // …then bubble passes (bounded, branch-heavy like real sorts).
+    let passes = begin_for_n(&mut f, fill.exit, 8);
+    let sweep = begin_for_n(&mut f, passes.body, n - 1);
+    let off = f.bini(sweep.body, BinOp::Mul, sweep.i, 4);
+    let a_addr = f.bin(sweep.body, BinOp::Add, buf, off);
+    let b_addr = f.bini(sweep.body, BinOp::Add, a_addr, 4);
+    let a = f.load(sweep.body, a_addr, 4);
+    let b = f.load(sweep.body, b_addr, 4);
+    let gt = f.cmp(sweep.body, CmpOp::Gt, a, b);
+    let swap_bb = f.block();
+    let cont_bb = f.block();
+    f.br(sweep.body, gt, swap_bb, cont_bb);
+    f.store(swap_bb, a_addr, b, 4);
+    f.store(swap_bb, b_addr, a, 4);
+    f.jmp(swap_bb, cont_bb);
+    end_for(&mut f, &sweep, cont_bb);
+    end_for(&mut f, &passes, sweep.exit);
+    end_for(&mut f, &r, passes.exit);
+    let out = f.load(r.exit, buf, 4);
+    f.ret(r.exit, Some(out));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+/// Ray tracing (`3d-*`, `raytrace`): per-pixel math against a tiny scene.
+pub fn raytrace(width: u64, height: u64) -> Module {
+    let mut mb = ModuleBuilder::new("js-raytrace");
+    let (fb_c, obj_c) = engine_classes(&mut mb);
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _fb = f.alloc_obj(bb, fb_c);
+    let scene = f.alloc_obj(bb, obj_c);
+    let five = f.const_(bb, 5);
+    let t_fld = f.gep(bb, scene, obj_c, 1);
+    f.store(bb, t_fld, five, 4);
+    let image = f.alloc_buf_bytes(bb, width * height);
+    let rows = begin_for_n(&mut f, bb, height);
+    let cols = begin_for_n(&mut f, rows.body, width);
+    let ray = f.bini(cols.body, BinOp::Mul, rows.i, 131);
+    let dir = f.bin(cols.body, BinOp::Add, ray, cols.i);
+    let bounce1 = mix(&mut f, cols.body, dir);
+    let bounce2 = mix(&mut f, cols.body, bounce1);
+    let shade = f.bini(cols.body, BinOp::And, bounce2, 0xFF);
+    let row_off = f.bini(cols.body, BinOp::Mul, rows.i, width);
+    let px = f.bin(cols.body, BinOp::Add, row_off, cols.i);
+    let addr = f.bin(cols.body, BinOp::Add, image, px);
+    f.store(cols.body, addr, shade, 1);
+    end_for(&mut f, &cols, cols.body);
+    end_for(&mut f, &rows, cols.exit);
+    let out = f.load(rows.exit, image, 8);
+    f.ret(rows.exit, Some(out));
+    mb.finish_function(f);
+    mb.build().expect("valid module")
+}
+
+#[cfg(test)]
+mod tests {
+    use polar_ir::interp::{run_native, ExecLimits};
+
+    #[test]
+    fn every_kernel_runs() {
+        let kernels: Vec<(&str, polar_ir::Module)> = vec![
+            ("astar", super::astar(16, 8)),
+            ("bitops", super::bitops(500)),
+            ("crypto", super::crypto(64, 8)),
+            ("fft", super::fft(64, 8)),
+            ("image", super::image(256, 4)),
+            ("json", super::json(64, 4)),
+            ("nbody", super::nbody(8, 50)),
+            ("regexp", super::regexp(10)),
+            ("string", super::string_ops(128, 8)),
+            ("tree", super::tree(32, 4)),
+            ("sort", super::sort(64, 4)),
+            ("raytrace", super::raytrace(24, 24)),
+        ];
+        for (name, module) in kernels {
+            let report = run_native(&module, b"input-seed-bytes", ExecLimits::default());
+            assert!(report.result.is_ok(), "{name}: {:?}", report.result);
+        }
+    }
+
+    #[test]
+    fn kernels_scale_with_work() {
+        let small = run_native(&super::fft(32, 4), &[], ExecLimits::default()).steps;
+        let large = run_native(&super::fft(64, 8), &[], ExecLimits::default()).steps;
+        assert!(large > small * 3, "small={small} large={large}");
+    }
+}

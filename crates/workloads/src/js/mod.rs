@@ -1,0 +1,207 @@
+//! JavaScript benchmark suites (Table II / Figure 7) and the
+//! mini-ChakraCore engine workload (Table I, compatibility).
+
+pub mod engine;
+pub mod kernels;
+
+use polar_ir::interp::ExecLimits;
+use polar_ir::Module;
+
+/// The four suites the paper runs on ChakraCore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Mozilla Kraken (time in ms; lower is better).
+    Kraken,
+    /// WebKit Sunspider (time in ms; lower is better).
+    Sunspider,
+    /// Google Octane (score; higher is better).
+    Octane,
+    /// Apple JetStream (score; higher is better).
+    Jetstream,
+}
+
+impl Suite {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Kraken => "Kraken",
+            Suite::Sunspider => "Sunspider",
+            Suite::Octane => "Octane",
+            Suite::Jetstream => "Jetstream",
+        }
+    }
+
+    /// Whether the suite reports a score (higher is better) instead of a
+    /// time (lower is better).
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, Suite::Octane | Suite::Jetstream)
+    }
+}
+
+/// One benchmark subtest: a kernel module plus canonical input.
+#[derive(Debug)]
+pub struct JsKernel {
+    /// The suite it belongs to.
+    pub suite: Suite,
+    /// Subtest name as printed in Figure 7.
+    pub name: &'static str,
+    /// The kernel program.
+    pub module: Module,
+    /// Input bytes (kernels that consume input use this as their data).
+    pub input: Vec<u8>,
+    /// Execution limits.
+    pub limits: ExecLimits,
+}
+
+fn k(suite: Suite, name: &'static str, module: Module) -> JsKernel {
+    let input: Vec<u8> = (0u8..96).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+    JsKernel { suite, name, module, input, limits: ExecLimits::steps(50_000_000) }
+}
+
+/// The 14 Kraken subtests (Figure 7a).
+pub fn kraken() -> Vec<JsKernel> {
+    use kernels::*;
+    use Suite::Kraken as S;
+    vec![
+        k(S, "ai-astar", astar(64, 160)),
+        k(S, "audio-beat-detection", fft(512, 300)),
+        k(S, "audio-dft", fft(512, 340)),
+        k(S, "audio-fft", fft(512, 260)),
+        k(S, "audio-oscillator", fft(384, 300)),
+        k(S, "imaging-darkroom", image(16384, 44)),
+        k(S, "imaging-desaturate", image(16384, 36)),
+        k(S, "imaging-gaussian-blur", image(16384, 60)),
+        k(S, "json-parse-financial", json(640, 160)),
+        k(S, "json-stringify-tinderbox", json(512, 150)),
+        k(S, "stanford-crypto-aes", crypto(512, 560)),
+        k(S, "stanford-crypto-ccm", crypto(448, 520)),
+        k(S, "stanford-crypto-pbkdf2", crypto(256, 1200)),
+        k(S, "stanford-crypto-sha256-i", crypto(384, 700)),
+    ]
+}
+
+/// The 26 Sunspider subtests (Figure 7b).
+pub fn sunspider() -> Vec<JsKernel> {
+    use kernels::*;
+    use Suite::Sunspider as S;
+    vec![
+        k(S, "3d-cube", raytrace(224, 180)),
+        k(S, "3d-morph", raytrace(224, 160)),
+        k(S, "3d-raytrace", raytrace(256, 200)),
+        k(S, "access-binary-trees", tree(128, 5)),
+        k(S, "access-fannkuch", sort(768, 56)),
+        k(S, "access-nbody", nbody(48, 3600)),
+        k(S, "access-nsieve", bitops(420_000)),
+        k(S, "bitops-3bit-bits-in-byte", bitops(330_000)),
+        k(S, "bitops-bits-in-byte", bitops(380_000)),
+        k(S, "bitops-bitwise-and", bitops(460_000)),
+        k(S, "bitops-nsieve-bits", bitops(400_000)),
+        k(S, "controlflow-recursive", tree(112, 5)),
+        k(S, "crypto-aes", crypto(320, 320)),
+        k(S, "crypto-md5", crypto(320, 260)),
+        k(S, "crypto-sha1", crypto(320, 290)),
+        k(S, "date-format-tofte", string_ops(1024, 240)),
+        k(S, "date-format-xparb", string_ops(896, 220)),
+        k(S, "math-cordic", fft(320, 300)),
+        k(S, "math-partial-sums", bitops(440_000)),
+        k(S, "math-spectral-norm", fft(320, 260)),
+        k(S, "regexp-dna", regexp(4200)),
+        k(S, "string-base64", string_ops(1152, 220)),
+        k(S, "string-fasta", string_ops(1280, 200)),
+        k(S, "string-tagcloud", string_ops(1024, 260)),
+        k(S, "string-unpack-code", string_ops(1280, 240)),
+        k(S, "string-validate-input", regexp(3600)),
+    ]
+}
+
+/// The 17 Octane subtests (Figure 7c).
+pub fn octane() -> Vec<JsKernel> {
+    use kernels::*;
+    use Suite::Octane as S;
+    vec![
+        k(S, "box2d", nbody(64, 4200)),
+        k(S, "code-load", json(896, 150)),
+        k(S, "crypto", crypto(512, 620)),
+        k(S, "deltablue", tree(144, 5)),
+        k(S, "earley-boyer", tree(160, 5)),
+        k(S, "gbemu", image(20480, 52)),
+        k(S, "mandreel", image(18432, 48)),
+        k(S, "mandreelLatency", image(8192, 40)),
+        k(S, "navier-stokes", fft(640, 320)),
+        k(S, "pdfjs", string_ops(1536, 240)),
+        k(S, "raytrace", raytrace(288, 220)),
+        k(S, "regexp", regexp(4800)),
+        k(S, "richards", tree(136, 5)),
+        k(S, "splay", tree(176, 5)),
+        k(S, "splayLatency", tree(144, 4)),
+        k(S, "typescript", json(1024, 140)),
+        k(S, "zlib", crypto(512, 500)),
+    ]
+}
+
+/// The 10 JetStream subtests (Figure 7d).
+pub fn jetstream() -> Vec<JsKernel> {
+    use kernels::*;
+    use Suite::Jetstream as S;
+    vec![
+        k(S, "bigfib.cpp", tree(128, 5)),
+        k(S, "container.cpp", json(768, 150)),
+        k(S, "dry.c", bitops(520_000)),
+        k(S, "float-mm.c", fft(512, 280)),
+        k(S, "gcc-loops.cpp", image(18432, 44)),
+        k(S, "hash-map", json(640, 170)),
+        k(S, "n-body.c", nbody(56, 3800)),
+        k(S, "quicksort.c", sort(768, 60)),
+        k(S, "towers.c", tree(120, 5)),
+        k(S, "cdjs", nbody(48, 3400)),
+    ]
+}
+
+/// One suite's kernels.
+pub fn suite(s: Suite) -> Vec<JsKernel> {
+    match s {
+        Suite::Kraken => kraken(),
+        Suite::Sunspider => sunspider(),
+        Suite::Octane => octane(),
+        Suite::Jetstream => jetstream(),
+    }
+}
+
+/// All 67 subtests across the four suites.
+pub fn all() -> Vec<JsKernel> {
+    let mut v = kraken();
+    v.extend(sunspider());
+    v.extend(octane());
+    v.extend(jetstream());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtest_counts_match_figure7() {
+        assert_eq!(kraken().len(), 14);
+        assert_eq!(sunspider().len(), 26);
+        assert_eq!(octane().len(), 17);
+        assert_eq!(jetstream().len(), 10);
+        assert_eq!(all().len(), 67);
+    }
+
+    #[test]
+    fn suite_metadata() {
+        assert!(Suite::Octane.higher_is_better());
+        assert!(!Suite::Kraken.higher_is_better());
+        assert_eq!(Suite::Sunspider.name(), "Sunspider");
+    }
+
+    #[test]
+    fn subtest_names_are_unique_within_suite() {
+        for s in [Suite::Kraken, Suite::Sunspider, Suite::Octane, Suite::Jetstream] {
+            let names: Vec<&str> = suite(s).iter().map(|k| k.name).collect();
+            let set: std::collections::HashSet<&&str> = names.iter().collect();
+            assert_eq!(names.len(), set.len(), "{s:?}");
+        }
+    }
+}

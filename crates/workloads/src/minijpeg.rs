@@ -1,0 +1,244 @@
+//! `minijpeg` — a JPEG-flavoured decoder (libjpeg-turbo stand-in).
+//!
+//! Used for the compatibility evaluation and Table I, which reports 8
+//! input-tainted classes for libjpeg-turbo 1.5.2 (`tjinstance`,
+//! `bitread_working_state`, `savable_state`, `jpeg_component_info`,
+//! `j_decompress_struct`, …). The decoder parses a marker stream
+//! (`Q` quant table, `S` scan header, `D` entropy data, `E` end) and runs
+//! an IDCT-flavoured kernel over the coefficient buffer.
+
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, CmpOp, Module};
+
+use crate::util::{begin_for_n, end_for, mix};
+use crate::Workload;
+
+/// The 8 input-tainted libjpeg classes (Table I samples completed with
+/// libjpeg internals).
+pub const TAINTED_CLASSES: [&str; 8] = [
+    "tjinstance", "bitread_working_state", "savable_state", "jpeg_component_info",
+    "j_decompress_struct", "huff_entropy_decoder", "jpeg_color_quantizer",
+    "my_upsampler",
+];
+
+/// Build the decoder module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("minijpeg");
+    let ids = mb
+        .add_classes_src(
+            "class tjinstance { handle: ptr, width: i32, height: i32, subsamp: i32 }
+             class bitread_working_state { next_input_byte: ptr, bits_left: i32, get_buffer: i64 }
+             class savable_state { last_dc_val: i32, eobrun: i32 }
+             class jpeg_component_info { component_id: i32, h_samp: i32, v_samp: i32, quant_tbl_no: i32 }
+             class j_decompress_struct { err: ptr, image_width: i32, image_height: i32, num_components: i32, output_scanline: i32 }
+             class huff_entropy_decoder { pub_decode: fnptr, restarts_to_go: i32 }
+             class jpeg_color_quantizer { color_quantize: fnptr, desired: i32 }
+             class my_upsampler { upmethod: fnptr, rowgroup_height: i32 }
+             class jpeg_memory_mgr { alloc_small: fnptr, pool: ptr }",
+        )
+        .expect("class source parses");
+    let (tj, bits, sav, comp, dec, huff, quant, upsamp, memmgr) = (
+        ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8],
+    );
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+
+    // Decoder singletons. The memory manager is runtime-internal and
+    // never touched by input (the untainted control).
+    let tj_o = f.alloc_obj(bb, tj);
+    let bits_o = f.alloc_obj(bb, bits);
+    let sav_o = f.alloc_obj(bb, sav);
+    let comp_o = f.alloc_obj(bb, comp);
+    let dec_o = f.alloc_obj(bb, dec);
+    let huff_o = f.alloc_obj(bb, huff);
+    let quant_o = f.alloc_obj(bb, quant);
+    let up_o = f.alloc_obj(bb, upsamp);
+    let mm_o = f.alloc_obj(bb, memmgr);
+    let k = f.const_(bb, 0x2000);
+    let mm_fld = f.gep(bb, mm_o, memmgr, 0);
+    f.store(bb, mm_fld, k, 8);
+
+    let qtable = f.alloc_buf_bytes(bb, 64);
+    let coeffs = f.alloc_buf_bytes(bb, 64 * 8);
+
+    let pos = f.const_(bb, 0);
+    let len = f.input_len(bb);
+    let checksum = f.const_(bb, 0);
+
+    let head = f.block();
+    let body = f.block();
+    let done = f.block();
+    let adv = f.block();
+    f.jmp(bb, head);
+    let more = f.cmp(head, CmpOp::Lt, pos, len);
+    f.br(head, more, body, done);
+
+    let marker = f.input_byte(body, pos);
+    let d0 = f.bini(body, BinOp::Add, pos, 1);
+
+    // Q: quant table (64 bytes) → qtable + quantizer fields.
+    let q_bb = f.block();
+    let after_q = f.block();
+    let is_q = f.cmpi(body, CmpOp::Eq, marker, b'Q' as u64);
+    f.br(body, is_q, q_bb, after_q);
+    {
+        let copy = begin_for_n(&mut f, q_bb, 64);
+        let src = f.bin(copy.body, BinOp::Add, d0, copy.i);
+        let v = f.input_byte(copy.body, src);
+        let dst = f.bin(copy.body, BinOp::Add, qtable, copy.i);
+        f.store(copy.body, dst, v, 1);
+        end_for(&mut f, &copy, copy.body);
+        let q0 = f.load(copy.exit, qtable, 1);
+        let d_fld = f.gep(copy.exit, quant_o, quant, 1);
+        f.store(copy.exit, d_fld, q0, 4);
+        let sixty_five = f.const_(copy.exit, 65);
+        let np = f.bin(copy.exit, BinOp::Add, pos, sixty_five);
+        f.mov_to(copy.exit, pos, np);
+        f.jmp(copy.exit, head);
+    }
+
+    // S: scan header → dimensions and component info.
+    let s_bb = f.block();
+    let after_s = f.block();
+    let is_s = f.cmpi(after_q, CmpOp::Eq, marker, b'S' as u64);
+    f.br(after_q, is_s, s_bb, after_s);
+    {
+        let w = f.input_byte(s_bb, d0);
+        let d1 = f.bini(s_bb, BinOp::Add, pos, 2);
+        let h = f.input_byte(s_bb, d1);
+        let d2 = f.bini(s_bb, BinOp::Add, pos, 3);
+        let nc = f.input_byte(s_bb, d2);
+        let w_fld = f.gep(s_bb, dec_o, dec, 1);
+        f.store(s_bb, w_fld, w, 4);
+        let h_fld = f.gep(s_bb, dec_o, dec, 2);
+        f.store(s_bb, h_fld, h, 4);
+        let nc_fld = f.gep(s_bb, dec_o, dec, 3);
+        f.store(s_bb, nc_fld, nc, 4);
+        let tw_fld = f.gep(s_bb, tj_o, tj, 1);
+        f.store(s_bb, tw_fld, w, 4);
+        let hs_fld = f.gep(s_bb, comp_o, comp, 1);
+        f.store(s_bb, hs_fld, nc, 4);
+        let rg_fld = f.gep(s_bb, up_o, upsamp, 1);
+        f.store(s_bb, rg_fld, h, 4);
+        let four = f.const_(s_bb, 4);
+        let np = f.bin(s_bb, BinOp::Add, pos, four);
+        f.mov_to(s_bb, pos, np);
+        f.jmp(s_bb, head);
+    }
+
+    // D: entropy-coded data (16 bytes) → bitread/savable/huffman state,
+    // then the IDCT kernel over the coefficient buffer.
+    let d_bb = f.block();
+    let after_d = f.block();
+    let is_d = f.cmpi(after_s, CmpOp::Eq, marker, b'D' as u64);
+    f.br(after_s, is_d, d_bb, after_d);
+    {
+        let fill = begin_for_n(&mut f, d_bb, 16);
+        let src = f.bin(fill.body, BinOp::Add, d0, fill.i);
+        let v = f.input_byte(fill.body, src);
+        // Update decoder state objects per coded byte.
+        let gb_fld = f.gep(fill.body, bits_o, bits, 2);
+        let gb = f.load(fill.body, gb_fld, 8);
+        let gb8 = f.bini(fill.body, BinOp::Shl, gb, 8);
+        let gb2 = f.bin(fill.body, BinOp::Or, gb8, v);
+        f.store(fill.body, gb_fld, gb2, 8);
+        let dc_fld = f.gep(fill.body, sav_o, sav, 0);
+        let dc = f.load(fill.body, dc_fld, 4);
+        let dc2 = f.bin(fill.body, BinOp::Add, dc, v);
+        f.store(fill.body, dc_fld, dc2, 4);
+        let rst_fld = f.gep(fill.body, huff_o, huff, 1);
+        f.store(fill.body, rst_fld, v, 4);
+        // Dequantize into the coefficient buffer.
+        let qi = f.bini(fill.body, BinOp::Rem, fill.i, 64);
+        let qaddr = f.bin(fill.body, BinOp::Add, qtable, qi);
+        let q = f.load(fill.body, qaddr, 1);
+        let dq = f.bin(fill.body, BinOp::Mul, v, q);
+        let ci = f.bini(fill.body, BinOp::Mul, qi, 8);
+        let caddr = f.bin(fill.body, BinOp::Add, coeffs, ci);
+        f.store(fill.body, caddr, dq, 8);
+        end_for(&mut f, &fill, fill.body);
+
+        // IDCT-ish butterfly passes over the 64 coefficients.
+        let passes = begin_for_n(&mut f, fill.exit, 24);
+        let cells = begin_for_n(&mut f, passes.body, 64);
+        let off = f.bini(cells.body, BinOp::Mul, cells.i, 8);
+        let addr = f.bin(cells.body, BinOp::Add, coeffs, off);
+        let c = f.load(cells.body, addr, 8);
+        let partner = f.bini(cells.body, BinOp::Xor, cells.i, 1);
+        let poff = f.bini(cells.body, BinOp::Mul, partner, 8);
+        let paddr = f.bin(cells.body, BinOp::Add, coeffs, poff);
+        let pc = f.load(cells.body, paddr, 8);
+        let sum = f.bin(cells.body, BinOp::Add, c, pc);
+        let m = mix(&mut f, cells.body, sum);
+        f.store(cells.body, addr, m, 8);
+        let acc = f.bin(cells.body, BinOp::Add, checksum, m);
+        f.mov_to(cells.body, checksum, acc);
+        end_for(&mut f, &cells, cells.body);
+        end_for(&mut f, &passes, cells.exit);
+
+        let seventeen = f.const_(passes.exit, 17);
+        let np = f.bin(passes.exit, BinOp::Add, pos, seventeen);
+        f.mov_to(passes.exit, pos, np);
+        f.jmp(passes.exit, head);
+    }
+
+    // E or unknown: stop / skip one byte.
+    let is_e = f.cmpi(after_d, CmpOp::Eq, marker, b'E' as u64);
+    f.br(after_d, is_e, done, adv);
+    let one = f.const_(adv, 1);
+    let np = f.bin(adv, BinOp::Add, pos, one);
+    f.mov_to(adv, pos, np);
+    f.jmp(adv, head);
+
+    let sl_fld = f.gep(done, dec_o, dec, 4);
+    f.store(done, sl_fld, checksum, 4);
+    f.out(done, checksum);
+    f.ret(done, Some(checksum));
+    mb.finish_function(f);
+
+    mb.build().expect("valid module")
+}
+
+/// A well-formed JPEG-ish stream: quant table, scan header, two entropy
+/// segments.
+pub fn safe_input() -> Vec<u8> {
+    let mut input = vec![b'Q'];
+    input.extend((0u8..64).map(|i| i + 1));
+    input.extend([b'S', 64, 48, 3]);
+    input.push(b'D');
+    input.extend((0u8..16).map(|i| i.wrapping_mul(7)));
+    input.push(b'D');
+    input.extend((0u8..16).map(|i| i.wrapping_mul(11).wrapping_add(3)));
+    input.push(b'E');
+    input
+}
+
+/// The canonical workload wrapper.
+pub fn workload() -> Workload {
+    Workload::new("libjpeg-turbo-1.5.2", build(), safe_input(), 8_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_ir::interp::{run_native, ExecLimits};
+
+    #[test]
+    fn decoder_runs() {
+        let m = build();
+        let report = run_native(&m, &safe_input(), ExecLimits::default());
+        assert!(report.result.is_ok(), "{:?}", report.result);
+        assert_eq!(report.output.len(), 1);
+    }
+
+    #[test]
+    fn taintclass_finds_eight_classes() {
+        use polar_taint::{analyze, TaintConfig};
+        let m = build();
+        let (report, exec) =
+            analyze(&m, &safe_input(), ExecLimits::default(), &TaintConfig::default());
+        assert!(exec.result.is_ok());
+        assert_eq!(report.tainted_class_count(), 8, "{}", report.render(&m.registry));
+    }
+}

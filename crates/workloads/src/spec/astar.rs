@@ -1,0 +1,123 @@
+//! `473.astar` — pathfinding: few objects, object copies, buffer search.
+//!
+//! astar keeps a dozen manager/region objects and does its real work in
+//! flat map arrays (Table III: 12 allocations, 354 K memcpys, only 204
+//! member accesses). Table I: 7 tainted classes.
+
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::BinOp;
+
+use crate::util::{compute_pad, begin_for_n, class_family, default_fields, dispatch_by_kind, end_for, mix};
+use crate::Workload;
+
+/// The 7 input-tainted astar classes (Table I's exact list).
+pub const TAINTED_CLASSES: [&str; 7] = [
+    "wayobj", "way2obj", "regmngobj", "workinfot", "createwaymnginfot", "regboundobj",
+    "regobj",
+];
+
+/// Grid side length.
+const GRID: u64 = 48;
+/// Search waves over the grid.
+const WAVES: u64 = 40;
+/// Region-object copies per wave (Table III's memcpy column).
+const COPIES_PER_WAVE: u64 = 9;
+
+/// Build the workload.
+pub fn workload() -> Workload {
+    let mut mb = ModuleBuilder::new("473.astar");
+    let classes = class_family(&mut mb, &TAINTED_CLASSES, default_fields);
+    let internal = class_family(&mut mb, &["statobj"], default_fields);
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _stats = f.alloc_obj(bb, internal[0]);
+
+    // The map file is the untrusted input.
+    let len = f.input_len(bb);
+    let map = f.alloc_buf_bytes(bb, GRID * GRID);
+    let zero = f.const_(bb, 0);
+    f.input_read(bb, map, zero, len);
+
+    // ---- the 12 manager objects (7 classes + 5 duplicates) ------------
+    let managers = f.alloc_buf_bytes(bb, 12 * 8);
+    let mut mgr_regs = Vec::new();
+    for i in 0..12usize {
+        let class = classes[i % classes.len()];
+        let obj = f.alloc_obj(bb, class);
+        let cost_idx = f.const_(bb, (i as u64 * 7) % 64);
+        let cost_addr = f.bin(bb, BinOp::Add, map, cost_idx);
+        let cost = f.load(bb, cost_addr, 1);
+        let fld = f.gep(bb, obj, class, 1);
+        f.store(bb, fld, cost, 1);
+        let off = f.const_(bb, i as u64 * 8);
+        let slot = f.bin(bb, BinOp::Add, managers, off);
+        f.store(bb, slot, obj, 8);
+        mgr_regs.push(obj);
+    }
+
+    // ---- search: wavefront relaxation over the flat map ---------------
+    let dist = f.alloc_buf_bytes(bb, GRID * GRID * 4);
+    let best = f.const_(bb, 0);
+    let waves = begin_for_n(&mut f, bb, WAVES);
+    // Region bookkeeping is cloned at every wave boundary (object copies
+    // between same-class manager pairs: slots i and i+7 share a class).
+    for k in 0..COPIES_PER_WAVE.min(5) {
+        let src = mgr_regs[k as usize];
+        let dst = mgr_regs[(k + 7) as usize];
+        f.copy_obj(waves.body, dst, src, classes[k as usize % classes.len()]);
+    }
+    let cells = begin_for_n(&mut f, waves.body, GRID * GRID);
+    let cost_idx = f.bini(cells.body, BinOp::Rem, cells.i, GRID * GRID);
+    let cost_addr = f.bin(cells.body, BinOp::Add, map, cost_idx);
+    let terrain = f.load(cells.body, cost_addr, 1);
+    let d_off = f.bini(cells.body, BinOp::Mul, cells.i, 4);
+    let d_addr = f.bin(cells.body, BinOp::Add, dist, d_off);
+    let d = f.load(cells.body, d_addr, 4);
+    let relax = f.bin(cells.body, BinOp::Add, d, terrain);
+    let mixed = mix(&mut f, cells.body, relax);
+    f.store(cells.body, d_addr, mixed, 4);
+    let acc = f.bin(cells.body, BinOp::Add, best, terrain);
+    f.mov_to(cells.body, best, acc);
+    end_for(&mut f, &cells, cells.body);
+    end_for(&mut f, &waves, cells.exit);
+
+    // ~200 manager reads at the end (Table III's access column).
+    let readback = begin_for_n(&mut f, waves.exit, 200);
+    let mgr_idx = f.bini(readback.body, BinOp::Rem, readback.i, 12);
+    let mgr_off = f.bini(readback.body, BinOp::Mul, mgr_idx, 8);
+    let slot = f.bin(readback.body, BinOp::Add, managers, mgr_off);
+    let obj = f.load(readback.body, slot, 8);
+    // Manager slot i holds a classes[i % 7] object.
+    let mgr_kind = f.bini(readback.body, BinOp::Rem, mgr_idx, 7);
+    let v = f.reg();
+    let join = dispatch_by_kind(&mut f, readback.body, &classes, mgr_kind, |f, hit, class| {
+        let fld = f.gep(hit, obj, class, 1);
+        let loaded = f.load(hit, fld, 1);
+        f.mov_to(hit, v, loaded);
+    });
+    let acc = f.bin(join, BinOp::Add, best, v);
+    f.mov_to(join, best, acc);
+    end_for(&mut f, &readback, join);
+
+    // Heuristic evaluation over the flat distance field.
+    let (padded, fin) = compute_pad(&mut f, readback.exit, 300_000, best);
+    f.out(fin, padded);
+    f.ret(fin, Some(padded));
+    mb.finish_function(f);
+
+    let input: Vec<u8> = (0u8..200).map(|i| (i % 9).wrapping_add(1)).collect();
+    Workload::new("473.astar", mb.build().expect("valid module"), input, 30_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use polar_ir::interp::run_native;
+
+    #[test]
+    fn pathfinder_completes() {
+        let w = super::workload();
+        let report = run_native(&w.module, &w.input, w.limits);
+        assert!(report.result.is_ok(), "{:?}", report.result);
+    }
+}

@@ -1,0 +1,143 @@
+//! `464.h264ref` — video encoder: memcpy-dominated macroblock pipeline.
+//!
+//! h264ref's signature in Table III is the enormous object-copy count
+//! (298 M memcpys against 450 allocations) plus ~2 B member accesses:
+//! reference macroblocks and parameter sets are duplicated constantly.
+//! Table I reports 17 tainted classes.
+
+use polar_classinfo::FieldKind;
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, CmpOp};
+
+use crate::util::{compute_pad, begin_for_n, class_family, dispatch_by_kind, end_for, mix};
+use crate::Workload;
+
+/// The 17 input-tainted h264ref classes (Table I samples completed with
+/// reference-encoder internals).
+pub const TAINTED_CLASSES: [&str; 17] = [
+    "InputParameters", "decoded_picture_buffer", "pic_parameter_set_rbsp_t",
+    "ImageParameters", "seq_parameter_set_rbsp_t", "slice_t", "macroblock",
+    "motion_vector", "frame_store", "colocated_params", "wp_params", "nalu_t",
+    "bitstream_t", "syntax_element", "dec_ref_pic_marking", "quant_params",
+    "block_pos",
+];
+
+/// Macroblock pool size (Table III: 450 allocations; rounded to a
+/// multiple of 17 so the reference stride preserves block kind).
+const POOL: u64 = 442;
+/// Encoding passes (sizes copy/access counts).
+const FRAMES: u64 = 10;
+
+fn mb_fields(i: usize, _name: &str) -> Vec<(String, FieldKind)> {
+    // Macroblock-ish records: a few scalars + a pixel block. The pixel
+    // payload makes object copies meaningfully sized.
+    vec![
+        ("mb_type".to_owned(), FieldKind::I32),
+        ("qp".to_owned(), FieldKind::I32),
+        ("cbp".to_owned(), FieldKind::I64),
+        ("pix".to_owned(), FieldKind::Bytes(16 + (i as u32 % 3) * 8)),
+    ]
+}
+
+/// Build the workload.
+pub fn workload() -> Workload {
+    let mut mb = ModuleBuilder::new("464.h264ref");
+    let classes = class_family(&mut mb, &TAINTED_CLASSES, mb_fields);
+    let internal = class_family(&mut mb, &["EncodingEnvironment"], mb_fields);
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _env = f.alloc_obj(bb, internal[0]);
+
+    // The raw video frame arrives as input.
+    let len = f.input_len(bb);
+    let frame = f.alloc_buf_bytes(bb, 1024);
+    let zero = f.const_(bb, 0);
+    f.input_read(bb, frame, zero, len);
+
+    // ---- allocate the macroblock pool ---------------------------------
+    let pool = f.alloc_buf_bytes(bb, POOL * 8);
+    let fill = begin_for_n(&mut f, bb, POOL);
+    let kind = f.bini(fill.body, BinOp::Rem, fill.i, TAINTED_CLASSES.len() as u64);
+    let pix_idx = f.bini(fill.body, BinOp::Rem, fill.i, 256);
+    let pix_addr = f.bin(fill.body, BinOp::Add, frame, pix_idx);
+    let pixel = f.load(fill.body, pix_addr, 1);
+    let join = f.block();
+    let mbreg = f.reg();
+    let mut cur = fill.body;
+    for (k, &class) in classes.iter().enumerate() {
+        let hit = f.block();
+        let next = f.block();
+        let is_kind = f.cmpi(cur, CmpOp::Eq, kind, k as u64);
+        f.br(cur, is_kind, hit, next);
+        let obj = f.alloc_obj(hit, class);
+        let qp_fld = f.gep(hit, obj, class, 1);
+        f.store(hit, qp_fld, pixel, 4);
+        f.mov_to(hit, mbreg, obj);
+        f.jmp(hit, join);
+        cur = next;
+    }
+    let fb = f.alloc_obj(cur, classes[0]);
+    f.mov_to(cur, mbreg, fb);
+    f.jmp(cur, join);
+    let slot_off = f.bini(join, BinOp::Mul, fill.i, 8);
+    let slot = f.bin(join, BinOp::Add, pool, slot_off);
+    f.store(join, slot, mbreg, 8);
+    end_for(&mut f, &fill, join);
+
+    // ---- encode: per frame, copy reference blocks and update fields ---
+    let sad = f.const_(fill.exit, 0);
+    let frames = begin_for_n(&mut f, fill.exit, FRAMES);
+    let blocks = begin_for_n(&mut f, frames.body, POOL);
+    let body = blocks.body;
+    let src_off = f.bini(body, BinOp::Mul, blocks.i, 8);
+    let src_slot = f.bin(body, BinOp::Add, pool, src_off);
+    let src = f.load(body, src_slot, 8);
+    // Reference copy: the same-kind neighbour (i+17)%POOL.
+    let nb = f.bini(body, BinOp::Add, blocks.i, TAINTED_CLASSES.len() as u64);
+    let nb_idx = f.bini(body, BinOp::Rem, nb, POOL);
+    let nb_off = f.bini(body, BinOp::Mul, nb_idx, 8);
+    let nb_slot = f.bin(body, BinOp::Add, pool, nb_off);
+    let dst = f.load(body, nb_slot, 8);
+    // Both slots hold the same class: kind = index % 17 and POOL is a
+    // multiple of 17, so the +17 stride preserves kind. Dispatch the
+    // copy and the motion-search reads on the block's true class.
+    let blk_kind = f.bini(body, BinOp::Rem, blocks.i, TAINTED_CLASSES.len() as u64);
+    let mixed = f.reg();
+    let join = dispatch_by_kind(&mut f, body, &classes, blk_kind, |f, hit, class| {
+        f.copy_obj(hit, dst, src, class);
+        let qp_fld = f.gep(hit, src, class, 1);
+        let qp = f.load(hit, qp_fld, 4);
+        let cbp_fld = f.gep(hit, src, class, 2);
+        let cbp = f.load(hit, cbp_fld, 8);
+        let cost = f.bin(hit, BinOp::Add, qp, cbp);
+        let m = mix(f, hit, cost);
+        f.store(hit, cbp_fld, m, 8);
+        f.mov_to(hit, mixed, m);
+    });
+    let acc = f.bin(join, BinOp::Add, sad, mixed);
+    f.mov_to(join, sad, acc);
+    end_for(&mut f, &blocks, join);
+    end_for(&mut f, &frames, blocks.exit);
+
+    // DCT/deblocking arithmetic over pixel planes.
+    let (padded, fin) = compute_pad(&mut f, frames.exit, 390_000, sad);
+    f.out(fin, padded);
+    f.ret(fin, Some(padded));
+    mb.finish_function(f);
+
+    let input: Vec<u8> = (0u8..=255).map(|i| i.wrapping_mul(31)).collect();
+    Workload::new("464.h264ref", mb.build().expect("valid module"), input, 30_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use polar_ir::interp::run_native;
+
+    #[test]
+    fn encoder_pipeline_runs() {
+        let w = super::workload();
+        let report = run_native(&w.module, &w.input, w.limits);
+        assert!(report.result.is_ok(), "{:?}", report.result);
+    }
+}

@@ -1,0 +1,117 @@
+//! `462.libquantum` — quantum simulator: **no input-tainted objects**.
+//!
+//! The paper singles this application out: "TaintClass did not mark any
+//! objects of SPEC2006's 462.libquantum … The input is directly propagated
+//! for floating point operations; thus there is no object involved"
+//! (Section V-A), and Figure 6 omits it. The mini version reproduces that
+//! structure exactly: the input selects gates that are applied to a flat
+//! amplitude array (fixed-point arithmetic in a raw buffer); the only
+//! heap objects are configuration records initialized from constants.
+
+use polar_classinfo::{ClassDecl, FieldKind};
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::BinOp;
+
+use crate::util::{begin_for, begin_for_n, end_for, mix};
+use crate::Workload;
+
+/// Simulated qubits (amplitude array has 2^QUBITS entries).
+const QUBITS: u64 = 8;
+/// Gate-application rounds over the input program.
+const ROUNDS: u64 = 40;
+
+/// Build the workload.
+pub fn workload() -> Workload {
+    let mut mb = ModuleBuilder::new("462.libquantum");
+    let qreg = mb
+        .add_class(
+            ClassDecl::builder("quantum_reg_struct")
+                .field("width", FieldKind::I32)
+                .field("size", FieldKind::I32)
+                .field("amplitude", FieldKind::Ptr)
+                .build(),
+        )
+        .unwrap();
+    let qmatrix = mb
+        .add_class(
+            ClassDecl::builder("quantum_matrix_struct")
+                .field("rows", FieldKind::I32)
+                .field("cols", FieldKind::I32)
+                .field("t", FieldKind::Ptr)
+                .build(),
+        )
+        .unwrap();
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+
+    let n_amp = 1u64 << QUBITS;
+    let amps = f.alloc_buf_bytes(bb, n_amp * 8);
+    // Configuration objects: constants only — never tainted.
+    let reg = f.alloc_obj(bb, qreg);
+    let width = f.const_(bb, QUBITS);
+    let w_fld = f.gep(bb, reg, qreg, 0);
+    f.store(bb, w_fld, width, 4);
+    let amp_fld = f.gep(bb, reg, qreg, 2);
+    f.store(bb, amp_fld, amps, 8);
+    let had = f.alloc_obj(bb, qmatrix);
+    let two = f.const_(bb, 2);
+    let rows_fld = f.gep(bb, had, qmatrix, 0);
+    f.store(bb, rows_fld, two, 4);
+
+    // |0…0⟩ with unit amplitude (fixed-point 1.0 = 1<<16).
+    let unit = f.const_(bb, 1 << 16);
+    f.store(bb, amps, unit, 8);
+
+    // ---- gate loop: input bytes choose gates and target qubits --------
+    let len = f.input_len(bb);
+    let rounds = begin_for_n(&mut f, bb, ROUNDS);
+    let gates = begin_for(&mut f, rounds.body, 0, len);
+    let gbyte = f.input_byte(gates.body, gates.i);
+    let target = f.bini(gates.body, BinOp::Rem, gbyte, QUBITS);
+    let one = f.const_(gates.body, 1);
+    let bit = f.bin(gates.body, BinOp::Shl, one, target);
+    // Butterfly over all amplitude pairs differing in `target`.
+    let pairs = begin_for_n(&mut f, gates.body, n_amp);
+    let masked = f.bin(pairs.body, BinOp::And, pairs.i, bit);
+    let lo_off = f.bini(pairs.body, BinOp::Mul, pairs.i, 8);
+    let lo = f.bin(pairs.body, BinOp::Add, amps, lo_off);
+    let a = f.load(pairs.body, lo, 8);
+    let rotated = mix(&mut f, pairs.body, a);
+    let blended = f.bin(pairs.body, BinOp::Add, rotated, masked);
+    f.store(pairs.body, lo, blended, 8);
+    end_for(&mut f, &pairs, pairs.body);
+    end_for(&mut f, &gates, pairs.exit);
+    end_for(&mut f, &rounds, gates.exit);
+
+    let norm = f.load(rounds.exit, amps, 8);
+    f.out(rounds.exit, norm);
+    f.ret(rounds.exit, Some(norm));
+    mb.finish_function(f);
+
+    let input: Vec<u8> = (0u8..24).map(|i| i.wrapping_mul(11)).collect();
+    Workload::new("462.libquantum", mb.build().expect("valid module"), input, 16_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use polar_ir::interp::{run_native, ExecLimits};
+    use polar_taint::{analyze, TaintConfig};
+
+    #[test]
+    fn simulates_gates() {
+        let w = super::workload();
+        let report = run_native(&w.module, &w.input, w.limits);
+        assert!(report.result.is_ok(), "{:?}", report.result);
+    }
+
+    #[test]
+    fn taintclass_reports_zero_objects() {
+        // The paper's headline negative result for Table I.
+        let w = super::workload();
+        let (report, exec) =
+            analyze(&w.module, &w.input, ExecLimits::steps(20_000_000), &TaintConfig::default());
+        assert!(exec.result.is_ok());
+        assert_eq!(report.tainted_class_count(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! `429.mcf` — single-object, access-dominated network simplex.
+//!
+//! mcf allocates **one** `network` object up front and then performs
+//! millions of member accesses against it while relaxing arcs (Table III:
+//! 1 allocation, 9 105 K member accesses, 100 % cache hits — the paper's
+//! best case for the offset-lookup cache). Table I: 2 tainted classes,
+//! `network` and `basket`.
+
+use polar_classinfo::{ClassDecl, FieldKind};
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::BinOp;
+
+use crate::util::{compute_pad, begin_for, begin_for_n, end_for, mix};
+use crate::Workload;
+
+/// Simplex iterations (sizes the member-access count).
+const ITERATIONS: u64 = 700;
+
+/// Build the workload.
+pub fn workload() -> Workload {
+    let mut mb = ModuleBuilder::new("429.mcf");
+    let network = mb
+        .add_class(
+            ClassDecl::builder("network")
+                .field("nodes", FieldKind::Ptr)
+                .field("arcs", FieldKind::Ptr)
+                .field("n", FieldKind::I64)
+                .field("m", FieldKind::I64)
+                .field("primal_unbounded", FieldKind::I32)
+                .field("iterations", FieldKind::I64)
+                .field("optcost", FieldKind::I64)
+                .field("feas_tol", FieldKind::I32)
+                .build(),
+        )
+        .unwrap();
+    let basket = mb
+        .add_class(
+            ClassDecl::builder("basket")
+                .field("a", FieldKind::Ptr)
+                .field("cost", FieldKind::I64)
+                .field("abs_cost", FieldKind::I64)
+                .build(),
+        )
+        .unwrap();
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+
+    // The single long-lived network object plus one basket.
+    let net = f.alloc_obj(bb, network);
+    let bsk = f.alloc_obj(bb, basket);
+
+    // Arc costs come from the untrusted problem file.
+    let len = f.input_len(bb);
+    let arcs = f.alloc_buf_bytes(bb, 2048);
+    let zero = f.const_(bb, 0);
+    f.input_read(bb, arcs, zero, len);
+    let arcs_fld = f.gep(bb, net, network, 1);
+    f.store(bb, arcs_fld, arcs, 8);
+    let m_fld = f.gep(bb, net, network, 3);
+    f.store(bb, m_fld, len, 8);
+    // The problem size is input-derived → network content is tainted.
+    let cost0 = f.load(bb, arcs, 8);
+    let cost_fld = f.gep(bb, bsk, basket, 1);
+    f.store(bb, cost_fld, cost0, 8);
+
+    // ---- simplex loop: all traffic through the two objects ------------
+    let iters = begin_for_n(&mut f, bb, ITERATIONS);
+    let sweep = begin_for(&mut f, iters.body, 0, len);
+    // Load the arc cost, fold into network.optcost, bump iterations.
+    let arc_addr = f.bin(sweep.body, BinOp::Add, arcs, sweep.i);
+    let cost = f.load(sweep.body, arc_addr, 1);
+    let opt_fld = f.gep(sweep.body, net, network, 6);
+    let opt = f.load(sweep.body, opt_fld, 8);
+    let folded = f.bin(sweep.body, BinOp::Add, opt, cost);
+    let mixed = mix(&mut f, sweep.body, folded);
+    f.store(sweep.body, opt_fld, mixed, 8);
+    let it_fld = f.gep(sweep.body, net, network, 5);
+    let it = f.load(sweep.body, it_fld, 8);
+    let it2 = f.bini(sweep.body, BinOp::Add, it, 1);
+    f.store(sweep.body, it_fld, it2, 8);
+    // Basket keeps the running |cost|.
+    let abs_fld = f.gep(sweep.body, bsk, basket, 2);
+    f.store(sweep.body, abs_fld, mixed, 8);
+    end_for(&mut f, &sweep, sweep.body);
+    end_for(&mut f, &iters, sweep.exit);
+
+    let opt_fld = f.gep(iters.exit, net, network, 6);
+    let result = f.load(iters.exit, opt_fld, 8);
+    // Pricing/pivot arithmetic over flat arc arrays.
+    let (padded, fin) = compute_pad(&mut f, iters.exit, 850_000, result);
+    f.out(fin, padded);
+    f.ret(fin, Some(padded));
+    mb.finish_function(f);
+
+    let input: Vec<u8> = (0u8..48).map(|i| i.wrapping_mul(13).wrapping_add(3)).collect();
+    Workload::new("429.mcf", mb.build().expect("valid module"), input, 30_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use polar_ir::interp::run_native;
+
+    #[test]
+    fn runs_with_one_network_object() {
+        let w = super::workload();
+        let report = run_native(&w.module, &w.input, w.limits);
+        assert!(report.result.is_ok(), "{:?}", report.result);
+        assert_eq!(report.output.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Mini-SPEC2006: twelve IR programs whose object behaviour is shaped to
+//! the per-application profiles the paper reports.
+//!
+//! Table III of the paper gives each application's randomized-object event
+//! mix (allocations, frees, memcpys, member accesses, cache hits) and
+//! Table I gives the classes TaintClass finds input-tainted. Each module
+//! here reproduces those *shapes* at a documented reduced scale:
+//!
+//! | app            | character                                            |
+//! |----------------|------------------------------------------------------|
+//! | 400.perlbench  | interpreter: many short-lived value objects, access-heavy |
+//! | 401.bzip2      | 36 long-lived state objects, tens of millions of accesses |
+//! | 403.gcc        | allocation churn: ~equal alloc/free, almost no member access |
+//! | 429.mcf        | one `network` object, access-dominated, ~100 % cache hits |
+//! | 445.gobmk      | 4 000 board-analysis objects, never freed, access-heavy |
+//! | 456.hmmer      | one DP-state object, moderate accesses |
+//! | 458.sjeng      | alloc/free/memcpy-dominated game-tree search (worst case) |
+//! | 462.libquantum | float/array math only — **no objects touch input** |
+//! | 464.h264ref    | few allocations, memcpy-heavy macroblock pipeline |
+//! | 471.omnetpp    | tiny object traffic: event-queue setup then buffer work |
+//! | 473.astar      | 12 pathfinding objects, object copies, buffer search |
+//! | 483.xalancbmk  | DOM building: tens of thousands of nodes across many classes |
+
+mod astar;
+mod bzip2;
+mod gcc;
+mod gobmk;
+mod h264ref;
+mod hmmer;
+mod libquantum;
+mod mcf;
+mod omnetpp;
+mod perlbench;
+mod sjeng;
+mod xalancbmk;
+
+use crate::Workload;
+
+/// All twelve mini-SPEC workloads in Table I order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        perlbench::workload(),
+        bzip2::workload(),
+        gcc::workload(),
+        mcf::workload(),
+        gobmk::workload(),
+        hmmer::workload(),
+        sjeng::workload(),
+        libquantum::workload(),
+        h264ref::workload(),
+        omnetpp::workload(),
+        astar::workload(),
+        xalancbmk::workload(),
+    ]
+}
+
+/// Look up one workload by (paper) name, e.g. `"458.sjeng"`.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn twelve_apps_with_paper_names() {
+        let names: Vec<&str> = super::all().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 12);
+        for expected in ["400.perlbench", "462.libquantum", "483.xalancbmk"] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(super::by_name("429.mcf").is_some());
+        assert!(super::by_name("430.nope").is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! `400.perlbench` — interpreter-style workload.
+//!
+//! Perl's runtime allocates enormous numbers of small value objects (`sv`,
+//! `cop`, `op`-family nodes, …) while executing bytecode derived from
+//! untrusted script text. Table I reports 20 input-tainted classes;
+//! Table III shows an access-dominated profile (5 645 K allocations, ~80 B
+//! member accesses, no frees — Perl's arena allocator never returns
+//! individual values).
+//!
+//! This mini version interprets its input as a byte-code stream: each
+//! byte dispatches to one of twenty "opcodes", each of which allocates its
+//! own value-object class, stores input-derived operands into its fields,
+//! and links it into an arena. A hot evaluation loop then re-walks the
+//! arena, reading and mixing fields — the access-heavy phase.
+
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, CmpOp};
+
+use crate::util::{compute_pad, begin_for, begin_for_n, class_family, default_fields, dispatch_by_kind, end_for, mix};
+use crate::Workload;
+
+/// The 20 Perl-internal value classes TaintClass reports (names from the
+/// paper's Table I sample, completed with well-known Perl internals).
+pub const TAINTED_CLASSES: [&str; 20] = [
+    "sv", "stat", "cop", "sublex_info", "jmpenv", "logop", "unop", "scan_data_t",
+    "RExC_state_t", "hv", "av", "gv", "pmop", "svop", "listop", "loop_op",
+    "interpreter", "regnode", "padlist", "magic",
+];
+
+/// Rounds over the input byte-code (sizes the allocation count).
+const ROUNDS: u64 = 40;
+/// Iterations of the hot arena-walking loop (sizes the access count).
+const EVAL_SWEEPS: u64 = 300;
+/// Arena capacity in object slots.
+const ARENA_SLOTS: u64 = 512;
+
+/// Build the workload.
+pub fn workload() -> Workload {
+    let mut mb = ModuleBuilder::new("400.perlbench");
+    let classes = class_family(&mut mb, &TAINTED_CLASSES, default_fields);
+    // Internal bookkeeping classes the input never reaches.
+    let internal = class_family(&mut mb, &["op_slab", "perl_vars"], default_fields);
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+
+    // Arena of object pointers.
+    let arena = f.alloc_buf_bytes(bb, ARENA_SLOTS * 16);
+    let n_objs = f.const_(bb, 0);
+    // Untainted runtime bookkeeping.
+    let slab = f.alloc_obj(bb, internal[0]);
+    let slab_count = f.gep(bb, slab, internal[0], 1);
+    let vars = f.alloc_obj(bb, internal[1]);
+    let zero = f.const_(bb, 0);
+    let vars_fld = f.gep(bb, vars, internal[1], 1);
+    f.store(bb, vars_fld, zero, 4);
+
+    // ---- compile phase: dispatch one opcode per input byte -----------
+    let len = f.input_len(bb);
+    let outer = begin_for_n(&mut f, bb, ROUNDS);
+    let inner = begin_for(&mut f, outer.body, 0, len);
+    let opcode_byte = f.input_byte(inner.body, inner.i);
+    let op = f.bini(inner.body, BinOp::Rem, opcode_byte, TAINTED_CLASSES.len() as u64);
+    let operand = f.bini(inner.body, BinOp::Add, opcode_byte, 17);
+
+    let join = f.block();
+    let mut cur = inner.body;
+    for (k, &class) in classes.iter().enumerate() {
+        let hit = f.block();
+        let next = f.block();
+        let is_op = f.cmpi(cur, CmpOp::Eq, op, k as u64);
+        f.br(cur, is_op, hit, next);
+        // Allocate the value object and store the (tainted) operand.
+        let obj = f.alloc_obj(hit, class);
+        let fld = f.gep(hit, obj, class, 1);
+        f.store(hit, fld, operand, 1);
+        // Track it in the arena (bounded ring): [pointer, kind] pairs —
+        // the dynamic type tag every later access dispatches on.
+        let slot = f.bini(hit, BinOp::Rem, n_objs, ARENA_SLOTS);
+        let slot_off = f.bini(hit, BinOp::Mul, slot, 16);
+        let slot_addr = f.bin(hit, BinOp::Add, arena, slot_off);
+        f.store(hit, slot_addr, obj, 8);
+        let kind_addr = f.bini(hit, BinOp::Add, slot_addr, 8);
+        f.store(hit, kind_addr, op, 8);
+        let bumped = f.bini(hit, BinOp::Add, n_objs, 1);
+        f.mov_to(hit, n_objs, bumped);
+        // Slab bookkeeping (constant data: stays untainted).
+        let one = f.const_(hit, 1);
+        f.store(hit, slab_count, one, 4);
+        f.jmp(hit, join);
+        cur = next;
+    }
+    f.jmp(cur, join);
+    end_for(&mut f, &inner, join);
+    end_for(&mut f, &outer, inner.exit);
+
+    // ---- eval phase: hot arena walk (access-heavy) -------------------
+    let checksum = f.const_(outer.exit, 0);
+    let live = f.bini(outer.exit, BinOp::Rem, n_objs, ARENA_SLOTS);
+    let sweeps = begin_for_n(&mut f, outer.exit, EVAL_SWEEPS);
+    let walk = begin_for(&mut f, sweeps.body, 0, live);
+    // Fetch the object pointer plus its dynamic kind and dispatch the
+    // field read per type (perl's SvTYPE switch).
+    let slot_off = f.bini(walk.body, BinOp::Mul, walk.i, 16);
+    let slot_addr = f.bin(walk.body, BinOp::Add, arena, slot_off);
+    let obj = f.load(walk.body, slot_addr, 8);
+    let kind_addr = f.bini(walk.body, BinOp::Add, slot_addr, 8);
+    let kind = f.load(walk.body, kind_addr, 8);
+    let v = f.reg();
+    let join = dispatch_by_kind(&mut f, walk.body, &classes, kind, |f, hit, class| {
+        let fld = f.gep(hit, obj, class, 1);
+        let loaded = f.load(hit, fld, 1);
+        f.mov_to(hit, v, loaded);
+    });
+    let mixed = mix(&mut f, join, v);
+    let acc = f.bin(join, BinOp::Add, checksum, mixed);
+    f.mov_to(join, checksum, acc);
+    end_for(&mut f, &walk, join);
+    end_for(&mut f, &sweeps, walk.exit);
+
+    // The interpreter's non-object work (regex engine, string ops, …).
+    let (padded, fin) = compute_pad(&mut f, sweeps.exit, 500_000, checksum);
+    f.out(fin, padded);
+    f.ret(fin, Some(padded));
+    mb.finish_function(f);
+
+    // Default input: a "script" that exercises every opcode.
+    let input: Vec<u8> = (0u8..80).collect();
+    Workload::new("400.perlbench", mb.build().expect("valid module"), input, 30_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_ir::interp::run_native;
+
+    #[test]
+    fn runs_and_allocates_like_perl() {
+        let w = workload();
+        let report = run_native(&w.module, &w.input, w.limits);
+        assert!(report.result.is_ok(), "{:?}", report.result);
+        // Allocation-heavy, never frees (arena semantics).
+        let heap = report.stats; // native: runtime stats stay zero
+        assert_eq!(heap.allocations, 0, "native run must not touch the POLaR runtime");
+        assert!(!report.output.is_empty());
+    }
+
+    #[test]
+    fn every_opcode_class_is_reachable() {
+        // The default input covers all 20 opcode values.
+        let w = workload();
+        let ops: std::collections::HashSet<u8> =
+            w.input.iter().map(|b| b % TAINTED_CLASSES.len() as u8).collect();
+        assert_eq!(ops.len(), TAINTED_CLASSES.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! `458.sjeng` — chess engine: the paper's worst case.
+//!
+//! Sjeng's game-tree search allocates, copies and frees position/move
+//! objects at every node; Table III shows 20 M allocations, 20 M frees and
+//! 18 M object memcpys, and Figure 6 shows ~30 % overhead — "the major
+//! bottleneck of the program's performance is object
+//! allocation/deallocation, which constitutes the worst performance
+//! evaluation case". Table I reports exactly 2 tainted classes,
+//! `move_s` and `move_x`.
+//!
+//! The mini engine performs a depth-5 branching-6 search. Every node
+//! allocates `move_s`/`move_x` objects carrying input-derived move data,
+//! clones the `state_t` board object with an object copy, recurses, and
+//! frees everything on unwind. Board bookkeeping uses constant data only,
+//! so `state_t` stays untainted — matching the paper's 2-class result.
+
+use polar_classinfo::{ClassDecl, FieldKind};
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, CmpOp};
+
+use crate::util::{compute_pad, begin_for_n, end_for, mix};
+use crate::Workload;
+
+/// Search branching factor.
+const BRANCH: u64 = 6;
+/// Search depth.
+const DEPTH: u64 = 5;
+
+/// Build the workload.
+pub fn workload() -> Workload {
+    let mut mb = ModuleBuilder::new("458.sjeng");
+    let move_s = mb
+        .add_class(
+            ClassDecl::builder("move_s")
+                .field("from", FieldKind::I32)
+                .field("target", FieldKind::I32)
+                .field("captured", FieldKind::I32)
+                .field("promoted", FieldKind::I32)
+                .field("castled", FieldKind::I32)
+                .field("ep", FieldKind::I32)
+                .build(),
+        )
+        .unwrap();
+    let move_x = mb
+        .add_class(
+            ClassDecl::builder("move_x")
+                .field("cap_num", FieldKind::I32)
+                .field("was_promoted", FieldKind::I32)
+                .field("epsq", FieldKind::I32)
+                .field("fifty", FieldKind::I32)
+                .build(),
+        )
+        .unwrap();
+    let state_t = mb
+        .add_class(
+            ClassDecl::builder("state_t")
+                .field("white_to_move", FieldKind::I32)
+                .field("wking_loc", FieldKind::I32)
+                .field("bking_loc", FieldKind::I32)
+                .field("material", FieldKind::I64)
+                .field("ply", FieldKind::I32)
+                .field("hash", FieldKind::I64)
+                .field("pieces", FieldKind::Bytes(64))
+                .build(),
+        )
+        .unwrap();
+
+    let search = mb.declare("search", 2); // (depth, state) -> score
+
+    // ---- fn search(depth, state) --------------------------------------
+    {
+        let mut f = mb.body(search);
+        let bb = f.entry_block();
+        let depth = f.param(0);
+        let state = f.param(1);
+        let leaf = f.block();
+        let node = f.block();
+        let at_leaf = f.cmpi(bb, CmpOp::Eq, depth, 0);
+        f.br(bb, at_leaf, leaf, node);
+
+        // Leaf: static evaluation — read board fields repeatedly.
+        let score = f.const_(leaf, 0);
+        let eval = begin_for_n(&mut f, leaf, 4);
+        let mat_fld = f.gep(eval.body, state, state_t, 3);
+        let mat = f.load(eval.body, mat_fld, 8);
+        let ply_fld = f.gep(eval.body, state, state_t, 4);
+        let ply = f.load(eval.body, ply_fld, 4);
+        let sum = f.bin(eval.body, BinOp::Add, mat, ply);
+        let mixed = mix(&mut f, eval.body, sum);
+        let acc = f.bin(eval.body, BinOp::Add, score, mixed);
+        f.mov_to(eval.body, score, acc);
+        end_for(&mut f, &eval, eval.body);
+        f.ret(eval.exit, Some(score));
+
+        // Internal node: generate BRANCH moves.
+        let best = f.const_(node, 0);
+        let moves = begin_for_n(&mut f, node, BRANCH);
+        let body = moves.body;
+        // Move data derives from the untrusted game record.
+        let d16 = f.bini(body, BinOp::Mul, depth, 16);
+        let idx = f.bin(body, BinOp::Add, d16, moves.i);
+        let mv_byte = f.input_byte(body, idx);
+        let mv = f.alloc_obj(body, move_s);
+        let from_fld = f.gep(body, mv, move_s, 0);
+        f.store(body, from_fld, mv_byte, 4);
+        let tgt = f.bini(body, BinOp::Add, mv_byte, 8);
+        let tgt_fld = f.gep(body, mv, move_s, 1);
+        f.store(body, tgt_fld, tgt, 4);
+        let mx = f.alloc_obj(body, move_x);
+        let cap_fld = f.gep(body, mx, move_x, 0);
+        f.store(body, cap_fld, mv_byte, 4);
+        // Clone the position (object memcpy) and make the move on the
+        // clone with *constant* bookkeeping updates.
+        let clone = f.alloc_obj(body, state_t);
+        f.copy_obj(body, clone, state, state_t);
+        let ply_fld = f.gep(body, clone, state_t, 4);
+        let ply = f.load(body, ply_fld, 4);
+        let ply2 = f.bini(body, BinOp::Add, ply, 1);
+        f.store(body, ply_fld, ply2, 4);
+        let hash_fld = f.gep(body, clone, state_t, 5);
+        let h = f.load(body, hash_fld, 8);
+        let h2 = mix(&mut f, body, h);
+        f.store(body, hash_fld, h2, 8);
+        // Recurse.
+        let d1 = f.bini(body, BinOp::Sub, depth, 1);
+        let sub = f.call(body, search, &[d1, clone]);
+        // Unmake: free everything this move allocated.
+        f.free_obj(body, clone);
+        f.free_obj(body, mx);
+        f.free_obj(body, mv);
+        // Fold the subtree score and the move ordering bonus (which is
+        // where the input reaches the score).
+        let folded = f.bin(body, BinOp::Add, best, sub);
+        let bonus = f.bin(body, BinOp::Add, folded, mv_byte);
+        f.mov_to(body, best, bonus);
+        end_for(&mut f, &moves, body);
+        f.ret(moves.exit, Some(best));
+        mb.finish_function(f);
+    }
+
+    // ---- fn main -------------------------------------------------------
+    {
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let root = f.alloc_obj(bb, state_t);
+        // Standard initial position: constants only.
+        let wk = f.const_(bb, 4);
+        let wk_fld = f.gep(bb, root, state_t, 1);
+        f.store(bb, wk_fld, wk, 4);
+        let bk = f.const_(bb, 60);
+        let bk_fld = f.gep(bb, root, state_t, 2);
+        f.store(bb, bk_fld, bk, 4);
+        let mat = f.const_(bb, 7800);
+        let mat_fld = f.gep(bb, root, state_t, 3);
+        f.store(bb, mat_fld, mat, 8);
+        let depth = f.const_(bb, DEPTH);
+        let score = f.call(bb, search, &[depth, root]);
+        f.free_obj(bb, root);
+        // Static evaluation tables and hashing (non-object compute).
+        let (padded, fin) = compute_pad(&mut f, bb, 1_600_000, score);
+        f.out(fin, padded);
+        f.ret(fin, Some(padded));
+        mb.finish_function(f);
+    }
+
+    // The game record: one byte per (depth, move) pair.
+    let input: Vec<u8> = (0u8..96).map(|i| i.wrapping_mul(29).wrapping_add(5)).collect();
+    Workload::new("458.sjeng", mb.build().expect("valid module"), input, 40_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use polar_ir::interp::run_native;
+
+    #[test]
+    fn search_completes() {
+        let w = super::workload();
+        let report = run_native(&w.module, &w.input, w.limits);
+        assert!(report.result.is_ok(), "{:?}", report.result);
+    }
+
+    #[test]
+    fn score_depends_on_the_game_record() {
+        let w = super::workload();
+        let a = run_native(&w.module, &w.input, w.limits).result.unwrap();
+        let b = run_native(&w.module, &[7u8; 96], w.limits).result.unwrap();
+        assert_ne!(a, b);
+    }
+}

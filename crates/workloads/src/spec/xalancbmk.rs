@@ -1,0 +1,144 @@
+//! `483.xalancbmk` — XSLT processor: huge type population, DOM churn.
+//!
+//! xalancbmk has the richest tainted-type population of Table I (59
+//! classes) and a heavy allocate/free/access mix (Table III: 28 686
+//! allocations, 19 985 frees, ~1 M member accesses, ~70 % cache hits).
+//!
+//! The mini version parses its input as a pseudo-XML event stream and
+//! builds/destroys DOM-ish nodes across **24 distinct classes** — the
+//! type population is scaled down ~2.5× along with everything else (see
+//! EXPERIMENTS.md); the per-class dispatch, the alloc≫free imbalance and
+//! the access mix preserve the original's shape.
+
+use polar_ir::builder::ModuleBuilder;
+use polar_ir::{BinOp, CmpOp};
+
+use crate::util::{compute_pad, begin_for, begin_for_n, class_family, default_fields, dispatch_by_kind, end_for, mix};
+use crate::Workload;
+
+/// The 24 input-tainted Xalan classes (Table I samples completed with
+/// Xalan/Xerces internals).
+pub const TAINTED_CLASSES: [&str; 24] = [
+    "XalanDOMString", "XObjectPtr", "XalanQNameByValue", "XalanQNameByReference",
+    "MutableNodeRefList", "XalanElement", "XalanAttr", "XalanText", "XalanComment",
+    "XalanDocument", "XPathExpression", "XObjectFactory", "ElemTemplate",
+    "ElemValueOf", "ElemForEach", "NodeSorter", "StylesheetRoot", "XalanNumberFormat",
+    "FormatterToXML", "XalanOutputStream", "AttributeListImpl", "NamespacesHandler",
+    "KeyTable", "CountersTable",
+];
+
+/// Parse passes over the document (sizes allocation churn).
+const PASSES: u64 = 60;
+/// Node ring (live window; evictions produce the free stream).
+const RING: u64 = 96;
+/// Tree-walk sweeps (sizes the access count).
+const SWEEPS: u64 = 80;
+
+/// Build the workload.
+pub fn workload() -> Workload {
+    let mut mb = ModuleBuilder::new("483.xalancbmk");
+    let classes = class_family(&mut mb, &TAINTED_CLASSES, default_fields);
+    let internal =
+        class_family(&mut mb, &["XalanMemMgr", "XalanDummyIndexes"], default_fields);
+
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let _mm = f.alloc_obj(bb, internal[0]);
+    let _idx = f.alloc_obj(bb, internal[1]);
+
+    let len = f.input_len(bb);
+    let ring = f.alloc_buf_bytes(bb, RING * 16);
+    let made = f.const_(bb, 0);
+
+    // ---- parse: one node per XML event byte, ring-evicted -------------
+    let passes = begin_for_n(&mut f, bb, PASSES);
+    let events = begin_for(&mut f, passes.body, 0, len);
+    let ev = f.input_byte(events.body, events.i);
+    let kind = f.bini(events.body, BinOp::Rem, ev, TAINTED_CLASSES.len() as u64);
+    let join = f.block();
+    let node = f.reg();
+    let mut cur = events.body;
+    for (k, &class) in classes.iter().enumerate() {
+        let hit = f.block();
+        let next = f.block();
+        let is_kind = f.cmpi(cur, CmpOp::Eq, kind, k as u64);
+        f.br(cur, is_kind, hit, next);
+        let obj = f.alloc_obj(hit, class);
+        let fld = f.gep(hit, obj, class, 1);
+        f.store(hit, fld, ev, 1);
+        f.mov_to(hit, node, obj);
+        f.jmp(hit, join);
+        cur = next;
+    }
+    let fb = f.alloc_obj(cur, classes[0]);
+    f.mov_to(cur, node, fb);
+    f.jmp(cur, join);
+    let slot_idx = f.bini(join, BinOp::Rem, made, RING);
+    let slot_off = f.bini(join, BinOp::Mul, slot_idx, 16);
+    let slot = f.bin(join, BinOp::Add, ring, slot_off);
+    let old = f.load(join, slot, 8);
+    let have_old = f.cmpi(join, CmpOp::Ne, old, 0);
+    let free_bb = f.block();
+    let keep_bb = f.block();
+    f.br(join, have_old, free_bb, keep_bb);
+    f.free_obj(free_bb, old);
+    f.jmp(free_bb, keep_bb);
+    f.store(keep_bb, slot, node, 8);
+    let kind_addr = f.bini(keep_bb, BinOp::Add, slot, 8);
+    f.store(keep_bb, kind_addr, kind, 8);
+    let bumped = f.bini(keep_bb, BinOp::Add, made, 1);
+    f.mov_to(keep_bb, made, bumped);
+    end_for(&mut f, &events, keep_bb);
+    end_for(&mut f, &passes, events.exit);
+
+    // ---- transform: repeated walks over the live window ---------------
+    let digest = f.const_(passes.exit, 0);
+    let sweeps = begin_for_n(&mut f, passes.exit, SWEEPS);
+    let walk = begin_for_n(&mut f, sweeps.body, RING);
+    let off = f.bini(walk.body, BinOp::Mul, walk.i, 16);
+    let slot = f.bin(walk.body, BinOp::Add, ring, off);
+    let obj = f.load(walk.body, slot, 8);
+    let kind_addr = f.bini(walk.body, BinOp::Add, slot, 8);
+    let node_kind = f.load(walk.body, kind_addr, 8);
+    let v = f.reg();
+    let join2 = dispatch_by_kind(&mut f, walk.body, &classes, node_kind, |f, hit, class| {
+        let fld = f.gep(hit, obj, class, 1);
+        let loaded = f.load(hit, fld, 1);
+        f.mov_to(hit, v, loaded);
+    });
+    let mixed = mix(&mut f, join2, v);
+    let acc = f.bin(join2, BinOp::Add, digest, mixed);
+    f.mov_to(join2, digest, acc);
+    end_for(&mut f, &walk, join2);
+    end_for(&mut f, &sweeps, walk.exit);
+
+    // XPath evaluation and output formatting (string crunching).
+    let (padded, fin) = compute_pad(&mut f, sweeps.exit, 1_100_000, digest);
+    f.out(fin, padded);
+    f.ret(fin, Some(padded));
+    mb.finish_function(f);
+
+    // A "document" exercising every element kind.
+    let input: Vec<u8> = (0u8..96).map(|i| i.wrapping_mul(5).wrapping_add(2)).collect();
+    Workload::new("483.xalancbmk", mb.build().expect("valid module"), input, 40_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use polar_ir::interp::run_native;
+
+    #[test]
+    fn dom_churn_completes() {
+        let w = super::workload();
+        let report = run_native(&w.module, &w.input, w.limits);
+        assert!(report.result.is_ok(), "{:?}", report.result);
+    }
+
+    #[test]
+    fn default_input_reaches_all_24_kinds() {
+        let w = super::workload();
+        let kinds: std::collections::HashSet<u8> =
+            w.input.iter().map(|b| b % 24).collect();
+        assert_eq!(kinds.len(), 24);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: declare a class, build a program, harden it with POLaR,
+//! and watch the same type get a different layout on every allocation.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use polar::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The paper's Figure 1 class: vtable, age, height. A conventional
+    //    compiler puts `height` at base + 12, forever.
+    // ------------------------------------------------------------------
+    let people_info = Arc::new(ClassInfo::from_decl(
+        ClassDecl::builder("People")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("age", FieldKind::I32)
+            .field("height", FieldKind::I32)
+            .build(),
+    ));
+    println!("class People — natural (compiler) layout:");
+    for (i, field) in people_info.fields().iter().enumerate() {
+        println!("  {:<8} at base + {}", field.name(), people_info.natural().offset(i));
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Call the runtime directly: every olr_malloc draws a fresh plan.
+    // ------------------------------------------------------------------
+    let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), RuntimeConfig::default());
+    println!("\nten POLaR allocations of People — offset of `height` each time:");
+    let mut offsets = HashSet::new();
+    for i in 0..10 {
+        let obj = rt.olr_malloc(&people_info).expect("alloc");
+        let addr = rt.olr_getptr(obj, people_info.hash(), 2).expect("resolve");
+        let off = addr.0 - obj.0;
+        offsets.insert(off);
+        println!("  instance {i}: height at base + {off}");
+    }
+    println!("  → {} distinct placements across 10 instances", offsets.len());
+
+    // ------------------------------------------------------------------
+    // 3. The compiler-pass route: write a program against the natural
+    //    layout, instrument it, run it hardened. Same answer, randomized
+    //    innards.
+    // ------------------------------------------------------------------
+    let mut mb = ModuleBuilder::new("quickstart");
+    let people = mb
+        .add_classes_src("class People { vtable: vptr, age: i32, height: i32 }")
+        .expect("classes parse")[0];
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let obj = f.alloc_obj(bb, people);
+    let h_fld = f.gep(bb, obj, people, 2);
+    let h = f.const_(bb, 170);
+    f.store(bb, h_fld, h, 4);
+    let a_fld = f.gep(bb, obj, people, 1);
+    let a = f.const_(bb, 30);
+    f.store(bb, a_fld, a, 4);
+    let hv = f.load(bb, h_fld, 4);
+    let av = f.load(bb, a_fld, 4);
+    let sum = f.bin(bb, BinOp::Add, hv, av);
+    f.free_obj(bb, obj);
+    f.ret(bb, Some(sum));
+    mb.finish_function(f);
+    let module = mb.build().expect("valid module");
+
+    let native = run_native(&module, &[], ExecLimits::default());
+    let hardened = Polar::new().harden(&module);
+    let polar_run = hardened.run(&[]);
+    println!("\nnative result: {:?}", native.result);
+    println!("POLaR  result: {:?} ({})", polar_run.result, polar_run.stats);
+    println!("instrumentation: {}", hardened.report);
+    assert_eq!(native.result, polar_run.result);
+    println!("\nsame observable behaviour, unpredictable object layout. done.");
+}

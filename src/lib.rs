@@ -1,0 +1,7 @@
+//! Root host crate for the POLaR reproduction workspace.
+//!
+//! Exists to anchor the repository-level `examples/` and `tests/`
+//! directories; the library surface lives in [`polar`] and the crates it
+//! re-exports. See README.md.
+
+pub use polar::*;

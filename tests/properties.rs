@@ -1,0 +1,228 @@
+//! Property-based cross-crate invariants (proptest).
+
+use proptest::prelude::*;
+
+use polar::instrument::{instrument, InstrumentOptions};
+use polar::ir::interp::{run_native, run_with_mode, ExecLimits};
+use polar::layout::{DummyPolicy, LayoutEngine, PermuteMode, RandomizationPolicy};
+use polar::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_field_kind() -> impl Strategy<Value = FieldKind> {
+    prop_oneof![
+        Just(FieldKind::I8),
+        Just(FieldKind::I16),
+        Just(FieldKind::I32),
+        Just(FieldKind::I64),
+        Just(FieldKind::Ptr),
+        Just(FieldKind::FnPtr),
+        Just(FieldKind::VtablePtr),
+        (1u32..48).prop_map(FieldKind::Bytes),
+    ]
+}
+
+fn arbitrary_class() -> impl Strategy<Value = ClassDecl> {
+    proptest::collection::vec(arbitrary_field_kind(), 1..10).prop_map(|kinds| {
+        let mut b = ClassDecl::builder("Arbitrary");
+        for (i, kind) in kinds.into_iter().enumerate() {
+            b = b.field(format!("f{i}"), kind);
+        }
+        b.build()
+    })
+}
+
+fn arbitrary_policy() -> impl Strategy<Value = RandomizationPolicy> {
+    (
+        prop_oneof![
+            Just(PermuteMode::Off),
+            Just(PermuteMode::Full),
+            (16u32..128).prop_map(|line_size| PermuteMode::CacheLineAware { line_size }),
+        ],
+        0u32..4,
+        0u32..4,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(permute, a, b, booby_trap, guard_pointers)| RandomizationPolicy {
+            permute,
+            dummies: DummyPolicy {
+                min: a.min(b),
+                max: a.max(b),
+                size: 8,
+                booby_trap,
+                guard_pointers,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated plan is structurally legal: fields and dummies
+    /// inside the object, aligned, non-overlapping.
+    #[test]
+    fn generated_plans_always_validate(
+        decl in arbitrary_class(),
+        policy in arbitrary_policy(),
+        seed in any::<u64>(),
+    ) {
+        let info = ClassInfo::from_decl(decl);
+        let engine = LayoutEngine::new(policy);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let plan = engine.generate(&info, &mut rng);
+            prop_assert!(plan.validate().is_ok(), "{plan}");
+            // Note: a permuted plan can be *smaller* than the natural
+            // layout (reordering can eliminate padding); the floor is the
+            // raw field payload.
+            let payload: u32 = info.fields().iter().map(|f| f.kind().size()).sum();
+            prop_assert!(plan.size() >= payload);
+        }
+    }
+
+    /// A plan is a permutation: every field appears exactly once and the
+    /// field set of offsets is injective.
+    #[test]
+    fn plans_are_permutations(decl in arbitrary_class(), seed in any::<u64>()) {
+        let info = ClassInfo::from_decl(decl);
+        let engine = LayoutEngine::new(RandomizationPolicy::permute_only());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = engine.generate(&info, &mut rng);
+        let mut perm = plan.permutation();
+        perm.sort_unstable();
+        let expected: Vec<usize> = (0..info.field_count()).collect();
+        prop_assert_eq!(perm, expected);
+    }
+
+    /// Heap round-trip: whatever is written at an allocation is read back
+    /// while live, and live blocks never overlap.
+    #[test]
+    fn heap_blocks_never_overlap(sizes in proptest::collection::vec(1usize..600, 1..40)) {
+        let mut heap = SimHeap::new(HeapConfig::default());
+        let mut live = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let addr = heap.malloc(*size).unwrap();
+            heap.write(addr, &[i as u8]).unwrap();
+            live.push((addr, *size, i as u8));
+        }
+        let mut spans: Vec<(u64, u64)> = live
+            .iter()
+            .map(|(a, _, _)| {
+                let block = heap.block_at(*a).unwrap();
+                (a.0, a.0 + block.size as u64)
+            })
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+        for (addr, _, tag) in &live {
+            prop_assert_eq!(heap.read(*addr, 1).unwrap()[0], *tag);
+        }
+    }
+
+    /// Instrumentation transparency on randomly-shaped store/load
+    /// programs: the hardened run computes exactly the native result.
+    #[test]
+    fn random_field_programs_are_transparent(
+        decl in arbitrary_class(),
+        writes in proptest::collection::vec((0usize..10, any::<u64>()), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let n_fields = decl.field_count();
+        let mut mb = ModuleBuilder::new("prop");
+        let class = mb.add_class(decl).unwrap();
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let obj = f.alloc_obj(bb, class);
+        let mut reads = Vec::new();
+        for (field, value) in &writes {
+            let field = (field % n_fields) as u16;
+            let fld = f.gep(bb, obj, class, field);
+            let v = f.const_(bb, *value);
+            f.store(bb, fld, v, 1);
+            let back = f.load(bb, fld, 1);
+            reads.push(back);
+        }
+        let mut acc = f.const_(bb, 0);
+        for r in reads {
+            acc = f.bin(bb, BinOp::Add, acc, r);
+        }
+        f.free_obj(bb, obj);
+        f.ret(bb, Some(acc));
+        mb.finish_function(f);
+        let module = mb.build().unwrap();
+
+        let native = run_native(&module, &[], ExecLimits::default());
+        let (hardened, _) = instrument(&module, &InstrumentOptions::default());
+        let mut config = RuntimeConfig::default();
+        config.seed = seed;
+        let polar = run_with_mode(
+            &hardened,
+            RandomizeMode::per_allocation(),
+            config,
+            &[],
+            ExecLimits::default(),
+        );
+        prop_assert_eq!(native.result, polar.result);
+    }
+
+    /// The textual-IR parser never panics: random mutations of a valid
+    /// dump either reparse or return a structured error.
+    #[test]
+    fn ir_text_parser_is_panic_free(
+        mutations in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..24),
+    ) {
+        let mut mb = ModuleBuilder::new("fuzzed");
+        let class = mb
+            .add_class(
+                ClassDecl::builder("T")
+                    .field("a", FieldKind::I64)
+                    .field("b", FieldKind::I32)
+                    .build(),
+            )
+            .unwrap();
+        let mut f = mb.function("main", 0);
+        let bb = f.entry_block();
+        let o = f.alloc_obj(bb, class);
+        let fld = f.gep(bb, o, class, 0);
+        let v = f.load(bb, fld, 8);
+        f.free_obj(bb, o);
+        f.ret(bb, Some(v));
+        mb.finish_function(f);
+        let module = mb.build().unwrap();
+        let mut text = module.to_string().into_bytes();
+        for (pos, byte) in mutations {
+            if text.is_empty() {
+                break;
+            }
+            let idx = usize::from(pos) % text.len();
+            text[idx] = byte;
+        }
+        let text = String::from_utf8_lossy(&text).into_owned();
+        // Must not panic; errors are fine.
+        let _ = polar::ir::text::parse_module(&text, module.registry.clone());
+    }
+
+    /// Booby traps never fire on well-behaved programs (no false
+    /// positives), for any policy and seed.
+    #[test]
+    fn traps_have_no_false_positives(
+        decl in arbitrary_class(),
+        seed in any::<u64>(),
+        values in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let info = std::sync::Arc::new(ClassInfo::from_decl(decl));
+        let mut config = RuntimeConfig::default();
+        config.seed = seed;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let obj = rt.olr_malloc(&info).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let field = i % info.field_count();
+            rt.write_field(obj, info.hash(), field, *v).unwrap();
+        }
+        prop_assert!(rt.check_traps(obj).unwrap().is_empty());
+        prop_assert!(rt.olr_free(obj).is_ok());
+    }
+}
