@@ -1,11 +1,12 @@
 //! Ablation bench: layout-plan generation cost across randomization
 //! policies, plus the metadata-dedup (interning) fast path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polar_bench::micro::{BenchmarkId, Criterion};
+use polar_bench::{bench_group, bench_main};
 use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
 use polar_layout::{LayoutEngine, PlanInterner, RandomizationPolicy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use polar_rng::rngs::StdRng;
+use polar_rng::SeedableRng;
 
 fn probe() -> ClassInfo {
     let mut b = ClassDecl::builder("Probe");
@@ -45,5 +46,5 @@ fn bench_interning(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_plan_generation, bench_interning);
-criterion_main!(benches);
+bench_group!(benches, bench_plan_generation, bench_interning);
+bench_main!(benches);

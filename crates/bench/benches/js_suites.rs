@@ -1,7 +1,8 @@
 //! Criterion bench backing Table II / Figure 7: one representative kernel
 //! per JS-engine computational shape, native vs POLaR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polar_bench::micro::{BenchmarkId, Criterion};
+use polar_bench::{bench_group, bench_main};
 use polar_instrument::{instrument, InstrumentOptions};
 use polar_ir::interp::{run, ExecLimits};
 use polar_ir::trace::NopTracer;
@@ -48,5 +49,5 @@ fn bench_js(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_js);
-criterion_main!(benches);
+bench_group!(benches, bench_js);
+bench_main!(benches);

@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polar_bench::micro::Criterion;
+use polar_bench::{bench_group, bench_main};
 use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
 use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
 
@@ -89,5 +90,5 @@ fn bench_memcpy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_alloc_free, bench_getptr, bench_memcpy);
-criterion_main!(benches);
+bench_group!(benches, bench_alloc_free, bench_getptr, bench_memcpy);
+bench_main!(benches);

@@ -2,7 +2,8 @@
 //! representative mini-SPEC workloads (the full sweep lives in the
 //! `tables` binary; this pins the extremes under Criterion's statistics).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polar_bench::micro::{BenchmarkId, Criterion};
+use polar_bench::{bench_group, bench_main};
 use polar_instrument::{instrument, InstrumentOptions};
 use polar_ir::interp::run;
 use polar_ir::trace::NopTracer;
@@ -40,5 +41,5 @@ fn bench_spec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spec);
-criterion_main!(benches);
+bench_group!(benches, bench_spec);
+bench_main!(benches);

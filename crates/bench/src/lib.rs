@@ -1,5 +1,5 @@
-//! Measurement helpers shared by the `tables` binary and the Criterion
-//! benches.
+//! Measurement helpers shared by the `tables` binary and the micro
+//! benches (see [`micro`] for the in-tree Criterion replacement).
 //!
 //! Every table and figure of the paper has a `rows`-style function here
 //! that produces its data; the binary in `src/bin/tables.rs` formats
@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -1,0 +1,91 @@
+//! # polar-check — a minimal, deterministic property-testing harness
+//!
+//! The offline replacement for proptest that the whole workspace tests
+//! with. Three ideas, all in service of deterministic replay:
+//!
+//! 1. **Choice tapes.** A [`Strategy`] builds its value from a stream
+//!    of `u64` draws pulled from a [`DataSource`]. In fresh mode the
+//!    draws come from a seeded [`polar_rng`] generator and are recorded;
+//!    in replay mode they come back off the recorded tape. A value is
+//!    therefore a pure function of its tape.
+//! 2. **Tape shrinking.** When a property fails, the harness shrinks
+//!    the *tape* (delete chunks, zero chunks, halve and decrement
+//!    entries) and regenerates the value each time — so shrinking works
+//!    through [`prop_map`](StrategyExt::prop_map), [`one_of!`], tuples and
+//!    collections with no per-type shrinker code. Draws map to values
+//!    so that a smaller draw means a simpler value.
+//! 3. **Regression seeds.** A failure prints a single `u64` seed.
+//!    Pinned in a regressions file (`<property> seed = 0x…`), that seed
+//!    re-runs first on every future run and — because generation and
+//!    shrinking are both deterministic — reproduces the *same shrunk
+//!    counterexample* forever.
+//!
+//! ```
+//! use polar_check::{check_with, ensure, vec, Config};
+//!
+//! #[allow(clippy::ptr_arg)]
+//! fn sums_fit(v: &Vec<u32>) -> Result<(), String> {
+//!     let sum: u64 = v.iter().map(|&x| u64::from(x)).sum();
+//!     ensure!(sum <= 100 * v.len() as u64, "sum {sum} too large for {v:?}");
+//!     Ok(())
+//! }
+//!
+//! check_with(Config::default().cases(32), "sums_fit", &vec(0u32..=100, 0..10), sums_fit);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod regressions;
+mod runner;
+mod source;
+mod strategy;
+
+pub use regressions::{load_regressions, pinned_seeds};
+pub use runner::{check, check_with, evaluate, Config, Failure, Pass};
+pub use source::DataSource;
+pub use strategy::{
+    any, just, one_of, vec, AnyStrategy, Arbitrary, BoxedStrategy, Just, Map, OneOf, Strategy,
+    StrategyExt, VecStrategy,
+};
+
+/// Fail the property unless `cond` holds.
+///
+/// Inside a property function (returning `Result<(), String>`) this is
+/// the analogue of `prop_assert!`: it returns an `Err` instead of
+/// panicking, which gives the shrinker a clean failure signal.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the property unless `left == right` (analogue of
+/// `prop_assert_eq!`).
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return Err(format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return Err(format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}\n {}",
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}

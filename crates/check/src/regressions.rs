@@ -1,0 +1,79 @@
+//! Regression-seed files: previously-found counterexamples, pinned.
+//!
+//! The format replaces `proptest-regressions` files. One line per
+//! pinned case:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! <property-name> seed = 0x6256bade428eb0d7
+//! ```
+//!
+//! Because polar-check's generation *and* shrinking are deterministic,
+//! a pinned seed reproduces not just the failure but the identical
+//! shrunk counterexample — the seed is the whole bug report.
+
+use std::path::Path;
+
+use crate::runner::parse_seed;
+
+/// All `(property, seed)` pairs in the file. A missing file is an empty
+/// list (the file is only created once something fails).
+pub fn load_regressions(path: &Path) -> Vec<(String, u64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut pinned = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, seed)) = parse_line(line) else {
+            panic!(
+                "{}:{}: malformed regression line {line:?} \
+                 (expected `<property> seed = 0x…`)",
+                path.display(),
+                lineno + 1
+            );
+        };
+        pinned.push((name.to_owned(), seed));
+    }
+    pinned
+}
+
+fn parse_line(line: &str) -> Option<(&str, u64)> {
+    let (name, rest) = line.split_once(char::is_whitespace)?;
+    let (keyword, value) = rest.split_once('=')?;
+    if keyword.trim() != "seed" {
+        return None;
+    }
+    Some((name, parse_seed(value)?))
+}
+
+/// The pinned seeds for one property, in file order.
+pub fn pinned_seeds(path: &Path, property: &str) -> Vec<u64> {
+    load_regressions(path)
+        .into_iter()
+        .filter(|(name, _)| name == property)
+        .map(|(_, seed)| seed)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_format() {
+        assert_eq!(parse_line("my_prop seed = 0xff"), Some(("my_prop", 255)));
+        assert_eq!(parse_line("my_prop seed = 17"), Some(("my_prop", 17)));
+        assert_eq!(parse_line("my_prop  seed  =  0x10"), Some(("my_prop", 16)));
+        assert_eq!(parse_line("my_prop speed = 0x10"), None);
+        assert_eq!(parse_line("lonely"), None);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        assert!(load_regressions(Path::new("/nonexistent/polar.regressions")).is_empty());
+    }
+}

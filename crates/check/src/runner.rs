@@ -1,0 +1,325 @@
+//! The case runner: pinned seeds first, fresh cases after, greedy tape
+//! shrinking on failure.
+
+use std::fmt::{self, Debug};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use polar_rng::{Rng, SplitMix64};
+
+use crate::regressions::pinned_seeds;
+use crate::source::DataSource;
+use crate::strategy::Strategy;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of fresh cases to generate (pinned regression seeds run
+    /// in addition, before any fresh case).
+    pub cases: u32,
+    /// Master seed; per-case seeds derive from it deterministically.
+    pub seed: u64,
+    /// Budget for shrink candidate evaluations after a failure.
+    pub max_shrink_steps: u32,
+    /// Regression-seed file consulted for pinned cases (and named in
+    /// the failure report as the place to pin new seeds).
+    pub regressions: Option<PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("POLAR_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(96);
+        let seed = std::env::var("POLAR_CHECK_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(0x504F_4C41_5243_4B31); // "POLARCK1"
+        Config { cases, seed, max_shrink_steps: 4096, regressions: None }
+    }
+}
+
+impl Config {
+    /// Set the fresh-case count.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Use (and advertise) a regression-seed file.
+    pub fn regressions(mut self, path: impl Into<PathBuf>) -> Self {
+        self.regressions = Some(path.into());
+        self
+    }
+}
+
+/// Parse `0x…`-or-decimal seed spellings.
+pub(crate) fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => text.parse().ok(),
+    }
+}
+
+/// A successful run.
+#[derive(Debug, Clone)]
+pub struct Pass {
+    /// Fresh cases executed.
+    pub cases: u32,
+    /// Pinned regression seeds replayed first.
+    pub pinned: u32,
+}
+
+/// A failed (and shrunk) property.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The property's name.
+    pub property: String,
+    /// The case seed that found the failure — pin this to reproduce.
+    pub seed: u64,
+    /// Debug rendering of the shrunk counterexample.
+    pub value: String,
+    /// The property's error (or panic payload).
+    pub error: String,
+    /// Shrink candidates evaluated.
+    pub shrink_steps: u32,
+    /// Where to pin the seed, if the config named a regressions file.
+    pub regressions: Option<PathBuf>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "property `{}` failed", self.property)?;
+        writeln!(f, "  seed = {:#018x}", self.seed)?;
+        writeln!(f, "  shrunk counterexample ({} steps): {}", self.shrink_steps, self.value)?;
+        writeln!(f, "  error: {}", self.error)?;
+        let target = self
+            .regressions
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "the regressions file".to_owned());
+        write!(
+            f,
+            "  to pin this case, add the line below to {target}:\n  {} seed = {:#018x}",
+            self.property, self.seed
+        )
+    }
+}
+
+enum Outcome {
+    Pass,
+    Fail(String),
+}
+
+/// Run a property, panicking with a replay recipe on failure.
+///
+/// `prop` returns `Ok(())` for a pass and `Err(message)` for a failure;
+/// panics inside the property also count as failures (and shrink).
+pub fn check<S, F>(name: &str, strategy: &S, prop: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    check_with(Config::default(), name, strategy, prop)
+}
+
+/// [`check`] with an explicit [`Config`].
+pub fn check_with<S, F>(config: Config, name: &str, strategy: &S, prop: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    if let Err(failure) = evaluate(&config, name, strategy, &prop) {
+        panic!("{failure}");
+    }
+}
+
+/// The non-panicking runner: pinned seeds, fresh cases, shrink on the
+/// first failure. This is what tooling (and the harness's own tests)
+/// call.
+pub fn evaluate<S, F>(config: &Config, name: &str, strategy: &S, prop: &F) -> Result<Pass, Failure>
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    let pinned: Vec<u64> = match &config.regressions {
+        Some(path) => pinned_seeds(path, name),
+        None => Vec::new(),
+    };
+    for &seed in &pinned {
+        run_case(config, name, strategy, prop, seed)?;
+    }
+    let mut deriver = SplitMix64::new(config.seed ^ hash_name(name));
+    for _ in 0..config.cases {
+        let case_seed = deriver.next_u64();
+        run_case(config, name, strategy, prop, case_seed)?;
+    }
+    Ok(Pass { cases: config.cases, pinned: pinned.len() as u32 })
+}
+
+/// Distinct properties sharing a master seed should not share case
+/// seeds; fold the name in.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn run_case<S, F>(
+    config: &Config,
+    name: &str,
+    strategy: &S,
+    prop: &F,
+    seed: u64,
+) -> Result<(), Failure>
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    let mut src = DataSource::fresh(seed);
+    let outcome = eval_once(strategy, prop, &mut src);
+    let Outcome::Fail(first_error) = outcome else {
+        return Ok(());
+    };
+    let tape = src.into_tape();
+    let (shrunk_tape, shrink_steps) = shrink(strategy, prop, tape, config.max_shrink_steps);
+    let mut replay = DataSource::replay(&shrunk_tape);
+    let value = strategy.generate(&mut replay);
+    let error = match run_prop(prop, &value) {
+        Outcome::Fail(e) => e,
+        // Greedy shrinking only keeps failing tapes, so the final tape
+        // must still fail; defend against non-determinism anyway.
+        Outcome::Pass => first_error,
+    };
+    Err(Failure {
+        property: name.to_owned(),
+        seed,
+        value: format!("{value:?}"),
+        error,
+        shrink_steps,
+        regressions: config.regressions.clone(),
+    })
+}
+
+fn eval_once<S, F>(strategy: &S, prop: &F, src: &mut DataSource<'_>) -> Outcome
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    let value = strategy.generate(src);
+    run_prop(prop, &value)
+}
+
+fn run_prop<V, F: Fn(&V) -> Result<(), String>>(prop: &F, value: &V) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(message)) => Outcome::Fail(message),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "property panicked".to_owned());
+            Outcome::Fail(format!("panic: {message}"))
+        }
+    }
+}
+
+/// Greedy tape shrinking: repeatedly try simpler tapes, keeping any
+/// candidate that still fails, until a fixpoint or the step budget.
+///
+/// Passes, in order of aggressiveness:
+/// 1. delete chunks of 8/4/2/1 entries (shorter tape ⇒ fewer/smaller
+///    components, since strategies read length draws first and missing
+///    draws replay as 0);
+/// 2. zero chunks (0 is every strategy's simplest choice);
+/// 3. halve, then decrement, individual entries (smaller draw ⇒ smaller
+///    value within a component).
+fn shrink<S, F>(strategy: &S, prop: &F, tape: Vec<u64>, budget: u32) -> (Vec<u64>, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    let mut best = tape;
+    let mut steps: u32 = 0;
+    let still_fails = |candidate: &[u64], steps: &mut u32| -> bool {
+        *steps += 1;
+        let mut src = DataSource::replay(candidate);
+        matches!(eval_once(strategy, prop, &mut src), Outcome::Fail(_))
+    };
+    loop {
+        let mut improved = false;
+        // Pass 1: chunk deletion.
+        for chunk in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + chunk <= best.len() && steps < budget {
+                let mut candidate = best.clone();
+                candidate.drain(i..i + chunk);
+                if still_fails(&candidate, &mut steps) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Pass 2: chunk zeroing.
+        for chunk in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + chunk <= best.len() && steps < budget {
+                if best[i..i + chunk].iter().all(|&x| x == 0) {
+                    i += 1;
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[i..i + chunk].iter_mut().for_each(|x| *x = 0);
+                if still_fails(&candidate, &mut steps) {
+                    best = candidate;
+                    improved = true;
+                }
+                i += 1;
+            }
+        }
+        // Pass 3: halve then decrement entries.
+        for i in 0..best.len() {
+            while best[i] > 0 && steps < budget {
+                let mut candidate = best.clone();
+                candidate[i] /= 2;
+                if still_fails(&candidate, &mut steps) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+            while best[i] > 0 && steps < budget {
+                let mut candidate = best.clone();
+                candidate[i] -= 1;
+                if still_fails(&candidate, &mut steps) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !improved || steps >= budget {
+            return (best, steps);
+        }
+    }
+}

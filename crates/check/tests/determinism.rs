@@ -1,0 +1,126 @@
+//! The harness's core contract, tested end to end: a forced failure
+//! yields a seed; pinning that seed in a regressions file reproduces
+//! the identical shrunk counterexample.
+
+use std::path::PathBuf;
+
+use polar_check::{any, evaluate, one_of, vec, Config, StrategyExt};
+
+fn config() -> Config {
+    // Fixed explicitly so the test is immune to POLAR_CHECK_* env vars.
+    Config { cases: 64, seed: 0xD15EA5E, max_shrink_steps: 4096, regressions: None }
+}
+
+/// A property that fails whenever any element reaches 100.
+fn no_big_elements(v: &Vec<u32>) -> Result<(), String> {
+    if let Some(&big) = v.iter().find(|&&x| x >= 100) {
+        Err(format!("element {big} >= 100"))
+    } else {
+        Ok(())
+    }
+}
+
+#[test]
+fn forced_failure_shrinks_to_the_minimal_counterexample() {
+    let strategy = vec(0u32..1000, 0..20);
+    let failure = evaluate(&config(), "no_big", &strategy, &no_big_elements)
+        .expect_err("property must fail");
+    // Greedy tape shrinking must reach the unique minimal input: one
+    // element, exactly at the failure threshold.
+    assert_eq!(failure.value, "[100]", "shrink got stuck at {}", failure.value);
+    assert!(failure.error.contains(">= 100"));
+}
+
+#[test]
+fn pinned_seed_reproduces_the_same_shrunk_counterexample() {
+    let strategy = vec(0u32..1000, 0..20);
+    let first = evaluate(&config(), "no_big", &strategy, &no_big_elements)
+        .expect_err("property must fail");
+
+    // Pin the printed seed in a real regressions file, exactly the way
+    // the failure report tells a developer to.
+    let path = temp_file("pinned");
+    std::fs::write(&path, format!("# pinned by test\nno_big seed = {:#018x}\n", first.seed))
+        .unwrap();
+    let pinned_config = Config { cases: 0, ..config() }.regressions(&path);
+    let replayed = evaluate(&pinned_config, "no_big", &strategy, &no_big_elements)
+        .expect_err("pinned seed must still fail");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(replayed.seed, first.seed, "replay must run the pinned seed");
+    assert_eq!(
+        replayed.value, first.value,
+        "pinned replay must deterministically reproduce the shrunk counterexample"
+    );
+    assert_eq!(replayed.error, first.error);
+}
+
+#[test]
+fn pinned_seeds_for_other_properties_are_ignored() {
+    let path = temp_file("other");
+    std::fs::write(&path, "some_other_property seed = 0x1\n").unwrap();
+    let cfg = Config { cases: 8, ..config() }.regressions(&path);
+    let strategy = 0u32..10;
+    let pass = evaluate(&cfg, "always_ok", &strategy, &|_| Ok(())).expect("must pass");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(pass.pinned, 0);
+    assert_eq!(pass.cases, 8);
+}
+
+#[test]
+fn passing_properties_pass() {
+    let strategy = (any::<u64>(), 1u32..=8);
+    let pass = evaluate(&config(), "in_bounds", &strategy, &|&(_, n)| {
+        if (1..=8).contains(&n) {
+            Ok(())
+        } else {
+            Err(format!("{n} out of bounds"))
+        }
+    })
+    .expect("bounds hold");
+    assert_eq!(pass.cases, 64);
+}
+
+#[test]
+fn panics_inside_properties_shrink_like_errors() {
+    let strategy = vec(0u32..1000, 0..20);
+    let failure = evaluate(&config(), "panics", &strategy, &|v: &Vec<u32>| {
+        assert!(v.iter().all(|&x| x < 100), "saw a big element");
+        Ok(())
+    })
+    .expect_err("assert must trip");
+    assert_eq!(failure.value, "[100]");
+    assert!(failure.error.contains("panic"), "error was: {}", failure.error);
+}
+
+#[test]
+fn one_of_shrinks_toward_the_first_alternative() {
+    // one_of draws index 0 on a zero tape, so failures should shrink to
+    // the first alternative that can still fail.
+    let strategy = one_of![(0u32..10).prop_map(|x| x + 100), (500u32..600).boxed()];
+    let failure =
+        evaluate(&config(), "one_of_min", &strategy, &|&x| {
+            if x >= 100 {
+                Err("too big".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("everything fails");
+    assert_eq!(failure.value, "100");
+}
+
+#[test]
+fn distinct_properties_draw_distinct_cases() {
+    // The master seed is shared but cases derive from the property
+    // name; two trivially-failing properties should report different
+    // case seeds (they are different streams).
+    let strategy = any::<u64>();
+    let a = evaluate(&config(), "prop_a", &strategy, &|_| Err("x".into())).unwrap_err();
+    let b = evaluate(&config(), "prop_b", &strategy, &|_| Err("x".into())).unwrap_err();
+    assert_ne!(a.seed, b.seed);
+}
+
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("polar-check-{}-{tag}.regressions", std::process::id()))
+}

@@ -1,6 +1,6 @@
 //! The fuzzing corpus: inputs retained for finding new coverage.
 
-use rand::{Rng, RngExt};
+use polar_rng::{Rng, RngExt};
 
 /// One retained input.
 #[derive(Debug, Clone)]
@@ -82,8 +82,8 @@ impl Corpus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use polar_rng::rngs::StdRng;
+    use polar_rng::SeedableRng;
 
     #[test]
     fn empty_corpus_picks_nothing() {

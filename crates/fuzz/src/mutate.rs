@@ -1,7 +1,7 @@
 //! Byte-level input mutation, libFuzzer-style.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use polar_rng::rngs::StdRng;
+use polar_rng::{RngExt, SeedableRng};
 
 /// Values that historically trigger edge cases (libFuzzer/AFL's
 /// "interesting" constants).

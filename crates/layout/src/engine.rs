@@ -1,8 +1,8 @@
 //! The layout generation algorithm.
 
 use polar_classinfo::ClassInfo;
-use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use polar_rng::seq::SliceRandom;
+use polar_rng::{Rng, RngExt};
 
 use crate::plan::{DummySlot, LayoutPlan};
 use crate::policy::{PermuteMode, RandomizationPolicy};
@@ -159,8 +159,8 @@ mod tests {
     use super::*;
     use crate::policy::DummyPolicy;
     use polar_classinfo::{ClassDecl, FieldKind};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use polar_rng::rngs::StdRng;
+    use polar_rng::SeedableRng;
     use std::collections::HashSet;
 
     fn info(fields: &[(&str, FieldKind)]) -> ClassInfo {

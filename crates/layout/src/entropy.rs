@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 
 use polar_classinfo::ClassInfo;
-use rand::Rng;
+use polar_rng::Rng;
 
 use crate::engine::LayoutEngine;
 use crate::policy::{PermuteMode, RandomizationPolicy};
@@ -140,8 +140,8 @@ pub fn guess_success_probability<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use polar_classinfo::{ClassDecl, FieldKind};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use polar_rng::rngs::StdRng;
+    use polar_rng::SeedableRng;
 
     fn uniform_class(n: usize) -> ClassInfo {
         let mut b = ClassDecl::builder(format!("U{n}"));

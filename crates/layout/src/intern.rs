@@ -87,8 +87,8 @@ mod tests {
     use crate::engine::LayoutEngine;
     use crate::policy::RandomizationPolicy;
     use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use polar_rng::rngs::StdRng;
+    use polar_rng::SeedableRng;
 
     fn tiny_class() -> ClassInfo {
         ClassInfo::from_decl(

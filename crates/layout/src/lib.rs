@@ -25,7 +25,7 @@
 //! ```
 //! use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
 //! use polar_layout::{LayoutEngine, RandomizationPolicy};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use polar_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let info = ClassInfo::from_decl(
 //!     ClassDecl::builder("People")

@@ -12,8 +12,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use polar_classinfo::{ClassHash, ClassInfo};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use polar_rng::rngs::StdRng;
+use polar_rng::SeedableRng;
 
 use crate::engine::LayoutEngine;
 use crate::plan::LayoutPlan;

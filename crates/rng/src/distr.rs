@@ -1,0 +1,123 @@
+//! Uniform distributions: whole-domain draws and range sampling.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::Rng;
+
+/// Types with a uniform draw over their whole domain.
+pub trait Random: Sized {
+    /// A uniform sample from `rng`.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! random_int_impl {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+random_int_impl!(u8, u16, u32, i8, i16, i32, usize, isize, i64);
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u128 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Random for i128 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::random(rng) as i128
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform on `[0, 1)` with 53-bit resolution.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform on `[0, 1)` with 24-bit resolution.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integers that can be sampled uniformly from a closed range.
+pub trait UniformInt: Copy + PartialOrd {
+    /// A uniform sample from `lo..=hi`. Caller guarantees `lo <= hi`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// The largest value one below `hi` (for open-range sampling).
+    fn one_below(hi: Self) -> Self;
+}
+
+macro_rules! uniform_int_impl {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // Map through the unsigned domain so signed ranges work,
+                // then pick via fixed-point multiply (Lemire): monotone
+                // in the raw draw and free of modulo's worst-case bias.
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = ((u128::from(rng.next_u64()) * u128::from(span + 1)) >> 64) as u64;
+                (lo as $u).wrapping_add(offset as $u) as $t
+            }
+
+            fn one_below(hi: Self) -> Self {
+                hi - 1
+            }
+        }
+    )*};
+}
+
+uniform_int_impl!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Ranges that [`RngExt::random_range`](crate::RngExt::random_range)
+/// accepts.
+pub trait SampleRange<T> {
+    /// A uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_inclusive(rng, self.start, T::one_below(self.end))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}

@@ -1,0 +1,37 @@
+//! Named generators, mirroring `rand::rngs`.
+
+use crate::{Rng, SeedableRng, Xoshiro256StarStar};
+
+/// The workspace's standard generator: xoshiro256\*\* under a stable
+/// name, so call sites don't couple to the algorithm choice.
+///
+/// Deterministic by construction — there is deliberately no
+/// `from_entropy`/OS-randomness constructor in this workspace. Every
+/// stream is a pure function of its seed, which is what makes layout
+/// randomization replayable in tests and attack simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng(Xoshiro256StarStar);
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(Xoshiro256StarStar::from_seed(seed))
+    }
+}
+
+impl StdRng {
+    /// Split off an independent generator 2^128 draws ahead in the
+    /// stream (see [`Xoshiro256StarStar::jump`]).
+    pub fn split(&mut self) -> StdRng {
+        let child = self.0.clone();
+        self.0.jump();
+        StdRng(child)
+    }
+}

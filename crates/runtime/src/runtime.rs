@@ -7,8 +7,8 @@ use std::sync::Arc;
 use polar_classinfo::{ClassHash, ClassInfo};
 use polar_layout::{LayoutEngine, LayoutPlan, PlanInterner, RandomizationPolicy, StaticOlrTable};
 use polar_simheap::{Addr, HeapConfig, SimHeap};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use polar_rng::rngs::StdRng;
+use polar_rng::SeedableRng;
 
 use crate::error::{RuntimeError, TrapReport};
 use crate::stats::RuntimeStats;

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Tier-1 gate + dependency lint for the POLaR workspace.
+#
+# 1. Lint every workspace manifest: the workspace builds offline by
+#    policy, so any dependency that is not an in-tree path dependency
+#    (i.e. anything that would hit a registry) fails the check.
+# 2. Run the tier-1 gate: cargo build --release && cargo test -q.
+#
+# Usage: scripts/check.sh [--lint-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lint_failed=0
+
+# Every dependency spec in every workspace manifest must be one of:
+#   name = { path = "..." , ... }        (in-tree crate)
+#   name = { workspace = true }          (resolved against the root, which
+#                                         is itself lint-checked)
+# Plain version strings (`foo = "1.0"`) or specs with `version`/`git`/
+# `registry` keys would require the network and are rejected.
+lint_manifest() {
+    local manifest="$1"
+    # Extract dependency lines: section bodies of [dependencies],
+    # [dev-dependencies], [build-dependencies], [workspace.dependencies].
+    awk '
+        /^\[/ {
+            in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
+            next
+        }
+        in_deps && NF && $0 !~ /^#/ { print }
+    ' "$manifest" | while IFS= read -r line; do
+        case "$line" in
+            *"path ="*|*"path="*) ;;              # in-tree path dep
+            *"workspace = true"*|*"workspace=true"*) ;;  # root-resolved
+            *)
+                echo "DEPENDENCY LINT: $manifest: non-path dependency:" >&2
+                echo "    $line" >&2
+                exit 1
+                ;;
+        esac
+    done || lint_failed=1
+}
+
+echo "== dependency lint =="
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    lint_manifest "$manifest"
+done
+
+if [ "$lint_failed" -ne 0 ]; then
+    echo "dependency lint FAILED: the workspace must stay registry-free" >&2
+    echo "(in-tree path dependencies only; see README 'Offline-deterministic builds')" >&2
+    exit 1
+fi
+echo "ok: all manifests are registry-free"
+
+if [ "${1:-}" = "--lint-only" ]; then
+    exit 0
+fi
+
+echo "== tier-1 gate =="
+cargo build --release --offline
+cargo test -q --offline
+echo "ok: tier-1 green"
