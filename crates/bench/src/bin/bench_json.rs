@@ -1,0 +1,423 @@
+//! Machine-readable runtime-ops benchmark: emits `BENCH_runtime.json`.
+//!
+//! Measures the POLaR runtime's hot paths (`olr_malloc`/`olr_getptr`/
+//! `olr_memcpy`/`olr_free` plus an interpreter member-access loop) and
+//! writes one JSON entry per measurement:
+//!
+//! ```json
+//! {"bench": "olr_getptr_cached", "mode": "polar", "ns_per_op": 12.3,
+//!  "cache_hit_rate": 0.999, "metadata_bytes": 4096}
+//! ```
+//!
+//! With `--baseline FILE` the entries of an earlier snapshot (same
+//! schema, produced by this binary) are merged in under their recorded
+//! snapshot label, and the headline `olr_getptr_cached` speedup between
+//! the baseline and the current run is computed. This is how the repo
+//! records its perf trajectory: `scripts/bench.sh` passes the committed
+//! seed-era baseline so every rerun reports progress against PR 1.
+//!
+//! `--quick` runs every bench body once (no timing claims) so CI can
+//! smoke-test that the benches still execute without paying for a full
+//! measurement (`scripts/check.sh` uses this).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
+use polar_ir::interp::{run, ExecLimits};
+use polar_ir::trace::NopTracer;
+use polar_ir::Inst;
+use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+
+/// One measurement row of `BENCH_runtime.json`.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Which run produced this row (`"current"` or the baseline label).
+    snapshot: String,
+    bench: String,
+    mode: String,
+    ns_per_op: f64,
+    /// Offset-cache hit rate over the timed loop, when meaningful.
+    cache_hit_rate: Option<f64>,
+    /// `estimated_metadata_bytes` at the end of the timed loop.
+    metadata_bytes: usize,
+}
+
+fn probe() -> Arc<ClassInfo> {
+    Arc::new(ClassInfo::from_decl(
+        ClassDecl::builder("Probe")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("a", FieldKind::I64)
+            .field("b", FieldKind::I32)
+            .field("c", FieldKind::I32)
+            .build(),
+    ))
+}
+
+fn big_config() -> RuntimeConfig {
+    let mut c = RuntimeConfig::default();
+    c.heap.capacity = 1 << 30;
+    c
+}
+
+/// Best-of-`samples` time for `iters` runs of `op`, in ns per op.
+fn time_loop(quick: bool, iters: u64, samples: u32, mut op: impl FnMut()) -> f64 {
+    if quick {
+        op();
+        return 0.0;
+    }
+    // Warmup.
+    for _ in 0..iters / 10 + 1 {
+        op();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn entry(
+    bench: &str,
+    mode: &str,
+    ns_per_op: f64,
+    rt: &ObjectRuntime,
+) -> Entry {
+    Entry {
+        snapshot: "current".to_owned(),
+        bench: bench.to_owned(),
+        mode: mode.to_owned(),
+        ns_per_op,
+        cache_hit_rate: rt.stats().cache_hit_ratio(),
+        metadata_bytes: rt.estimated_metadata_bytes(),
+    }
+}
+
+fn run_benches(quick: bool) -> Vec<Entry> {
+    let info = probe();
+    let mut out = Vec::new();
+    let samples = 5;
+
+    // alloc + free pair, per-allocation and static OLR.
+    for (mode, label) in [
+        (RandomizeMode::per_allocation(), "polar"),
+        (RandomizeMode::static_olr(7), "static-olr"),
+    ] {
+        let mut rt = ObjectRuntime::new(mode, big_config());
+        let ns = time_loop(quick, 200_000, samples, || {
+            let a = rt.olr_malloc(&info).expect("alloc");
+            rt.olr_free(a).expect("free");
+        });
+        out.push(entry("olr_malloc_free", label, ns, &rt));
+    }
+
+    // The headline: cache-warm member access on a single hot object.
+    {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let obj = rt.olr_malloc(&info).expect("alloc");
+        rt.olr_getptr(obj, info.hash(), 1).expect("warm");
+        let hash = info.hash();
+        let ns = time_loop(quick, 2_000_000, samples, || {
+            rt.olr_getptr(obj, hash, 1).expect("access");
+        });
+        out.push(entry("olr_getptr_cached", "polar", ns, &rt));
+    }
+
+    // Offset cache disabled (the paper's Section V-B ablation).
+    {
+        let mut config = big_config();
+        config.offset_cache = false;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let obj = rt.olr_malloc(&info).expect("alloc");
+        let hash = info.hash();
+        let ns = time_loop(quick, 2_000_000, samples, || {
+            rt.olr_getptr(obj, hash, 1).expect("access");
+        });
+        out.push(entry("olr_getptr_cold", "polar", ns, &rt));
+    }
+
+    // Member access round-robin over many live objects: stresses the
+    // metadata *lookup* structure rather than one hot entry.
+    {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let objs: Vec<_> = (0..256)
+            .map(|_| rt.olr_malloc(&info).expect("alloc"))
+            .collect();
+        for &o in &objs {
+            rt.olr_getptr(o, info.hash(), 1).expect("warm");
+        }
+        let hash = info.hash();
+        let mut i = 0usize;
+        let ns = time_loop(quick, 2_000_000, samples, || {
+            let o = objs[i & 255];
+            i = i.wrapping_add(1);
+            rt.olr_getptr(o, hash, 1).expect("access");
+        });
+        out.push(entry("olr_getptr_many_objects", "polar", ns, &rt));
+    }
+
+    // read_field: getptr + metadata width lookup + heap load.
+    {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let obj = rt.olr_malloc(&info).expect("alloc");
+        rt.write_field(obj, info.hash(), 1, 42).expect("write");
+        let hash = info.hash();
+        let ns = time_loop(quick, 2_000_000, samples, || {
+            rt.read_field(obj, hash, 1).expect("read");
+        });
+        out.push(entry("read_field_cached", "polar", ns, &rt));
+    }
+
+    // Object copy with re-randomization.
+    {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let src = rt.olr_malloc(&info).expect("alloc");
+        let dst = rt.malloc_raw(128).expect("alloc");
+        let ns = time_loop(quick, 200_000, samples, || {
+            rt.olr_memcpy(dst, src, &info).expect("copy");
+        });
+        out.push(entry("olr_memcpy", "polar", ns, &rt));
+    }
+
+    // Interpreter loop: OlrGetptr + Load per iteration, through the IR
+    // machine — exercises the per-GEP-site inline caches.
+    {
+        let (module, inner_iters) = interp_loop_module();
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let quick_iters = if quick { 1 } else { 20 };
+        let mut best = f64::INFINITY;
+        for _ in 0..quick_iters {
+            let t0 = Instant::now();
+            let report = run(&module, &mut rt, &[], ExecLimits::default(), &mut NopTracer);
+            let dt = t0.elapsed().as_nanos() as f64;
+            assert!(report.result.is_ok(), "interp loop failed: {:?}", report.result);
+            best = best.min(dt / inner_iters as f64);
+        }
+        out.push(entry(
+            "interp_getptr_loop",
+            "polar",
+            if quick { 0.0 } else { best },
+            &rt,
+        ));
+    }
+
+    out
+}
+
+/// Build a module whose entry allocates one object and then runs a tight
+/// loop of `OlrGetptr` + `Load` on it; returns the loop trip count.
+fn interp_loop_module() -> (polar_ir::Module, u64) {
+    use polar_ir::builder::ModuleBuilder;
+    use polar_ir::{BinOp, CmpOp};
+
+    const ITERS: u64 = 1_000_000;
+    let mut mb = ModuleBuilder::new("bench_interp_loop");
+    let class = mb
+        .add_class(
+            ClassDecl::builder("Probe")
+                .field("vtable", FieldKind::VtablePtr)
+                .field("a", FieldKind::I64)
+                .field("b", FieldKind::I32)
+                .field("c", FieldKind::I32)
+                .build(),
+        )
+        .expect("class");
+    let mut f = mb.function("main", 0);
+    let bb = f.entry_block();
+    let body = f.block();
+    let done = f.block();
+    let obj = f.reg();
+    f.push(bb, Inst::OlrMalloc { dst: obj, class });
+    let i = f.const_(bb, 0);
+    let acc = f.const_(bb, 0);
+    f.jmp(bb, body);
+    let one = f.const_(body, 1);
+    let h = f.reg();
+    f.push(body, Inst::OlrGetptr { dst: h, obj, class, field: 1 });
+    let v = f.load(body, h, 8);
+    let acc2 = f.bin(body, BinOp::Add, acc, v);
+    f.mov_to(body, acc, acc2);
+    let i2 = f.bin(body, BinOp::Add, i, one);
+    f.mov_to(body, i, i2);
+    let cond = f.cmpi(body, CmpOp::Lt, i, ITERS);
+    f.br(body, cond, body, done);
+    f.ret(done, Some(acc));
+    mb.finish_function(f);
+    (mb.build().expect("module"), ITERS)
+}
+
+// ---------------------------------------------------------------------
+// JSON in/out (hand-rolled: the workspace is registry-free by policy).
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_entries(buf: &mut String, entries: &[Entry]) {
+    for (i, e) in entries.iter().enumerate() {
+        let hit = match e.cache_hit_rate {
+            Some(r) => format!("{r:.6}"),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            buf,
+            "    {{\"snapshot\": \"{}\", \"bench\": \"{}\", \"mode\": \"{}\", \
+             \"ns_per_op\": {:.2}, \"cache_hit_rate\": {}, \"metadata_bytes\": {}}}",
+            json_escape(&e.snapshot),
+            json_escape(&e.bench),
+            json_escape(&e.mode),
+            e.ns_per_op,
+            hit,
+            e.metadata_bytes
+        );
+        buf.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+}
+
+/// Parse entries out of a JSON file this binary previously wrote. Only
+/// the flat per-entry objects are read; anything else is ignored.
+fn parse_entries(text: &str, default_snapshot: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let obj = match obj.split('}').next() {
+            Some(o) => o,
+            None => continue,
+        };
+        let field = |key: &str| -> Option<String> {
+            let pat = format!("\"{key}\":");
+            let rest = &obj[obj.find(&pat)? + pat.len()..];
+            let rest = rest.trim_start();
+            if let Some(stripped) = rest.strip_prefix('"') {
+                Some(stripped.split('"').next()?.to_owned())
+            } else {
+                Some(
+                    rest.split(|c: char| c == ',' || c == '}')
+                        .next()?
+                        .trim()
+                        .to_owned(),
+                )
+            }
+        };
+        let (bench, mode) = match (field("bench"), field("mode")) {
+            (Some(b), Some(m)) => (b, m),
+            _ => continue,
+        };
+        let ns: f64 = match field("ns_per_op").and_then(|v| v.parse().ok()) {
+            Some(v) => v,
+            None => continue,
+        };
+        out.push(Entry {
+            snapshot: field("snapshot").unwrap_or_else(|| default_snapshot.to_owned()),
+            bench,
+            mode,
+            ns_per_op: ns,
+            cache_hit_rate: field("cache_hit_rate").and_then(|v| v.parse().ok()),
+            metadata_bytes: field("metadata_bytes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        });
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut baseline: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut snapshot = "current".to_owned();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args[i].clone());
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args[i].clone());
+            }
+            "--snapshot" => {
+                i += 1;
+                snapshot = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_json [--quick] [--snapshot LABEL] \
+                     [--baseline FILE] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut current = run_benches(quick);
+    for e in &mut current {
+        e.snapshot = snapshot.clone();
+    }
+
+    let baseline_entries: Vec<Entry> = match &baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => parse_entries(&text, "seed"),
+            Err(e) => {
+                eprintln!("warning: cannot read baseline {path}: {e}");
+                Vec::new()
+            }
+        },
+        None => Vec::new(),
+    };
+
+    // Headline: speedup of the cache-warm getptr loop vs the baseline.
+    let headline = |entries: &[Entry]| -> Option<f64> {
+        entries
+            .iter()
+            .find(|e| e.bench == "olr_getptr_cached" && e.mode == "polar")
+            .map(|e| e.ns_per_op)
+    };
+    let speedup = match (headline(&baseline_entries), headline(&current)) {
+        (Some(before), Some(after)) if after > 0.0 && !quick => Some(before / after),
+        _ => None,
+    };
+
+    let mut buf = String::new();
+    buf.push_str("{\n");
+    let _ = writeln!(
+        buf,
+        "  \"schema\": \"polar-bench/runtime-ops/v1 \
+         {{bench, mode, ns_per_op, cache_hit_rate, metadata_bytes}}\","
+    );
+    let _ = writeln!(buf, "  \"quick\": {quick},");
+    match speedup {
+        Some(s) => {
+            let _ = writeln!(buf, "  \"speedup_olr_getptr_cached\": {s:.2},");
+        }
+        None => {
+            let _ = writeln!(buf, "  \"speedup_olr_getptr_cached\": null,");
+        }
+    }
+    buf.push_str("  \"entries\": [\n");
+    let mut all = baseline_entries;
+    all.extend(current);
+    write_entries(&mut buf, &all);
+    buf.push_str("  ]\n}\n");
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &buf).expect("write output");
+            eprintln!("wrote {path}");
+            if let Some(s) = speedup {
+                eprintln!("olr_getptr_cached speedup vs baseline: {s:.2}x");
+            }
+        }
+        None => print!("{buf}"),
+    }
+}

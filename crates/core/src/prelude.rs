@@ -10,7 +10,9 @@ pub use polar_ir::{BinOp, CmpOp, Inst, Module, Terminator};
 pub use polar_layout::{
     DummyPolicy, LayoutEngine, LayoutPlan, PermuteMode, RandomizationPolicy,
 };
-pub use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig, RuntimeStats};
+pub use polar_runtime::{
+    ObjectRuntime, RandomizeMode, RuntimeConfig, RuntimeError, RuntimeStats, SiteCache,
+};
 pub use polar_simheap::{Addr, HeapConfig, SimHeap};
 pub use polar_taint::{analyze, analyze_corpus, TaintClassReport, TaintConfig};
 

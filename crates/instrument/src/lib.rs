@@ -117,7 +117,10 @@ impl Default for InstrumentOptions {
 pub struct InstrumentReport {
     /// Allocation sites rewritten to `olr_malloc`.
     pub allocs_rewritten: u64,
-    /// `getelementptr` sites rewritten to `olr_getptr`.
+    /// `getelementptr` sites rewritten to `olr_getptr`. Each rewritten
+    /// site is a static location the interpreter equips with its own
+    /// inline cache (`polar_runtime::SiteCache`), the analogue of the
+    /// per-site cache words an AOT pass would reserve beside the call.
     pub geps_rewritten: u64,
     /// Object-copy sites rewritten to `olr_memcpy`.
     pub memcpys_rewritten: u64,

@@ -16,7 +16,9 @@
 
 use std::fmt;
 
-use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig, RuntimeError, RuntimeStats};
+use polar_runtime::{
+    ObjectRuntime, RandomizeMode, RuntimeConfig, RuntimeError, RuntimeStats, SiteCache,
+};
 use polar_simheap::{Addr, HeapError};
 
 use crate::trace::{NopTracer, TraceEvent, Tracer};
@@ -154,8 +156,47 @@ pub fn run<T: Tracer>(
         .iter()
         .map(|(_, info)| rt.compile_time_plan(info))
         .collect();
-    let mut machine =
-        Machine { module, rt, input, limits, tracer, ct_plans, output: Vec::new(), steps: 0 };
+    // Number the static `OlrGetptr` sites and give each one an inline
+    // cache, mirroring what an AOT instrumentation pass would reserve
+    // next to every rewritten `getelementptr`. `u32::MAX` marks
+    // non-getptr instructions.
+    let mut next_site = 0u32;
+    let gep_sites: Vec<Vec<Vec<u32>>> = module
+        .funcs
+        .iter()
+        .map(|f| {
+            f.blocks
+                .iter()
+                .map(|b| {
+                    b.insts
+                        .iter()
+                        .map(|inst| {
+                            if matches!(inst, Inst::OlrGetptr { .. }) {
+                                let id = next_site;
+                                next_site += 1;
+                                id
+                            } else {
+                                u32::MAX
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let gep_ics = vec![SiteCache::empty(); next_site as usize];
+    let mut machine = Machine {
+        module,
+        rt,
+        input,
+        limits,
+        tracer,
+        ct_plans,
+        gep_sites,
+        gep_ics,
+        output: Vec::new(),
+        steps: 0,
+    };
     let result = machine.exec_entry();
     let output = std::mem::take(&mut machine.output);
     let steps = machine.steps;
@@ -189,6 +230,11 @@ struct Machine<'m, 'i, T: Tracer> {
     tracer: &'m mut T,
     /// Per-class compile-time layouts (indexed by `ClassId`).
     ct_plans: Vec<std::sync::Arc<polar_layout::LayoutPlan>>,
+    /// `[func][block][inst]` → site id for `OlrGetptr` instructions
+    /// (`u32::MAX` elsewhere).
+    gep_sites: Vec<Vec<Vec<u32>>>,
+    /// One inline cache per static `OlrGetptr` site.
+    gep_ics: Vec<SiteCache>,
     output: Vec<u64>,
     steps: u64,
 }
@@ -302,7 +348,14 @@ impl<T: Tracer> Machine<'_, '_, T> {
                     Inst::OlrGetptr { dst, obj, class, field } => {
                         let base = Addr(frame.regs[obj.0 as usize]);
                         let hash = self.module.registry.get(*class).hash();
-                        let addr = self.rt.olr_getptr(base, hash, usize::from(*field))?;
+                        let site = self.gep_sites[frame.func.0 as usize]
+                            [frame.block.0 as usize][frame.inst - 1];
+                        let addr = self.rt.olr_getptr_ic(
+                            base,
+                            hash,
+                            usize::from(*field),
+                            &mut self.gep_ics[site as usize],
+                        )?;
                         frame.regs[dst.0 as usize] = addr.0;
                         self.tracer.on_event(&TraceEvent::FieldAddr {
                             dst: *dst,

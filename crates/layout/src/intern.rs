@@ -13,6 +13,13 @@ use crate::plan::{LayoutPlan, PlanHash};
 /// of distinct layouts is tiny (a 3-field class has only a handful), so
 /// interning collapses most per-object metadata.
 ///
+/// Each interned plan carries its precomputed dense access table
+/// ([`LayoutPlan::access_table`](crate::LayoutPlan::access_table)), so
+/// deduplication shares those tables too: one `(offset, width)` table
+/// per *distinct layout*, not per object — the memory the hot-path
+/// overhaul added is covered by the same dedup argument as the plans
+/// themselves.
+///
 /// ```
 /// use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
 /// use polar_layout::{LayoutPlan, PlanInterner};

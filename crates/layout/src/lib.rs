@@ -55,6 +55,6 @@ mod static_olr;
 
 pub use engine::LayoutEngine;
 pub use intern::PlanInterner;
-pub use plan::{DummySlot, LayoutPlan, PlanHash};
+pub use plan::{DummySlot, FieldAccess, LayoutPlan, PlanHash};
 pub use policy::{DummyPolicy, PermuteMode, RandomizationPolicy};
 pub use static_olr::StaticOlrTable;

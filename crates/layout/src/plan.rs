@@ -32,6 +32,24 @@ pub struct DummySlot {
     pub canary: Option<u64>,
 }
 
+/// Precomputed per-field access parameters: everything the runtime's
+/// member-access hot path needs, packed in one dense table entry.
+///
+/// Built once when the plan is constructed (so interned plans share a
+/// single table — the §V-B dedup covers it too), letting `olr_getptr`
+/// and `read_field`/`write_field` resolve offset *and* load width with
+/// one bounds-checked array index instead of consulting the offset and
+/// size vectors separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldAccess {
+    /// Byte offset of the field under this plan.
+    pub offset: u32,
+    /// Load/store width for scalar access: the field size clamped to a
+    /// machine width (1, 2, 4 or 8; byte arrays ≥ 8 read their first
+    /// word, odd sizes < 8 fall back to a byte).
+    pub width: u8,
+}
+
 /// A concrete layout for one object: field index → byte offset, plus the
 /// dummy slots and the total (possibly grown) object size.
 ///
@@ -42,6 +60,9 @@ pub struct LayoutPlan {
     field_offsets: Vec<u32>,
     field_sizes: Vec<u32>,
     field_aligns: Vec<u32>,
+    /// Dense `field index → (offset, width)` table for the access hot
+    /// path; always consistent with `field_offsets`/`field_sizes`.
+    access: Vec<FieldAccess>,
     dummies: Vec<DummySlot>,
     size: u32,
     natural: bool,
@@ -80,7 +101,22 @@ impl LayoutPlan {
         debug_assert_eq!(field_offsets.len(), field_sizes.len());
         debug_assert_eq!(field_offsets.len(), field_aligns.len());
         let hash = Self::content_hash(class, &field_offsets, &dummies, size);
-        LayoutPlan { class, field_offsets, field_sizes, field_aligns, dummies, size, natural, hash }
+        let access = field_offsets
+            .iter()
+            .zip(&field_sizes)
+            .map(|(&offset, &fsize)| FieldAccess { offset, width: access_width(fsize) })
+            .collect();
+        LayoutPlan {
+            class,
+            field_offsets,
+            field_sizes,
+            field_aligns,
+            access,
+            dummies,
+            size,
+            natural,
+            hash,
+        }
     }
 
     /// The deterministic compiler layout of `info`, wrapped as a plan.
@@ -145,6 +181,19 @@ impl LayoutPlan {
     /// Byte offset of field `index`, or `None` when out of bounds.
     pub fn offset_checked(&self, index: usize) -> Option<u32> {
         self.field_offsets.get(index).copied()
+    }
+
+    /// Precomputed access parameters of field `index`, or `None` when out
+    /// of bounds. One array read resolves both offset and load width —
+    /// the member-access hot path.
+    #[inline]
+    pub fn access(&self, index: usize) -> Option<FieldAccess> {
+        self.access.get(index).copied()
+    }
+
+    /// The whole dense access table, indexed by declaration order.
+    pub fn access_table(&self) -> &[FieldAccess] {
+        &self.access
     }
 
     /// Size in bytes of field `index`.
@@ -234,6 +283,15 @@ impl LayoutPlan {
     /// Panics if `index` is out of bounds.
     pub fn field_align(&self, index: usize) -> u32 {
         self.field_aligns[index]
+    }
+}
+
+/// Clamp a field size to a scalar load/store width (1, 2, 4 or 8).
+fn access_width(size: u32) -> u8 {
+    match size {
+        1 | 2 | 4 | 8 => size as u8,
+        s if s >= 8 => 8,
+        _ => 1,
     }
 }
 
@@ -342,6 +400,42 @@ mod tests {
         let plan = LayoutPlan::natural_for(&people_info());
         assert_eq!(plan.offset_checked(2), Some(12));
         assert_eq!(plan.offset_checked(3), None);
+    }
+
+    #[test]
+    fn access_table_matches_offsets_and_sizes() {
+        let plan = LayoutPlan::natural_for(&people_info());
+        assert_eq!(plan.access_table().len(), plan.field_count());
+        for i in 0..plan.field_count() {
+            let a = plan.access(i).unwrap();
+            assert_eq!(a.offset, plan.offset(i));
+            let size = plan.field_size(i);
+            let expected_width = match size {
+                1 | 2 | 4 | 8 => size as u8,
+                s if s >= 8 => 8,
+                _ => 1,
+            };
+            assert_eq!(a.width, expected_width);
+        }
+        assert_eq!(plan.access(plan.field_count()), None);
+    }
+
+    #[test]
+    fn access_width_clamps_odd_and_wide_fields() {
+        let info = people_info();
+        // A 24-byte "field" (byte array) reads its first word; a 3-byte
+        // one falls back to a single byte.
+        let plan = LayoutPlan::new(
+            info.hash(),
+            vec![0, 8, 32],
+            vec![8, 24, 3],
+            Vec::new(),
+            40,
+            false,
+        );
+        assert_eq!(plan.access(0).unwrap().width, 8);
+        assert_eq!(plan.access(1).unwrap().width, 8);
+        assert_eq!(plan.access(2).unwrap().width, 1);
     }
 
     #[test]

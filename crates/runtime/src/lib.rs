@@ -62,5 +62,7 @@ mod runtime;
 mod stats;
 
 pub use error::{RuntimeError, TrapReport};
-pub use runtime::{ObjectMeta, ObjectRuntime, ObjectState, RandomizeMode, RuntimeConfig};
+pub use runtime::{
+    ObjectMeta, ObjectRuntime, ObjectState, RandomizeMode, RuntimeConfig, SiteCache,
+};
 pub use stats::RuntimeStats;

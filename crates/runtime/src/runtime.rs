@@ -1,11 +1,13 @@
-//! The object runtime: metadata table, offset cache, and the four
+//! The object runtime: shadow-index metadata, offset cache, and the four
 //! instrumented entry points.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use polar_classinfo::{ClassHash, ClassInfo};
-use polar_layout::{LayoutEngine, LayoutPlan, PlanInterner, RandomizationPolicy, StaticOlrTable};
+use polar_layout::{
+    FieldAccess, LayoutEngine, LayoutPlan, PlanHash, PlanInterner, RandomizationPolicy,
+    StaticOlrTable,
+};
 use polar_simheap::{Addr, HeapConfig, SimHeap};
 use polar_rng::rngs::StdRng;
 use polar_rng::SeedableRng;
@@ -122,7 +124,94 @@ pub struct ObjectMeta {
     pub generation: u64,
 }
 
-/// The POLaR runtime: simulated heap + object metadata + offset cache.
+/// One entry of the shadow index: the dense, slot-addressed successor of
+/// the old metadata hashtable.
+///
+/// `block_gen` snapshots the heap block's allocation generation at the
+/// moment the record was written; every probe compares it against the
+/// block's *current* generation ([`SimHeap::slot_gen`]). A record left
+/// behind when the block was recycled through a path the runtime does not
+/// instrument (`free_raw` + `malloc_raw`, the interpreter's `FreeBuf`)
+/// therefore self-invalidates — no eager `remove` call on any mutation
+/// path, and no way to serve a stale layout plan for a reused address.
+#[derive(Debug, Clone)]
+struct ShadowSlot {
+    /// The tracked object's metadata; `None` until the slot's block first
+    /// holds a randomized object. Retained after `olr_free` so dangling
+    /// accesses are recognized (use-after-free detection).
+    meta: Option<ObjectMeta>,
+    /// Copy of `meta.class.hash()`: class validation without chasing the
+    /// `Arc<ClassInfo>` pointer.
+    class_hash: ClassHash,
+    /// Copy of `meta.plan.plan_hash()`: inline-cache validation without
+    /// chasing the `Arc<LayoutPlan>` pointer.
+    plan_hash: PlanHash,
+    /// Heap allocation generation this record belongs to.
+    block_gen: u64,
+    /// Whether the Section V-B offset cache holds this object. The cache
+    /// is collapsed into the shadow slot: "warmed" means a cache entry
+    /// exists, and invalidation is a flag clear (free) or a generation
+    /// mismatch (reuse).
+    warmed: bool,
+}
+
+impl Default for ShadowSlot {
+    fn default() -> Self {
+        ShadowSlot {
+            meta: None,
+            class_hash: ClassHash(0),
+            plan_hash: PlanHash(0),
+            block_gen: 0,
+            warmed: false,
+        }
+    }
+}
+
+/// Outcome of a shadow-index probe.
+enum Probe {
+    /// `shadow[i]` holds a generation-current record for the address.
+    Hit(usize),
+    /// No current record: the address was never tracked, or its block was
+    /// re-allocated since the record was written (stale, self-invalidated).
+    Miss,
+}
+
+/// Per-call-site inline cache for [`ObjectRuntime::olr_getptr_ic`].
+///
+/// The interpreter allocates one per static rewritten `getelementptr`
+/// site (an AOT build would reserve a few words next to the call). The
+/// cache pins the `(class, plan)` pair the site last resolved and the
+/// offset that resolution produced; as long as the probed object still
+/// carries exactly that pair, the access is two integer compares and an
+/// add — it skips even the shadow slot's metadata record.
+///
+/// Monomorphic sites (the common case: one class, and plan interning
+/// collapses layouts for small classes) hit almost always; polymorphic
+/// sites just fall back to the shadow index.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteCache {
+    filled: bool,
+    class: ClassHash,
+    plan: PlanHash,
+    offset: u32,
+    width: u8,
+}
+
+impl SiteCache {
+    /// An empty (never-filled) site cache.
+    pub const fn empty() -> Self {
+        SiteCache { filled: false, class: ClassHash(0), plan: PlanHash(0), offset: 0, width: 8 }
+    }
+}
+
+impl Default for SiteCache {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// The POLaR runtime: simulated heap + shadow-index metadata + offset
+/// cache.
 #[derive(Debug)]
 pub struct ObjectRuntime {
     heap: SimHeap,
@@ -130,8 +219,14 @@ pub struct ObjectRuntime {
     engine: LayoutEngine,
     static_table: Option<StaticOlrTable>,
     interner: PlanInterner,
-    meta: HashMap<u64, ObjectMeta>,
-    cache: HashMap<u64, (ClassHash, Arc<LayoutPlan>)>,
+    /// Dense shadow of the heap's block-slot table: `shadow[slot]` holds
+    /// the metadata for the block occupying heap slot `slot` (ids from
+    /// [`SimHeap::slot_gen`]). Lookup is an array index — no hashing on
+    /// the hot path.
+    shadow: Vec<ShadowSlot>,
+    /// Slots that ever received a record (live + retained-freed); the
+    /// successor of the old hashtable's `len()`.
+    meta_count: usize,
     rng: StdRng,
     stats: RuntimeStats,
     config: RuntimeConfig,
@@ -154,8 +249,8 @@ impl ObjectRuntime {
             engine,
             static_table,
             interner: PlanInterner::new(),
-            meta: HashMap::new(),
-            cache: HashMap::new(),
+            shadow: Vec::new(),
+            meta_count: 0,
             rng: StdRng::seed_from_u64(config.seed),
             stats: RuntimeStats::default(),
             config,
@@ -195,30 +290,54 @@ impl ObjectRuntime {
         self.stats = RuntimeStats::default();
     }
 
-    /// Metadata for the object at `base`, if tracked.
+    /// Probe the shadow index for a generation-current record at `base`.
+    fn probe(heap: &SimHeap, shadow: &[ShadowSlot], base: Addr) -> Probe {
+        match heap.slot_gen(base) {
+            Some((slot, gen)) => match shadow.get(slot as usize) {
+                Some(s) if s.meta.is_some() && s.block_gen == gen => Probe::Hit(slot as usize),
+                _ => Probe::Miss,
+            },
+            None => Probe::Miss,
+        }
+    }
+
+    /// Metadata for the object at `base`, if tracked (and not stale: a
+    /// record orphaned by recycling the block through the raw path is
+    /// treated as absent).
     pub fn object_meta(&self, base: Addr) -> Option<&ObjectMeta> {
-        self.meta.get(&base.0)
+        match Self::probe(&self.heap, &self.shadow, base) {
+            Probe::Hit(i) => self.shadow[i].meta.as_ref(),
+            Probe::Miss => None,
+        }
     }
 
     /// Number of metadata records currently held (live + retained-freed).
     pub fn meta_records(&self) -> usize {
-        self.meta.len()
+        self.meta_count
     }
 
-    /// Estimated bytes of POLaR bookkeeping: per-object records, the
-    /// offset cache, and the interned (deduplicated) plans. This is the
-    /// memory cost Table III's dedup optimization attacks.
+    /// Estimated bytes of POLaR bookkeeping: the shadow-index slot table
+    /// and the interned (deduplicated) plans, including each plan's dense
+    /// `(offset, width)` access table. This is the memory cost Table
+    /// III's dedup optimization attacks.
     pub fn estimated_metadata_bytes(&self) -> usize {
         use std::mem::size_of;
-        // Per-object record: key + class/plan pointers + state/generation.
-        let per_meta = size_of::<u64>() + size_of::<ObjectMeta>();
-        // Interned plan payload: offsets/sizes/aligns (3×u32/field) plus
-        // dummy slots.
+        // The shadow index is one dense allocation; capacity is what the
+        // process actually pays. Each slot embeds the per-object record
+        // and the (collapsed) offset-cache entry.
+        let shadow_bytes = self.shadow.capacity() * size_of::<ShadowSlot>();
+        // Interned plan payload: offsets/sizes/aligns (3×u32/field), the
+        // packed access table, and dummy slots.
         let plan_bytes: usize = self
             .interner_plans()
-            .map(|p| 3 * 4 * p.field_count() + 24 * p.dummies().len() + 32)
+            .map(|p| {
+                3 * 4 * p.field_count()
+                    + size_of::<FieldAccess>() * p.field_count()
+                    + 24 * p.dummies().len()
+                    + 32
+            })
             .sum();
-        self.meta.len() * per_meta + self.cache.len() * (8 + 16) + plan_bytes
+        shadow_bytes + plan_bytes
     }
 
     fn interner_plans(&self) -> impl Iterator<Item = &Arc<LayoutPlan>> {
@@ -266,14 +385,32 @@ impl ObjectRuntime {
         let plan = self.draw_plan(info);
         let base = self.heap.malloc(plan.size().max(1) as usize)?;
         self.seed_canaries(base, &plan)?;
-        let generation = self.meta.get(&base.0).map_or(0, |m| m.generation) + 1;
-        self.meta.insert(
-            base.0,
-            ObjectMeta { class: Arc::clone(info), plan, state: ObjectState::Live, generation },
-        );
-        self.cache.remove(&base.0);
+        self.record_object(base, Arc::clone(info), plan);
         self.stats.allocations += 1;
         Ok(base)
+    }
+
+    /// Write (or overwrite) the shadow record for the block at `base`.
+    /// Installing a record stamps the block's current generation and
+    /// clears the offset-cache flag, so anything cached for a previous
+    /// occupant of the slot is dead on arrival.
+    fn record_object(&mut self, base: Addr, class: Arc<ClassInfo>, plan: Arc<LayoutPlan>) {
+        let (slot, block_gen) =
+            self.heap.slot_gen(base).expect("base is a block the heap just returned");
+        let idx = slot as usize;
+        if self.shadow.len() <= idx {
+            self.shadow.resize_with(idx + 1, ShadowSlot::default);
+        }
+        let entry = &mut self.shadow[idx];
+        if entry.meta.is_none() {
+            self.meta_count += 1;
+        }
+        let generation = entry.meta.as_ref().map_or(0, |m| m.generation) + 1;
+        entry.class_hash = class.hash();
+        entry.plan_hash = plan.plan_hash();
+        entry.block_gen = block_gen;
+        entry.warmed = false;
+        entry.meta = Some(ObjectMeta { class, plan, state: ObjectState::Live, generation });
     }
 
     fn seed_canaries(&mut self, base: Addr, plan: &LayoutPlan) -> Result<(), RuntimeError> {
@@ -300,15 +437,18 @@ impl ObjectRuntime {
     /// object is *not* freed in that case — the program should abort), and
     /// heap errors for invalid raw frees.
     pub fn olr_free(&mut self, base: Addr) -> Result<(), RuntimeError> {
-        let meta = match self.meta.get(&base.0) {
-            Some(m) => m,
-            None => {
-                // Untracked pointer: behave like plain free().
+        let idx = match Self::probe(&self.heap, &self.shadow, base) {
+            Probe::Hit(i) => i,
+            Probe::Miss => {
+                // Untracked pointer (or a record self-invalidated by raw
+                // reuse): behave like plain free().
                 self.heap.free(base)?;
                 return Ok(());
             }
         };
-        if meta.state == ObjectState::Freed {
+        if self.shadow[idx].meta.as_ref().expect("probe hit carries metadata").state
+            == ObjectState::Freed
+        {
             return Err(RuntimeError::DoubleFree(base));
         }
         if self.config.check_traps_on_free {
@@ -317,9 +457,10 @@ impl ObjectRuntime {
                 return Err(RuntimeError::TrapTriggered(*report));
             }
         }
-        let meta = self.meta.get_mut(&base.0).expect("checked above");
-        meta.state = ObjectState::Freed;
-        self.cache.remove(&base.0);
+        let slot = &mut self.shadow[idx];
+        slot.meta.as_mut().expect("probe hit carries metadata").state = ObjectState::Freed;
+        // The offset-cache entry dies with the object.
+        slot.warmed = false;
         self.heap.free(base)?;
         self.stats.frees += 1;
         Ok(())
@@ -329,9 +470,9 @@ impl ObjectRuntime {
     /// field `field` of the object at `base`, which the access site
     /// believes to be of class `expected`.
     ///
-    /// Consults the offset-lookup cache first; on a miss the metadata
-    /// table is consulted, use-after-free and class mismatch are detected,
-    /// and the entry is cached.
+    /// The shadow index locates the metadata in O(1); the offset-lookup
+    /// cache (a warmed flag on the shadow slot) short-circuits repeat
+    /// accesses; use-after-free and class mismatch are detected.
     ///
     /// # Errors
     ///
@@ -344,53 +485,138 @@ impl ObjectRuntime {
         expected: ClassHash,
         field: usize,
     ) -> Result<Addr, RuntimeError> {
+        self.getptr_core(base, expected, field, None).map(|(addr, _)| addr)
+    }
+
+    /// [`ObjectRuntime::olr_getptr`] with a per-call-site inline cache.
+    ///
+    /// Identical detection behavior and statistics semantics; `ic` lets a
+    /// monomorphic site resolve without touching the metadata record at
+    /// all. The cache only serves live, generation-current objects whose
+    /// `(class, plan)` pair matches what the site last saw, so every
+    /// detection path (UAF, mismatch, stale address) still goes through
+    /// the full lookup.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ObjectRuntime::olr_getptr`].
+    pub fn olr_getptr_ic(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        ic: &mut SiteCache,
+    ) -> Result<Addr, RuntimeError> {
+        self.getptr_core(base, expected, field, Some(ic)).map(|(addr, _)| addr)
+    }
+
+    /// Shared body of the getptr family; returns the resolved address and
+    /// the field's access width so `read_field`/`write_field` need no
+    /// second metadata lookup.
+    fn getptr_core(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        mut ic: Option<&mut SiteCache>,
+    ) -> Result<(Addr, usize), RuntimeError> {
         self.stats.member_accesses += 1;
-        if self.config.offset_cache {
-            if let Some((class, plan)) = self.cache.get(&base.0) {
+        let idx = match Self::probe(&self.heap, &self.shadow, base) {
+            Probe::Hit(i) => {
+                self.stats.shadow_hits += 1;
+                i
+            }
+            Probe::Miss => {
+                self.stats.shadow_misses += 1;
+                if ic.is_some() {
+                    self.stats.site_ic_misses += 1;
+                }
+                return Err(RuntimeError::UnknownObject(base));
+            }
+        };
+        let slot = &mut self.shadow[idx];
+        let state = slot.meta.as_ref().expect("probe hit carries metadata").state;
+
+        if self.config.offset_cache && state == ObjectState::Live {
+            if let Some(site) = ic.as_deref_mut() {
+                if site.filled
+                    && slot.plan_hash == site.plan
+                    && slot.class_hash == site.class
+                    && site.class == expected
+                {
+                    self.stats.site_ic_hits += 1;
+                    // Keep the Section V-B counter's semantics: the first
+                    // access warms the per-object entry, later ones hit.
+                    if slot.warmed {
+                        self.stats.cache_hits += 1;
+                    } else {
+                        slot.warmed = true;
+                    }
+                    return Ok((base.offset(site.offset as u64), site.width as usize));
+                }
+            }
+        }
+        if ic.is_some() {
+            self.stats.site_ic_misses += 1;
+        }
+
+        if state == ObjectState::Freed && self.config.detect_use_after_free {
+            self.stats.uaf_detected += 1;
+            return Err(RuntimeError::UseAfterFree { addr: base });
+        }
+        // With UAF detection disabled a freed object's access falls
+        // through to the retained plan, exactly like an uninstrumented
+        // dangling dereference.
+        if self.config.offset_cache && state == ObjectState::Live {
+            if slot.warmed {
                 self.stats.cache_hits += 1;
-                let class = *class;
-                let plan = Arc::clone(plan);
-                return self.resolve(base, class, &plan, expected, field);
+            } else {
+                slot.warmed = true;
             }
         }
-        let meta = self.meta.get(&base.0).ok_or(RuntimeError::UnknownObject(base))?;
-        if meta.state == ObjectState::Freed {
-            if self.config.detect_use_after_free {
-                self.stats.uaf_detected += 1;
-                return Err(RuntimeError::UseAfterFree { addr: base });
+        let actual = slot.class_hash;
+        let plan_hash = slot.plan_hash;
+
+        let slot = &self.shadow[idx];
+        let meta = slot.meta.as_ref().expect("probe hit carries metadata");
+        let (addr, access) =
+            Self::resolve(&self.config, &mut self.stats, base, actual, &meta.plan, expected, field)?;
+        if let Some(site) = ic {
+            if self.config.offset_cache && state == ObjectState::Live && actual == expected {
+                *site = SiteCache {
+                    filled: true,
+                    class: expected,
+                    plan: plan_hash,
+                    offset: access.offset,
+                    width: access.width,
+                };
             }
-            // Detection disabled: the access proceeds through the stale
-            // plan, exactly like an uninstrumented dangling dereference.
         }
-        let class = meta.class.hash();
-        let plan = Arc::clone(&meta.plan);
-        if self.config.offset_cache && meta.state == ObjectState::Live {
-            self.cache.insert(base.0, (class, Arc::clone(&plan)));
-        }
-        self.resolve(base, class, &plan, expected, field)
+        Ok((addr, access.width as usize))
     }
 
     fn resolve(
-        &mut self,
+        config: &RuntimeConfig,
+        stats: &mut RuntimeStats,
         base: Addr,
         actual: ClassHash,
         plan: &LayoutPlan,
         expected: ClassHash,
         field: usize,
-    ) -> Result<Addr, RuntimeError> {
+    ) -> Result<(Addr, FieldAccess), RuntimeError> {
         if actual != expected {
-            self.stats.mismatch_detected += 1;
-            if self.config.detect_class_mismatch {
+            stats.mismatch_detected += 1;
+            if config.detect_class_mismatch {
                 return Err(RuntimeError::ClassMismatch { addr: base, expected, actual });
             }
             // Detection disabled: resolve through the *actual* object's
             // randomized plan — the confused access lands on an
             // unpredictable member, which is POLaR's probabilistic defense.
         }
-        let offset = plan
-            .offset_checked(field)
+        let access = plan
+            .access(field)
             .ok_or(RuntimeError::FieldOutOfBounds { class: actual, field })?;
-        Ok(base.offset(offset as u64))
+        Ok((base.offset(access.offset as u64), access))
     }
 
     /// Instrumented object copy (`memcpy`/`memmove` on objects): copies
@@ -417,36 +643,46 @@ impl ObjectRuntime {
         site_class: &Arc<ClassInfo>,
     ) -> Result<(), RuntimeError> {
         self.stats.memcpys += 1;
-        let (info, src_plan) = match self.meta.get(&src.0) {
-            Some(src_meta) => {
+        let (info, src_plan) = match Self::probe(&self.heap, &self.shadow, src) {
+            Probe::Hit(i) => {
+                let src_meta =
+                    self.shadow[i].meta.as_ref().expect("probe hit carries metadata");
                 if src_meta.state == ObjectState::Freed && self.config.detect_use_after_free {
                     self.stats.uaf_detected += 1;
                     return Err(RuntimeError::UseAfterFree { addr: src });
                 }
                 (Arc::clone(&src_meta.class), Arc::clone(&src_meta.plan))
             }
-            None => (
+            Probe::Miss => (
                 Arc::clone(site_class),
                 self.interner.intern(LayoutPlan::natural_for(site_class)),
             ),
         };
 
-        let dst_block = self
+        let dst_limit = self
             .heap
             .block_at(dst)
             .ok_or(RuntimeError::Heap(polar_simheap::HeapError::Fault {
                 addr: dst,
                 len: src_plan.size() as usize,
-            }))?;
+            }))?
+            .size;
 
         let dst_plan = if self.config.memcpy_rerandomize {
-            // Reuse live same-class metadata at dst when present;
+            // Reuse live same-class metadata at dst when present (and
+            // generation-current — a stale record never donates a plan);
             // otherwise mint a fresh randomized plan for the duplicate.
-            match self.meta.get(&dst.0) {
-                Some(m) if m.state == ObjectState::Live && m.class.hash() == info.hash() => {
-                    Arc::clone(&m.plan)
+            let reusable = match Self::probe(&self.heap, &self.shadow, dst) {
+                Probe::Hit(i) => {
+                    let m = self.shadow[i].meta.as_ref().expect("probe hit carries metadata");
+                    (m.state == ObjectState::Live && m.class.hash() == info.hash())
+                        .then(|| Arc::clone(&m.plan))
                 }
-                _ => self.plan_fitting(&info, dst_block.size)?,
+                Probe::Miss => None,
+            };
+            match reusable {
+                Some(plan) => plan,
+                None => self.plan_fitting(&info, dst_limit)?,
             }
         } else {
             Arc::clone(&src_plan)
@@ -460,12 +696,7 @@ impl ObjectRuntime {
             self.heap.memmove(to, from, size)?;
         }
         self.seed_canaries(dst, &dst_plan)?;
-        let generation = self.meta.get(&dst.0).map_or(0, |m| m.generation) + 1;
-        self.meta.insert(
-            dst.0,
-            ObjectMeta { class: info, plan: dst_plan, state: ObjectState::Live, generation },
-        );
-        self.cache.remove(&dst.0);
+        self.record_object(dst, info, dst_plan);
         Ok(())
     }
 
@@ -503,8 +734,7 @@ impl ObjectRuntime {
         expected: ClassHash,
         field: usize,
     ) -> Result<u64, RuntimeError> {
-        let addr = self.olr_getptr(base, expected, field)?;
-        let width = self.field_width(base, field);
+        let (addr, width) = self.getptr_core(base, expected, field, None)?;
         Ok(self.heap.read_uint(addr, width)?)
     }
 
@@ -520,22 +750,8 @@ impl ObjectRuntime {
         field: usize,
         value: u64,
     ) -> Result<(), RuntimeError> {
-        let addr = self.olr_getptr(base, expected, field)?;
-        let width = self.field_width(base, field);
+        let (addr, width) = self.getptr_core(base, expected, field, None)?;
         Ok(self.heap.write_uint(addr, value, width)?)
-    }
-
-    fn field_width(&self, base: Addr, field: usize) -> usize {
-        let size = self
-            .meta
-            .get(&base.0)
-            .and_then(|m| m.plan.offset_checked(field).map(|_| m.plan.field_size(field)))
-            .unwrap_or(8);
-        match size {
-            1 | 2 | 4 | 8 => size as usize,
-            s if s >= 8 => 8,
-            _ => 1,
-        }
     }
 
     /// Sweep the object's booby traps, returning every corrupted canary
@@ -551,7 +767,11 @@ impl ObjectRuntime {
     }
 
     fn scan_traps(&self, base: Addr) -> Result<Vec<TrapReport>, RuntimeError> {
-        let meta = self.meta.get(&base.0).ok_or(RuntimeError::UnknownObject(base))?;
+        let idx = match Self::probe(&self.heap, &self.shadow, base) {
+            Probe::Hit(i) => i,
+            Probe::Miss => return Err(RuntimeError::UnknownObject(base)),
+        };
+        let meta = self.shadow[idx].meta.as_ref().expect("probe hit carries metadata");
         let mut reports = Vec::new();
         for dummy in meta.plan.dummies() {
             if let Some(expected) = dummy.canary {
@@ -972,6 +1192,142 @@ mod tests {
         }
         assert!(rt.estimated_metadata_bytes() >= bytes);
         assert_eq!(rt.meta_records(), 20);
+    }
+
+    #[test]
+    fn raw_reuse_invalidates_stale_metadata() {
+        // An object's block recycled through the *raw* path (free_raw +
+        // malloc_raw — paths the instrumentation does not see) must not
+        // leave metadata that resolves the old randomized plan for the
+        // new occupant: the generation stamp self-invalidates the record.
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        let size = rt.object_meta(obj).unwrap().plan.size() as usize;
+        rt.free_raw(obj).unwrap();
+        let buf = rt.malloc_raw(size).unwrap();
+        assert_eq!(obj, buf, "allocator should reuse the slot");
+        assert!(rt.object_meta(buf).is_none(), "stale record must not be visible");
+        assert!(matches!(
+            rt.olr_getptr(obj, info.hash(), 1).unwrap_err(),
+            RuntimeError::UnknownObject(_)
+        ));
+        // And olr_free on the raw occupant behaves like plain free().
+        rt.olr_free(buf).unwrap();
+        assert_eq!(rt.stats().frees, 0, "raw frees are not counted as object frees");
+    }
+
+    #[test]
+    fn shadow_counters_track_probe_outcomes() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        for _ in 0..3 {
+            rt.olr_getptr(obj, info.hash(), 1).unwrap();
+        }
+        assert!(rt.olr_getptr(Addr(0x9999), info.hash(), 0).is_err());
+        let stats = rt.stats();
+        assert_eq!(stats.shadow_hits, 3);
+        assert_eq!(stats.shadow_misses, 1);
+        assert_eq!(stats.member_accesses, 4);
+    }
+
+    #[test]
+    fn site_inline_cache_hits_after_first_access() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        let truth = obj.offset(rt.object_meta(obj).unwrap().plan.offset(2) as u64);
+        let mut ic = SiteCache::empty();
+        for _ in 0..10 {
+            assert_eq!(rt.olr_getptr_ic(obj, info.hash(), 2, &mut ic).unwrap(), truth);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.site_ic_misses, 1, "only the install access misses");
+        assert_eq!(stats.site_ic_hits, 9);
+        // Section V-B cache counters keep exactly the non-IC semantics.
+        assert_eq!(stats.member_accesses, 10);
+        assert_eq!(stats.cache_hits, 9);
+    }
+
+    #[test]
+    fn site_inline_cache_respects_disabled_offset_cache() {
+        let mut config = RuntimeConfig::default();
+        config.offset_cache = false;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        let mut ic = SiteCache::empty();
+        for _ in 0..5 {
+            rt.olr_getptr_ic(obj, info.hash(), 1, &mut ic).unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.site_ic_hits, 0);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn site_inline_cache_does_not_mask_use_after_free() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        let mut ic = SiteCache::empty();
+        rt.olr_getptr_ic(obj, info.hash(), 1, &mut ic).unwrap();
+        rt.olr_getptr_ic(obj, info.hash(), 1, &mut ic).unwrap();
+        assert!(rt.stats().site_ic_hits >= 1, "cache must be warm before the free");
+        rt.olr_free(obj).unwrap();
+        assert!(matches!(
+            rt.olr_getptr_ic(obj, info.hash(), 1, &mut ic).unwrap_err(),
+            RuntimeError::UseAfterFree { .. }
+        ));
+        assert_eq!(rt.stats().uaf_detected, 1);
+    }
+
+    #[test]
+    fn site_inline_cache_follows_plan_changes() {
+        // One static site iterating over many objects of the same class:
+        // whenever the cached plan differs from the probed object's plan,
+        // the IC must fall back and resolve the object's own layout.
+        let mut rt = polar_rt();
+        let info = people();
+        let objs: Vec<Addr> = (0..16).map(|_| rt.olr_malloc(&info).unwrap()).collect();
+        let mut ic = SiteCache::empty();
+        for &obj in &objs {
+            let via_ic = rt.olr_getptr_ic(obj, info.hash(), 2, &mut ic).unwrap();
+            let truth = rt.object_meta(obj).unwrap().plan.offset(2) as u64;
+            assert_eq!(via_ic.0 - obj.0, truth);
+        }
+    }
+
+    #[test]
+    fn site_inline_cache_invalidated_by_slot_reuse() {
+        // free + remalloc at the same base gives the slot a new plan; an
+        // IC warmed on the old object must miss (plan hash changed) and
+        // resolve through the new object's layout.
+        let mut rt = polar_rt();
+        let info = people();
+        let a = rt.olr_malloc(&info).unwrap();
+        let mut ic = SiteCache::empty();
+        rt.olr_getptr_ic(a, info.hash(), 2, &mut ic).unwrap();
+        rt.olr_free(a).unwrap();
+        let b = rt.olr_malloc(&info).unwrap();
+        assert_eq!(a, b, "allocator should reuse the slot");
+        let via_ic = rt.olr_getptr_ic(b, info.hash(), 2, &mut ic).unwrap();
+        let truth = rt.object_meta(b).unwrap().plan.offset(2) as u64;
+        assert_eq!(via_ic.0 - b.0, truth);
+    }
+
+    #[test]
+    fn access_width_matches_plan_table() {
+        // read_field/write_field width comes from the packed access
+        // table; round-trip a narrow field to confirm no widening writes.
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        rt.write_field(obj, info.hash(), 1, u64::MAX).unwrap();
+        // age is an i32 field: the stored value must be truncated to 4
+        // bytes, not clobber 8.
+        assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), u64::from(u32::MAX));
     }
 
     #[test]

@@ -29,6 +29,18 @@ pub struct RuntimeStats {
     pub unique_plans: u64,
     /// Metadata records saved by plan deduplication.
     pub dedup_saved: u64,
+    /// Member accesses whose metadata came from a generation-current
+    /// shadow-index slot (O(1) lookup, no hashing).
+    pub shadow_hits: u64,
+    /// Member accesses that found no current shadow-index entry: the
+    /// address was never tracked, or its slot was re-allocated since the
+    /// metadata was recorded (generation mismatch — a self-invalidated
+    /// stale entry).
+    pub shadow_misses: u64,
+    /// Member accesses resolved by a per-call-site inline cache.
+    pub site_ic_hits: u64,
+    /// Inline-cache probes that fell back to the full metadata path.
+    pub site_ic_misses: u64,
 }
 
 impl RuntimeStats {
@@ -60,6 +72,10 @@ impl AddAssign for RuntimeStats {
         self.traps_triggered += rhs.traps_triggered;
         self.unique_plans += rhs.unique_plans;
         self.dedup_saved += rhs.dedup_saved;
+        self.shadow_hits += rhs.shadow_hits;
+        self.shadow_misses += rhs.shadow_misses;
+        self.site_ic_hits += rhs.site_ic_hits;
+        self.site_ic_misses += rhs.site_ic_misses;
     }
 }
 

@@ -36,7 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// A heap address: a byte offset into the arena. `0` is reserved as null.
@@ -203,6 +203,16 @@ fn size_class(size: usize) -> Option<usize> {
 }
 
 /// The simulated heap: arena + segregated freelists + block table.
+///
+/// Block metadata lives in two dense structures instead of a hashtable
+/// (the shadow-index optimization of the hot-path overhaul): `slots` is
+/// an append-only table of [`BlockInfo`] records — one per distinct base
+/// address the allocator has ever handed out, identified by a stable
+/// **slot id** — and `index` maps every [`ALIGN`]-sized arena unit to
+/// the slot covering it (`0` = unowned: never allocated, or a redzone
+/// gap). Every metadata lookup, base-exact or interior, is therefore a
+/// constant-time array read, and the POLaR runtime reuses the same slot
+/// ids to index its own object-metadata shadow table.
 #[derive(Debug, Clone)]
 pub struct SimHeap {
     arena: Vec<u8>,
@@ -210,7 +220,11 @@ pub struct SimHeap {
     free_lists: [Vec<u64>; SIZE_CLASSES.len()],
     large_free: Vec<(u64, usize)>,
     quarantine: VecDeque<Addr>,
-    blocks: HashMap<u64, BlockInfo>,
+    /// Dense block table, indexed by slot id; entries are never removed
+    /// (freed blocks keep their record, exactly like the old hashtable).
+    slots: Vec<BlockInfo>,
+    /// `addr / ALIGN → slot id + 1` for every unit a block covers.
+    index: Vec<u32>,
     stats: HeapStats,
 }
 
@@ -224,7 +238,8 @@ impl SimHeap {
             free_lists: Default::default(),
             large_free: Vec::new(),
             quarantine: VecDeque::new(),
-            blocks: HashMap::new(),
+            slots: Vec::new(),
+            index: vec![0],
             stats: HeapStats::default(),
         }
     }
@@ -284,17 +299,33 @@ impl SimHeap {
             }
         };
         let addr = Addr(base);
-        let generation = self.blocks.get(&base).map_or(0, |b| b.generation) + 1;
-        self.blocks.insert(
-            base,
-            BlockInfo {
-                base: addr,
-                size: usable,
-                requested: size,
-                state: BlockState::Live,
-                generation,
-            },
-        );
+        match self.slot_of_base(addr) {
+            Some(slot) => {
+                // Reused slot: same base, same span — bump the generation.
+                let info = &mut self.slots[slot];
+                info.requested = size;
+                info.state = BlockState::Live;
+                info.generation += 1;
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(BlockInfo {
+                    base: addr,
+                    size: usable,
+                    requested: size,
+                    state: BlockState::Live,
+                    generation: 1,
+                });
+                let first = (base as usize) / ALIGN;
+                let last = first + usable.div_ceil(ALIGN);
+                if self.index.len() < last {
+                    self.index.resize(last, 0);
+                }
+                for unit in &mut self.index[first..last] {
+                    *unit = slot + 1;
+                }
+            }
+        }
         if self.config.zero_on_alloc {
             let start = base as usize;
             self.arena[start..start + usable].fill(0);
@@ -325,8 +356,8 @@ impl SimHeap {
     /// [`HeapError::InvalidFree`] for any address that is not a live block
     /// base.
     pub fn free(&mut self, addr: Addr) -> Result<(), HeapError> {
-        let block = match self.blocks.get_mut(&addr.0) {
-            Some(b) => b,
+        let block = match self.slot_of_base(addr) {
+            Some(slot) => &mut self.slots[slot],
             None => return Err(HeapError::InvalidFree(addr)),
         };
         match block.state {
@@ -343,7 +374,9 @@ impl SimHeap {
         self.quarantine.push_back(addr);
         while self.quarantine.len() > self.config.quarantine {
             let released = self.quarantine.pop_front().expect("non-empty");
-            let released_size = self.blocks[&released.0].size;
+            let released_size = self.slots
+                [self.slot_of_base(released).expect("quarantined block has a slot")]
+            .size;
             match size_class(released_size) {
                 Some(class) if SIZE_CLASSES[class] == released_size => {
                     self.free_lists[class].push(released.0);
@@ -354,20 +387,52 @@ impl SimHeap {
         Ok(())
     }
 
-    /// Block metadata for the block *containing* `addr`, if any.
+    /// Slot id covering `addr` (any interior byte), if a block owns it.
+    fn slot_containing(&self, addr: Addr) -> Option<usize> {
+        let unit = (addr.0 as usize) / ALIGN;
+        match self.index.get(unit) {
+            Some(&raw) if raw != 0 => Some(raw as usize - 1),
+            _ => None,
+        }
+    }
+
+    /// Slot id when `addr` is exactly a block base.
+    fn slot_of_base(&self, addr: Addr) -> Option<usize> {
+        let slot = self.slot_containing(addr)?;
+        (self.slots[slot].base == addr).then_some(slot)
+    }
+
+    /// Stable dense slot id and current allocation generation for a block
+    /// base address. O(1); `None` when `addr` is not a block base.
+    ///
+    /// A base address keeps one slot id for the heap's whole lifetime
+    /// (slots are never merged or split), and the generation increments
+    /// on every reallocation of the slot — together they let external
+    /// shadow tables (the POLaR runtime's object metadata) index by slot
+    /// and self-invalidate stale entries by generation instead of
+    /// explicitly removing them.
+    pub fn slot_gen(&self, addr: Addr) -> Option<(u32, u64)> {
+        let slot = self.slot_of_base(addr)?;
+        Some((slot as u32, self.slots[slot].generation))
+    }
+
+    /// Number of distinct block slots ever created (freed slots included).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Block metadata for the block *containing* `addr`, if any. O(1)
+    /// through the arena-unit index.
     ///
     /// This is a diagnostic/tooling interface (the runtime and sanitizers
     /// use it); ordinary program accesses never consult it.
     pub fn block_containing(&self, addr: Addr) -> Option<BlockInfo> {
-        self.blocks
-            .values()
-            .find(|b| addr.0 >= b.base.0 && addr.0 < b.base.0 + b.size as u64)
-            .copied()
+        self.slot_containing(addr).map(|slot| self.slots[slot])
     }
 
-    /// Block metadata when `addr` is exactly a block base.
+    /// Block metadata when `addr` is exactly a block base. O(1).
     pub fn block_at(&self, addr: Addr) -> Option<BlockInfo> {
-        self.blocks.get(&addr.0).copied()
+        self.slot_of_base(addr).map(|slot| self.slots[slot])
     }
 
     fn check_range(&self, addr: Addr, len: usize) -> Result<(usize, usize), HeapError> {
@@ -530,7 +595,7 @@ impl SimHeap {
 
     /// Iterate over all blocks the allocator knows about (live and freed).
     pub fn blocks(&self) -> impl Iterator<Item = &BlockInfo> {
-        self.blocks.values()
+        self.slots.iter()
     }
 }
 
@@ -772,6 +837,36 @@ mod tests {
             h.write_in_block(a, &[1, 2]).unwrap_err(),
             HeapError::OutOfBlock { .. }
         ));
+    }
+
+    #[test]
+    fn slot_ids_are_stable_and_generations_advance() {
+        let mut h = heap();
+        let a = h.malloc(32).unwrap();
+        let (slot_a, gen1) = h.slot_gen(a).unwrap();
+        assert_eq!(gen1, 1);
+        h.free(a).unwrap();
+        // Freed blocks keep their slot and generation.
+        assert_eq!(h.slot_gen(a), Some((slot_a, 1)));
+        let b = h.malloc(32).unwrap();
+        assert_eq!(a, b, "immediate reuse expected");
+        // Same slot, next generation: shadow entries recorded under gen 1
+        // are now self-invalidated.
+        assert_eq!(h.slot_gen(b), Some((slot_a, 2)));
+        let c = h.malloc(32).unwrap();
+        let (slot_c, _) = h.slot_gen(c).unwrap();
+        assert_ne!(slot_a, slot_c);
+        assert_eq!(h.slot_count(), 2);
+    }
+
+    #[test]
+    fn slot_gen_requires_exact_base() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        assert!(h.slot_gen(a).is_some());
+        assert!(h.slot_gen(a.offset(16)).is_none(), "interior pointer is not a base");
+        assert!(h.slot_gen(Addr(1 << 40)).is_none());
+        assert!(h.slot_gen(Addr::NULL).is_none());
     }
 
     #[test]

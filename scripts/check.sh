@@ -62,3 +62,10 @@ echo "== tier-1 gate =="
 cargo build --release --offline
 cargo test -q --offline
 echo "ok: tier-1 green"
+
+echo "== bench smoke (1 iteration) =="
+# A single-iteration pass through every benchmark: catches hot-path
+# regressions that only the bench harness exercises (e.g. the JSON
+# trajectory writer) without paying for real measurements.
+scripts/bench.sh --quick --snapshot smoke
+echo "ok: bench smoke green"

@@ -319,6 +319,104 @@ fn traps_have_no_false_positives() {
     });
 }
 
+/// The packed `(offset, width)` access table agrees with the plan's
+/// authoritative offset/size arrays for every engine-generated plan:
+/// same offset, width = the load/store clamp of the field size, and
+/// one-past-the-end is `None`.
+#[test]
+fn access_table_agrees_with_field_scan() {
+    let strategy = (arbitrary_class(), arbitrary_policy(), any::<u64>());
+    check_with(cfg(), "access_table_agrees_with_field_scan", &strategy, |(decl, policy, seed)| {
+        let info = ClassInfo::from_decl(decl.clone());
+        let engine = LayoutEngine::new(policy.clone());
+        let mut rng = StdRng::seed_from_u64(*seed);
+        for _ in 0..4 {
+            let plan = engine.generate(&info, &mut rng);
+            for field in 0..plan.field_count() {
+                let access = plan.access(field).expect("in-bounds field has an entry");
+                ensure_eq!(access.offset, plan.offset(field), "offset diverges: {plan}");
+                let size = plan.field_size(field);
+                let want = match size {
+                    1 | 2 | 4 | 8 => size as u8,
+                    s if s >= 8 => 8,
+                    _ => 1,
+                };
+                ensure_eq!(access.width, want, "width clamp diverges for size {size}");
+            }
+            ensure!(plan.access(plan.field_count()).is_none(), "no one-past-the-end entry");
+        }
+        Ok(())
+    });
+}
+
+/// Offset-cache coherence across free + re-malloc: warm every cache in
+/// front of the metadata (per-object flag and a per-site inline cache),
+/// recycle the address, and check that each field resolves through the
+/// NEW object's plan — never the cached old one.
+#[test]
+fn caches_stay_coherent_across_remalloc() {
+    let strategy = (arbitrary_class(), any::<u64>(), 1usize..4);
+    check_with(cfg(), "caches_stay_coherent_across_remalloc", &strategy, |(decl, seed, rounds)| {
+        let info = std::sync::Arc::new(ClassInfo::from_decl(decl.clone()));
+        let mut config = RuntimeConfig::default();
+        config.seed = *seed;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        // One inline cache per field, reused across every round like the
+        // static access sites of a loop body.
+        let mut ics = vec![SiteCache::empty(); info.field_count()];
+        let mut obj = rt.olr_malloc(&info).unwrap();
+        for _ in 0..*rounds {
+            // Warm both cache layers on the current object.
+            for field in 0..info.field_count() {
+                rt.olr_getptr(obj, info.hash(), field).unwrap();
+                rt.olr_getptr_ic(obj, info.hash(), field, &mut ics[field]).unwrap();
+            }
+            rt.olr_free(obj).unwrap();
+            obj = rt.olr_malloc(&info).unwrap();
+            let truth: Vec<u64> = {
+                let plan = &rt.object_meta(obj).unwrap().plan;
+                (0..info.field_count()).map(|f| plan.offset(f) as u64).collect()
+            };
+            for field in 0..info.field_count() {
+                let plain = rt.olr_getptr(obj, info.hash(), field).unwrap();
+                ensure_eq!(plain.0 - obj.0, truth[field], "plain path served a stale offset");
+                let via_ic = rt.olr_getptr_ic(obj, info.hash(), field, &mut ics[field]).unwrap();
+                ensure_eq!(via_ic.0 - obj.0, truth[field], "inline cache served a stale offset");
+            }
+        }
+        Ok(())
+    });
+}
+
+/// A block recycled through the raw (uninstrumented) path never serves
+/// its previous occupant's layout plan: the generation stamp makes the
+/// stale record invisible, so the access fails as unknown instead of
+/// resolving through dead metadata.
+#[test]
+fn raw_reuse_never_serves_a_stale_plan() {
+    let strategy = (arbitrary_class(), any::<u64>());
+    check_with(cfg(), "raw_reuse_never_serves_a_stale_plan", &strategy, |(decl, seed)| {
+        let info = std::sync::Arc::new(ClassInfo::from_decl(decl.clone()));
+        let mut config = RuntimeConfig::default();
+        config.seed = *seed;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let obj = rt.olr_malloc(&info).unwrap();
+        let size = rt.object_meta(obj).unwrap().plan.size().max(1) as usize;
+        rt.free_raw(obj).unwrap();
+        let buf = rt.malloc_raw(size).unwrap();
+        ensure_eq!(obj, buf, "LIFO allocator should hand the block back");
+        ensure!(rt.object_meta(buf).is_none(), "stale record still visible");
+        ensure!(
+            matches!(
+                rt.olr_getptr(obj, info.hash(), 0),
+                Err(RuntimeError::UnknownObject(_))
+            ),
+            "dangling access resolved through a stale plan"
+        );
+        Ok(())
+    });
+}
+
 // ---------------------------------------------------------------------
 // Historical counterexamples, migrated from the retired
 // `tests/properties.proptest-regressions` file. Both shrunk cases had
