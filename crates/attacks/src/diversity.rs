@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
 use polar_layout::PlanHash;
-use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+use polar_runtime::{ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig};
 
 use crate::harness::Defense;
 
@@ -107,6 +107,42 @@ pub fn measure(defense: Defense, instances: usize) -> DiversityReport {
     }
 }
 
+/// Probability that two consecutive same-class allocations share a
+/// layout, estimated over `pairs` adjacent allocation pairs.
+///
+/// Plan pooling makes POLaR's per-allocation guarantee explicitly
+/// probabilistic: a sampled pool of `K` interned plans shares between
+/// neighbours at rate ≈ `1/K`
+/// ([`PoolPolicy::expected_consecutive_share`]), against ~0 for
+/// unpooled draws and 1 for static OLR. The estimator warms the pool
+/// past its fill phase first so the rate reflects the steady state the
+/// policy configures.
+pub fn consecutive_share_rate(seed: u64, pool: PoolPolicy, pairs: usize) -> f64 {
+    assert!(pairs > 0, "need at least one pair");
+    let info = probe_class();
+    let mut config = RuntimeConfig::default();
+    config.seed = seed;
+    config.pool = pool;
+    config.heap.capacity = 256 << 20;
+    let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+    for _ in 0..2 * pool.size.max(1) {
+        let a = rt.olr_malloc(&info).expect("alloc");
+        rt.olr_free(a).expect("free");
+    }
+    let mut prev: Option<PlanHash> = None;
+    let mut shared = 0usize;
+    for _ in 0..=pairs {
+        let base = rt.olr_malloc(&info).expect("alloc");
+        let hash = rt.object_meta(base).expect("meta").plan.plan_hash();
+        rt.olr_free(base).expect("free");
+        if prev == Some(hash) {
+            shared += 1;
+        }
+        prev = Some(hash);
+    }
+    shared as f64 / pairs as f64
+}
+
 /// The full Figure 2 comparison: native vs static OLR vs POLaR.
 pub fn figure2(instances: usize) -> Vec<DiversityReport> {
     vec![
@@ -149,6 +185,34 @@ mod tests {
         );
         assert!(!r.identical_across_runs);
         assert!(r.distinct_across_runs > r.distinct_within_run / 2);
+    }
+
+    #[test]
+    fn consecutive_share_matches_the_default_pool_policy() {
+        // Diversity regression for the allocation fast path: pooling may
+        // only dilute per-allocation diversity to the configured rate
+        // (~1/32 for the default sampled pool), not collapse it.
+        let pool = PoolPolicy::default();
+        let expect = pool.expected_consecutive_share();
+        let rate = consecutive_share_rate(0xD1CE, pool, 4000);
+        assert!(
+            rate > expect * 0.3 && rate < expect * 3.0,
+            "consecutive-share rate {rate:.4} far from configured {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn disabling_the_pool_restores_full_per_allocation_diversity() {
+        let rate = consecutive_share_rate(7, PoolPolicy::disabled(), 2000);
+        assert!(rate < 0.01, "unpooled consecutive-share rate {rate:.4} should be ~0");
+    }
+
+    #[test]
+    fn degenerate_single_plan_pool_shares_almost_always() {
+        // The other extreme pins the estimator's sign: a size-1 sampled
+        // pool behaves like static OLR between churn points.
+        let rate = consecutive_share_rate(3, PoolPolicy::sampled(1, 8), 500);
+        assert!(rate > 0.8, "size-1 pool consecutive-share rate {rate:.4} should be ~1");
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! `--quick` runs every bench body once (no timing claims) so CI can
 //! smoke-test that the benches still execute without paying for a full
 //! measurement (`scripts/check.sh` uses this).
+//!
+//! `--gate FILE` runs a reduced-iteration timed measurement of the two
+//! gated benches (`olr_getptr_cached` and `olr_malloc_free` in polar
+//! mode), compares each against the fastest pinned entry for that bench
+//! in FILE, and exits non-zero on a >25% regression. This keeps the
+//! allocation fast path honest without paying for a full bench run.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -28,7 +34,7 @@ use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
 use polar_ir::interp::{run, ExecLimits};
 use polar_ir::trace::NopTracer;
 use polar_ir::Inst;
-use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+use polar_runtime::{ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig};
 
 /// One measurement row of `BENCH_runtime.json`.
 #[derive(Debug, Clone)]
@@ -109,6 +115,29 @@ fn run_benches(quick: bool) -> Vec<Entry> {
         (RandomizeMode::static_olr(7), "static-olr"),
     ] {
         let mut rt = ObjectRuntime::new(mode, big_config());
+        let ns = time_loop(quick, 200_000, samples, || {
+            let a = rt.olr_malloc(&info).expect("alloc");
+            rt.olr_free(a).expect("free");
+        });
+        out.push(entry("olr_malloc_free", label, ns, &rt));
+    }
+
+    // Ablations of the allocation fast path: pool disabled (every
+    // allocation regenerates its plan) and the stateless small-class
+    // permutation (no per-object plan storage at all).
+    for (label, cfg) in [
+        ("polar-unpooled", {
+            let mut c = big_config();
+            c.pool = PoolPolicy::disabled();
+            c
+        }),
+        ("polar-stateless", {
+            let mut c = big_config();
+            c.stateless_small = true;
+            c
+        }),
+    ] {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), cfg);
         let ns = time_loop(quick, 200_000, samples, || {
             let a = rt.olr_malloc(&info).expect("alloc");
             rt.olr_free(a).expect("free");
@@ -207,6 +236,72 @@ fn run_benches(quick: bool) -> Vec<Entry> {
     }
 
     out
+}
+
+/// Reduced-iteration timed measurement of the two gated hot paths.
+/// Cheaper than `run_benches` (seconds, not minutes) but still a real
+/// measurement, unlike `--quick`.
+fn gate_measurements() -> Vec<(&'static str, f64)> {
+    let info = probe();
+    // Best-of-8 over short loops: cheap (tens of ms total) but stable
+    // enough that scheduler noise doesn't trip the 25% tolerance.
+    let samples = 8;
+
+    let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+    let malloc_free = time_loop(false, 40_000, samples, || {
+        let a = rt.olr_malloc(&info).expect("alloc");
+        rt.olr_free(a).expect("free");
+    });
+
+    let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+    let obj = rt.olr_malloc(&info).expect("alloc");
+    let hash = info.hash();
+    rt.olr_getptr(obj, hash, 1).expect("warm");
+    let getptr_cached = time_loop(false, 500_000, samples, || {
+        rt.olr_getptr(obj, hash, 1).expect("access");
+    });
+
+    vec![("olr_malloc_free", malloc_free), ("olr_getptr_cached", getptr_cached)]
+}
+
+/// `--gate FILE`: fail (exit 1) if either gated bench regresses >25%
+/// against the fastest pinned polar-mode entry for it in FILE.
+fn run_gate(pin_path: &str) -> i32 {
+    const TOLERANCE: f64 = 1.25;
+    let text = match std::fs::read_to_string(pin_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gate: cannot read pin file {pin_path}: {e}");
+            return 2;
+        }
+    };
+    let pins = parse_entries(&text, "pinned");
+    let mut failed = false;
+    for (bench, measured) in gate_measurements() {
+        let pinned = pins
+            .iter()
+            .filter(|e| e.bench == bench && e.mode == "polar" && e.ns_per_op > 0.0)
+            .map(|e| e.ns_per_op)
+            .fold(f64::INFINITY, f64::min);
+        if !pinned.is_finite() {
+            eprintln!("gate: no pinned polar entry for {bench} in {pin_path}, skipping");
+            continue;
+        }
+        let limit = pinned * TOLERANCE;
+        let verdict = if measured > limit { "FAIL" } else { "ok" };
+        eprintln!(
+            "gate: {bench}: {measured:.2} ns/op (pinned {pinned:.2}, limit {limit:.2}) {verdict}"
+        );
+        if measured > limit {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("gate: perf regression >25% vs {pin_path}");
+        1
+    } else {
+        0
+    }
 }
 
 /// Build a module whose entry allocates one object and then runs a tight
@@ -332,6 +427,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut snapshot = "current".to_owned();
+    let mut gate: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -339,6 +435,10 @@ fn main() {
             "--baseline" => {
                 i += 1;
                 baseline = Some(args[i].clone());
+            }
+            "--gate" => {
+                i += 1;
+                gate = Some(args[i].clone());
             }
             "--out" => {
                 i += 1;
@@ -352,7 +452,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_json [--quick] [--snapshot LABEL] \
-                     [--baseline FILE] [--out FILE]"
+                     [--baseline FILE] [--out FILE] [--gate PINFILE]"
                 );
                 std::process::exit(2);
             }
@@ -360,14 +460,23 @@ fn main() {
         i += 1;
     }
 
+    if let Some(pin) = gate {
+        std::process::exit(run_gate(&pin));
+    }
+
     let mut current = run_benches(quick);
     for e in &mut current {
         e.snapshot = snapshot.clone();
     }
 
+    // Merge in prior snapshots, replacing any with the current label so
+    // a rerun appends one fresh snapshot instead of duplicating rows.
     let baseline_entries: Vec<Entry> = match &baseline {
         Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) => parse_entries(&text, "seed"),
+            Ok(text) => parse_entries(&text, "seed")
+                .into_iter()
+                .filter(|e| e.snapshot != snapshot)
+                .collect(),
             Err(e) => {
                 eprintln!("warning: cannot read baseline {path}: {e}");
                 Vec::new()

@@ -144,21 +144,23 @@ fn fig7(all_rows: &[Vec<JsRow>]) {
 fn table3() {
     heading("Table III — object events against randomized objects (POLaR build)");
     println!(
-        "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7}",
-        "App", "Alloc", "Free", "Memcpy", "Member acc", "Cache hit", "hit %"
+        "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7} {:>10} {:>8}",
+        "App", "Alloc", "Free", "Memcpy", "Member acc", "Cache hit", "hit %", "Pool hit", "refills"
     );
-    println!("{}", "-".repeat(84));
+    println!("{}", "-".repeat(104));
     for row in table3_rows() {
         let s = row.stats;
         println!(
-            "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>6.1}%",
+            "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>6.1}% {:>10} {:>8}",
             row.name,
             s.allocations,
             s.frees,
             s.memcpys,
             s.member_accesses,
             s.cache_hits,
-            s.cache_hit_ratio().unwrap_or(0.0) * 100.0
+            s.cache_hit_ratio().unwrap_or(0.0) * 100.0,
+            s.pool_hits,
+            s.pool_refills
         );
     }
 }

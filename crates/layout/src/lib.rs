@@ -51,10 +51,17 @@ pub mod entropy;
 mod intern;
 mod plan;
 mod policy;
+mod pool;
 mod static_olr;
+mod stateless;
 
 pub use engine::LayoutEngine;
 pub use intern::PlanInterner;
 pub use plan::{DummySlot, FieldAccess, LayoutPlan, PlanHash};
 pub use policy::{DummyPolicy, PermuteMode, RandomizationPolicy};
+pub use pool::{DrawMode, PlanPools, PoolPolicy, PoolStats};
 pub use static_olr::StaticOlrTable;
+pub use stateless::{
+    permute_index, stateless_perm, stateless_plan, stateless_size_bound, EpochKey,
+    STATELESS_MAX_FIELDS,
+};

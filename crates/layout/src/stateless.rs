@@ -1,0 +1,283 @@
+//! Stateless small-class permutations (SPAM-style keyed Feistel).
+//!
+//! For the dominant population of small objects (≤ 8 fields), storing a
+//! full randomized [`LayoutPlan`] per allocation is overkill: the
+//! permutation itself can be *derived* from identity the runtime already
+//! tracks — the heap block's (slot id, generation) pair — keyed by a
+//! per-process epoch key, in the style of SPAM's keyed index
+//! transformation. The runtime then stores only the 64-bit key; the plan
+//! for any live or historical allocation is recomputable on demand, and
+//! the set of distinct derived plans is bounded by the (small) number of
+//! field permutations, which caps interner growth.
+//!
+//! The derivation is a 4-round balanced Feistel network over a 4-bit
+//! index domain (16 ≥ 8 fields) with cycle-walking to restrict the
+//! bijection to `[0, n)`. Feistel networks are bijective for *any* round
+//! function, so every (key, generation, slot) triple yields a valid
+//! permutation; cycle-walking preserves bijectivity because it walks the
+//! orbit of a permutation until it re-enters the target domain.
+//!
+//! Derived plans are permute-only: no dummy members and no booby traps.
+//! That is the metadata trade the paper's §V-B discussion allows for
+//! small objects, and it is why the runtime keeps this path **opt-in**
+//! (`RuntimeConfig::stateless_small`, default off) — enabling it trades
+//! trap coverage on small classes for metadata and speed.
+
+use polar_classinfo::ClassInfo;
+
+use crate::plan::LayoutPlan;
+
+/// Largest field count served by the stateless path.
+pub const STATELESS_MAX_FIELDS: usize = 8;
+
+/// Feistel domain: 4-bit indices, two 2-bit halves.
+const DOMAIN: u32 = 16;
+const HALF_BITS: u32 = 2;
+const HALF_MASK: u32 = (1 << HALF_BITS) - 1;
+const ROUNDS: u32 = 4;
+
+/// The per-process secret keying every stateless permutation. Derived
+/// from the runtime seed; leaking a single object's layout does not
+/// reveal the key (the round function is a one-way mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochKey(pub u64);
+
+/// SplitMix64's finalizer: a cheap 64-bit avalanche mix.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Collapse (generation, slot) into the Feistel tweak. Injective for
+/// generations below 2^32, and `mix64` in the round function avalanches
+/// the combined value anyway.
+#[inline]
+fn tweak(generation: u64, slot: u32) -> u64 {
+    mix64((generation << 32) ^ generation >> 32).wrapping_add(mix64(slot as u64 ^ 0xA076_1D64_78BD_642F))
+}
+
+/// The Feistel round function: 2 bits of keyed mix.
+#[inline]
+fn round_f(key: u64, tweak: u64, round: u32, half: u32) -> u32 {
+    let x = key
+        ^ tweak.rotate_left(round * 8)
+        ^ ((round as u64) << 32)
+        ^ (half as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mix64(x) & HALF_MASK as u64) as u32
+}
+
+/// One pass of the 4-round network: a bijection on `[0, 16)`.
+#[inline]
+fn feistel16(key: u64, tweak: u64, index: u32) -> u32 {
+    let mut left = (index >> HALF_BITS) & HALF_MASK;
+    let mut right = index & HALF_MASK;
+    for round in 0..ROUNDS {
+        let next = left ^ round_f(key, tweak, round, right);
+        left = right;
+        right = next & HALF_MASK;
+    }
+    (left << HALF_BITS) | right
+}
+
+/// The keyed index permutation: maps `index ∈ [0, n)` to a position in
+/// `[0, n)`, bijectively, as a pure function of (key, generation, slot).
+///
+/// Cycle-walking: `feistel16` permutes `[0, 16)`; iterating it from a
+/// point `< n` must eventually re-enter `[0, n)` (the orbit returns to
+/// its start), and distinct starts land on distinct results, so the
+/// restriction is itself a bijection on `[0, n)`.
+///
+/// # Panics
+///
+/// Debug-asserts `n ≤ 16` and `index < n`.
+pub fn permute_index(key: EpochKey, generation: u64, slot: u32, n: usize, index: usize) -> usize {
+    debug_assert!(n >= 1 && n <= DOMAIN as usize);
+    debug_assert!(index < n);
+    let t = tweak(generation, slot);
+    let mut x = index as u32;
+    loop {
+        x = feistel16(key.0, t, x);
+        if (x as usize) < n {
+            return x as usize;
+        }
+    }
+}
+
+/// The full derived permutation for an `n`-field class: `perm[p]` is the
+/// field placed at sequential position `p`.
+pub fn stateless_perm(key: EpochKey, generation: u64, slot: u32, n: usize) -> Vec<usize> {
+    (0..n).map(|p| permute_index(key, generation, slot, n, p)).collect()
+}
+
+/// Derive the layout plan for `info` at heap identity (generation, slot).
+///
+/// Permute-only (no dummies, no traps): fields are laid out sequentially
+/// in derived order with natural alignment. The result is a plain
+/// [`LayoutPlan`], so every downstream consumer — access tables, the
+/// shadow index, `olr_memcpy` translation — works unchanged.
+///
+/// # Panics
+///
+/// Panics if `info` has more than [`STATELESS_MAX_FIELDS`] fields.
+pub fn stateless_plan(
+    info: &ClassInfo,
+    key: EpochKey,
+    generation: u64,
+    slot: u32,
+) -> LayoutPlan {
+    let fields = info.fields();
+    let n = fields.len();
+    assert!(
+        n <= STATELESS_MAX_FIELDS,
+        "stateless path is limited to {STATELESS_MAX_FIELDS} fields, got {n}"
+    );
+    let mut offsets = vec![0u32; n];
+    let sizes: Vec<u32> = fields.iter().map(|f| f.kind().size()).collect();
+    let aligns: Vec<u32> = fields.iter().map(|f| f.kind().align()).collect();
+    let mut cursor = 0u32;
+    let mut max_align = 1u32;
+    for p in 0..n {
+        let idx = permute_index(key, generation, slot, n, p);
+        let align = aligns[idx];
+        max_align = max_align.max(align);
+        cursor = round_up(cursor, align);
+        offsets[idx] = cursor;
+        cursor += sizes[idx];
+    }
+    let size = round_up(cursor.max(1), max_align);
+    LayoutPlan::with_aligns(info.hash(), offsets, sizes, aligns, Vec::new(), size, false)
+}
+
+/// An upper bound on the size of *any* stateless plan for `info`,
+/// independent of (generation, slot).
+///
+/// The allocation path needs a block size *before* the heap assigns the
+/// (slot, generation) identity the plan is derived from; this bound
+/// breaks the cycle. Sequential natural-alignment layout wastes at most
+/// `align - 1` padding bytes ahead of each field, so
+/// `Σ (size_i + align_i − 1)`, rounded up to the max alignment, dominates
+/// every permutation's footprint.
+pub fn stateless_size_bound(info: &ClassInfo) -> u32 {
+    let mut bound = 0u32;
+    let mut max_align = 1u32;
+    for f in info.fields() {
+        let kind = f.kind();
+        max_align = max_align.max(kind.align());
+        bound += kind.size() + (kind.align() - 1);
+    }
+    round_up(bound.max(1), max_align)
+}
+
+fn round_up(value: u32, to: u32) -> u32 {
+    debug_assert!(to.is_power_of_two());
+    (value + to - 1) & !(to - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_classinfo::{ClassDecl, FieldKind};
+
+    fn small_class(n: usize) -> ClassInfo {
+        let kinds = [
+            FieldKind::VtablePtr,
+            FieldKind::I64,
+            FieldKind::I32,
+            FieldKind::I16,
+            FieldKind::I8,
+            FieldKind::Ptr,
+            FieldKind::I32,
+            FieldKind::I64,
+        ];
+        let mut b = ClassDecl::builder("Small");
+        for (i, kind) in kinds.iter().take(n).enumerate() {
+            b = b.field(format!("f{i}"), *kind);
+        }
+        ClassInfo::from_decl(b.build())
+    }
+
+    #[test]
+    fn feistel_is_a_bijection_on_the_domain() {
+        for key in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            for t in [0u64, 7, 0x1234_5678_9ABC_DEF0] {
+                let mut seen = [false; DOMAIN as usize];
+                for i in 0..DOMAIN {
+                    let out = feistel16(key, t, i);
+                    assert!(out < DOMAIN);
+                    assert!(!seen[out as usize], "collision at {i}");
+                    seen[out as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_walked_permutation_is_bijective_for_every_n() {
+        for n in 1..=STATELESS_MAX_FIELDS {
+            let key = EpochKey(0x5EED);
+            let perm = stateless_perm(key, 3, 17, n);
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "n={n} perm={perm:?}");
+        }
+    }
+
+    #[test]
+    fn different_identities_usually_differ() {
+        let info = small_class(6);
+        let key = EpochKey(0xA11CE);
+        let base = stateless_plan(&info, key, 0, 0);
+        let mut distinct = 0;
+        for slot in 1..32u32 {
+            if stateless_plan(&info, key, 0, slot).plan_hash() != base.plan_hash() {
+                distinct += 1;
+            }
+        }
+        // 6! = 720 permutations: nearly all of 31 other slots differ.
+        assert!(distinct > 20, "only {distinct} of 31 differed");
+        // Generation bumps (block reuse) also re-randomize.
+        assert_ne!(
+            stateless_plan(&info, key, 1, 0).plan_hash(),
+            stateless_plan(&info, key, 2, 0).plan_hash()
+        );
+    }
+
+    #[test]
+    fn derived_plans_validate_and_fit_the_bound() {
+        for n in 1..=STATELESS_MAX_FIELDS {
+            let info = small_class(n);
+            let bound = stateless_size_bound(&info);
+            for ident in 0..50u32 {
+                let plan = stateless_plan(&info, EpochKey(99), (ident / 10) as u64, ident % 10);
+                plan.validate().expect("derived plan must validate");
+                assert!(plan.size() <= bound, "n={n} size {} > bound {bound}", plan.size());
+                assert_eq!(plan.dummies().len(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rederivation_is_exact() {
+        let info = small_class(7);
+        let key = EpochKey(0xC0FFEE);
+        let a = stateless_plan(&info, key, 41, 12);
+        let b = stateless_plan(&info, key, 41, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.plan_hash(), b.plan_hash());
+    }
+
+    #[test]
+    fn key_separates_processes() {
+        let info = small_class(5);
+        let a = stateless_plan(&info, EpochKey(1), 0, 0);
+        let mut distinct = 0;
+        for k in 2..20u64 {
+            if stateless_plan(&info, EpochKey(k), 0, 0).plan_hash() != a.plan_hash() {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 12, "only {distinct} of 18 keys differed");
+    }
+}

@@ -82,6 +82,12 @@ impl StaticOlrTable {
     pub fn is_empty(&self) -> bool {
         self.plans.is_empty()
     }
+
+    /// Iterate over the per-class plans generated so far (metadata
+    /// accounting walks this; the table is memory like any other).
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<LayoutPlan>> {
+        self.plans.values()
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 #![cfg_attr(not(test), no_std)]
 #![forbid(unsafe_code)]
 
+mod buffered;
 mod distr;
 mod splitmix;
 mod xoshiro;
@@ -38,6 +39,7 @@ mod xoshiro;
 pub mod rngs;
 pub mod seq;
 
+pub use buffered::{BufferedRng, BUFFERED_RNG_WORDS};
 pub use distr::{Random, SampleRange, UniformInt};
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256StarStar;

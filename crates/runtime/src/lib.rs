@@ -62,6 +62,9 @@ mod runtime;
 mod stats;
 
 pub use error::{RuntimeError, TrapReport};
+// Re-exported so runtime configurators can name the pool policy without
+// a direct polar-layout dependency.
+pub use polar_layout::{DrawMode, PoolPolicy};
 pub use runtime::{
     ObjectMeta, ObjectRuntime, ObjectState, RandomizeMode, RuntimeConfig, SiteCache,
 };

@@ -5,12 +5,12 @@ use std::sync::Arc;
 
 use polar_classinfo::{ClassHash, ClassInfo};
 use polar_layout::{
-    FieldAccess, LayoutEngine, LayoutPlan, PlanHash, PlanInterner, RandomizationPolicy,
-    StaticOlrTable,
+    stateless_plan, stateless_size_bound, EpochKey, FieldAccess, LayoutEngine, LayoutPlan,
+    PlanHash, PlanInterner, PlanPools, PoolPolicy, RandomizationPolicy, StaticOlrTable,
+    STATELESS_MAX_FIELDS,
 };
-use polar_simheap::{Addr, HeapConfig, SimHeap};
-use polar_rng::rngs::StdRng;
-use polar_rng::SeedableRng;
+use polar_rng::{BufferedRng, Rng, SeedableRng, SplitMix64};
+use polar_simheap::{Addr, HeapConfig, SimHeap, Slab};
 
 use crate::error::{RuntimeError, TrapReport};
 use crate::stats::RuntimeStats;
@@ -84,6 +84,19 @@ pub struct RuntimeConfig {
     /// paper's Section VII-C — which stop *inter*-object overflows but,
     /// unlike POLaR, cannot see *in-object* ones.
     pub redzone_checks: bool,
+    /// Per-class plan-pool policy for the allocation fast path (§V-B):
+    /// pregenerated, interned plans drawn with one buffered-RNG index
+    /// per allocation. [`PoolPolicy::disabled`] restores one fresh
+    /// generation per allocation. Only affects `PerAllocation` mode.
+    pub pool: PoolPolicy,
+    /// Derive permutations for classes with ≤ 8 fields statelessly from
+    /// (block generation, slot id, epoch key) via a keyed Feistel
+    /// network, SPAM-style, instead of storing engine-generated plans.
+    /// Off by default: derived plans are permute-only (no dummies, no
+    /// booby traps), so enabling this trades trap coverage on small
+    /// classes for metadata and speed — a measured ablation, not the
+    /// paper's default defense posture.
+    pub stateless_small: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -97,6 +110,8 @@ impl Default for RuntimeConfig {
             offset_cache: true,
             memcpy_rerandomize: true,
             redzone_checks: false,
+            pool: PoolPolicy::default(),
+            stateless_small: false,
         }
     }
 }
@@ -222,12 +237,18 @@ pub struct ObjectRuntime {
     /// Dense shadow of the heap's block-slot table: `shadow[slot]` holds
     /// the metadata for the block occupying heap slot `slot` (ids from
     /// [`SimHeap::slot_gen`]). Lookup is an array index — no hashing on
-    /// the hot path.
-    shadow: Vec<ShadowSlot>,
+    /// the hot path. Chunked [`Slab`] storage: growth appends a chunk
+    /// instead of copying every record, so steady-state malloc/free does
+    /// no allocation of its own.
+    shadow: Slab<ShadowSlot>,
     /// Slots that ever received a record (live + retained-freed); the
     /// successor of the old hashtable's `len()`.
     meta_count: usize,
-    rng: StdRng,
+    /// Per-class plan pools (the §V-B allocation fast path).
+    pools: PlanPools,
+    /// Key for the stateless small-class permutation derivation.
+    epoch_key: EpochKey,
+    rng: BufferedRng,
     stats: RuntimeStats,
     config: RuntimeConfig,
 }
@@ -249,9 +270,13 @@ impl ObjectRuntime {
             engine,
             static_table,
             interner: PlanInterner::new(),
-            shadow: Vec::new(),
+            shadow: Slab::new(),
             meta_count: 0,
-            rng: StdRng::seed_from_u64(config.seed),
+            pools: PlanPools::new(config.pool),
+            // A distinct stream from the plan RNG: knowing layouts drawn
+            // from `rng` must not reveal the stateless permutation key.
+            epoch_key: EpochKey(SplitMix64::new(config.seed ^ 0x5350_414d /* "SPAM" */).next_u64()),
+            rng: BufferedRng::seed_from_u64(config.seed),
             stats: RuntimeStats::default(),
             config,
         }
@@ -277,11 +302,15 @@ impl ObjectRuntime {
         &mut self.heap
     }
 
-    /// Snapshot of the statistics counters (dedup figures included).
+    /// Snapshot of the statistics counters (dedup and pool figures
+    /// included).
     pub fn stats(&self) -> RuntimeStats {
         let mut s = self.stats;
         s.unique_plans = self.interner.unique_plans() as u64;
         s.dedup_saved = self.interner.dedup_hits();
+        let pool = self.pools.stats();
+        s.pool_hits = pool.hits;
+        s.pool_refills = pool.refills;
         s
     }
 
@@ -291,9 +320,10 @@ impl ObjectRuntime {
     }
 
     /// Probe the shadow index for a generation-current record at `base`.
-    fn probe(heap: &SimHeap, shadow: &[ShadowSlot], base: Addr) -> Probe {
+    #[inline]
+    fn probe(heap: &SimHeap, shadow: &Slab<ShadowSlot>, base: Addr) -> Probe {
         match heap.slot_gen(base) {
-            Some((slot, gen)) => match shadow.get(slot as usize) {
+            Some((slot, gen)) => match shadow.as_slice().get(slot as usize) {
                 Some(s) if s.meta.is_some() && s.block_gen == gen => Probe::Hit(slot as usize),
                 _ => Probe::Miss,
             },
@@ -321,23 +351,23 @@ impl ObjectRuntime {
     /// `(offset, width)` access table. This is the memory cost Table
     /// III's dedup optimization attacks.
     pub fn estimated_metadata_bytes(&self) -> usize {
-        use std::mem::size_of;
-        // The shadow index is one dense allocation; capacity is what the
-        // process actually pays. Each slot embeds the per-object record
-        // and the (collapsed) offset-cache entry.
-        let shadow_bytes = self.shadow.capacity() * size_of::<ShadowSlot>();
+        // The shadow slab's chunked storage is what the process actually
+        // pays. Each slot embeds the per-object record and the
+        // (collapsed) offset-cache entry.
+        let shadow_bytes = self.shadow.capacity_bytes();
         // Interned plan payload: offsets/sizes/aligns (3×u32/field), the
         // packed access table, and dummy slots.
-        let plan_bytes: usize = self
-            .interner_plans()
-            .map(|p| {
-                3 * 4 * p.field_count()
-                    + size_of::<FieldAccess>() * p.field_count()
-                    + 24 * p.dummies().len()
-                    + 32
-            })
-            .sum();
-        shadow_bytes + plan_bytes
+        let plan_bytes: usize = self.interner_plans().map(|p| plan_payload_bytes(p)).sum();
+        // Static-OLR's per-class table was previously uncounted (the
+        // "256 B" undercount): its plans are metadata like any other.
+        let static_bytes: usize = self
+            .static_table
+            .as_ref()
+            .map_or(0, |t| t.iter().map(|p| plan_payload_bytes(p)).sum());
+        // Pool bookkeeping (ring slots + class index; pooled plans are
+        // interner-owned and already counted above).
+        let pool_bytes = self.pools.metadata_bytes();
+        shadow_bytes + plan_bytes + static_bytes + pool_bytes
     }
 
     fn interner_plans(&self) -> impl Iterator<Item = &Arc<LayoutPlan>> {
@@ -369,10 +399,21 @@ impl ObjectRuntime {
                 .expect("static table present in StaticOlr mode")
                 .plan_for(info),
             RandomizeMode::PerAllocation { .. } => {
-                let plan = self.engine.generate(info, &mut self.rng);
-                self.interner.intern(plan)
+                if self.config.pool.enabled() {
+                    self.pools.draw(info, &self.engine, &mut self.interner, &mut self.rng)
+                } else {
+                    let plan = self.engine.generate(info, &mut self.rng);
+                    self.interner.intern(plan)
+                }
             }
         }
+    }
+
+    /// Whether `info` is served by the stateless small-class path.
+    fn stateless_applicable(&self, info: &ClassInfo) -> bool {
+        self.config.stateless_small
+            && matches!(self.mode, RandomizeMode::PerAllocation { .. })
+            && info.field_count() <= STATELESS_MAX_FIELDS
     }
 
     /// Instrumented allocation: draw a layout plan, allocate, seed booby
@@ -382,9 +423,32 @@ impl ObjectRuntime {
     ///
     /// Propagates heap exhaustion as [`RuntimeError::Heap`].
     pub fn olr_malloc(&mut self, info: &Arc<ClassInfo>) -> Result<Addr, RuntimeError> {
+        if self.stateless_applicable(info) {
+            return self.olr_malloc_stateless(info);
+        }
         let plan = self.draw_plan(info);
         let base = self.heap.malloc(plan.size().max(1) as usize)?;
         self.seed_canaries(base, &plan)?;
+        self.record_object(base, Arc::clone(info), plan);
+        self.stats.allocations += 1;
+        Ok(base)
+    }
+
+    /// The SPAM-style allocation: malloc first (the size bound is
+    /// identity-independent), then derive the permutation from the heap
+    /// identity the malloc just produced. The derived plan is interned —
+    /// the distinct-plan space is bounded by the small permutation count
+    /// — and is re-derivable from (epoch key, generation, slot) alone,
+    /// which is what makes the path "stateless": the stored `Arc` is a
+    /// cache, not the source of truth.
+    fn olr_malloc_stateless(&mut self, info: &Arc<ClassInfo>) -> Result<Addr, RuntimeError> {
+        let bound = stateless_size_bound(info).max(1) as usize;
+        let base = self.heap.malloc(bound)?;
+        let (slot, generation) =
+            self.heap.slot_gen(base).expect("base is a block the heap just returned");
+        let plan = stateless_plan(info, self.epoch_key, generation, slot);
+        let plan = self.interner.intern(plan);
+        // Derived plans are permute-only: no canaries to seed.
         self.record_object(base, Arc::clone(info), plan);
         self.stats.allocations += 1;
         Ok(base)
@@ -397,11 +461,7 @@ impl ObjectRuntime {
     fn record_object(&mut self, base: Addr, class: Arc<ClassInfo>, plan: Arc<LayoutPlan>) {
         let (slot, block_gen) =
             self.heap.slot_gen(base).expect("base is a block the heap just returned");
-        let idx = slot as usize;
-        if self.shadow.len() <= idx {
-            self.shadow.resize_with(idx + 1, ShadowSlot::default);
-        }
-        let entry = &mut self.shadow[idx];
+        let entry = self.shadow.ensure(slot as usize);
         if entry.meta.is_none() {
             self.meta_count += 1;
         }
@@ -534,7 +594,7 @@ impl ObjectRuntime {
                 return Err(RuntimeError::UnknownObject(base));
             }
         };
-        let slot = &mut self.shadow[idx];
+        let slot = &mut self.shadow.as_mut_slice()[idx];
         let state = slot.meta.as_ref().expect("probe hit carries metadata").state;
 
         if self.config.offset_cache && state == ObjectState::Live {
@@ -577,7 +637,7 @@ impl ObjectRuntime {
         let actual = slot.class_hash;
         let plan_hash = slot.plan_hash;
 
-        let slot = &self.shadow[idx];
+        let slot = &self.shadow.as_slice()[idx];
         let meta = slot.meta.as_ref().expect("probe hit carries metadata");
         let (addr, access) =
             Self::resolve(&self.config, &mut self.stats, base, actual, &meta.plan, expected, field)?;
@@ -811,6 +871,15 @@ impl ObjectRuntime {
     pub fn free_raw(&mut self, addr: Addr) -> Result<(), RuntimeError> {
         Ok(self.heap.free(addr)?)
     }
+}
+
+/// Bytes one interned plan costs: offsets/sizes/aligns (3×u32/field),
+/// the packed access table, dummy slots, and fixed header overhead.
+fn plan_payload_bytes(p: &LayoutPlan) -> usize {
+    3 * 4 * p.field_count()
+        + std::mem::size_of::<FieldAccess>() * p.field_count()
+        + 24 * p.dummies().len()
+        + 32
 }
 
 fn canary_width(size: u32) -> usize {
@@ -1335,5 +1404,124 @@ mod tests {
         assert_eq!(RandomizeMode::Native.label(), "native");
         assert_eq!(RandomizeMode::static_olr(1).label(), "static-olr");
         assert_eq!(RandomizeMode::per_allocation().label(), "polar");
+    }
+
+    #[test]
+    fn pool_counters_populate_under_the_default_policy() {
+        let mut rt = polar_rt();
+        let info = people();
+        for _ in 0..200 {
+            let obj = rt.olr_malloc(&info).unwrap();
+            rt.olr_free(obj).unwrap();
+        }
+        let stats = rt.stats();
+        // Steady state: most draws are pool hits, refills stay rare.
+        assert!(stats.pool_hits > 150, "pool_hits {}", stats.pool_hits);
+        assert!(stats.pool_refills > 0);
+        assert!(stats.pool_refills < 30, "pool_refills {}", stats.pool_refills);
+    }
+
+    #[test]
+    fn disabling_the_pool_restores_per_allocation_generation() {
+        let mut config = RuntimeConfig::default();
+        config.pool = PoolPolicy::disabled();
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let info = people();
+        let mut offsets = HashSet::new();
+        for _ in 0..40 {
+            let obj = rt.olr_malloc(&info).unwrap();
+            offsets.insert(rt.olr_getptr(obj, info.hash(), 2).unwrap().0 - obj.0);
+        }
+        assert!(offsets.len() > 1);
+        let stats = rt.stats();
+        assert_eq!(stats.pool_hits, 0);
+        assert_eq!(stats.pool_refills, 0);
+    }
+
+    #[test]
+    fn pool_does_not_affect_static_or_native_modes() {
+        for mode in [RandomizeMode::Native, RandomizeMode::static_olr(9)] {
+            let mut rt = ObjectRuntime::new(mode, RuntimeConfig::default());
+            let info = people();
+            let obj = rt.olr_malloc(&info).unwrap();
+            rt.olr_free(obj).unwrap();
+            assert_eq!(rt.stats().pool_hits, 0);
+            assert_eq!(rt.stats().pool_refills, 0);
+        }
+    }
+
+    #[test]
+    fn stateless_path_roundtrips_and_rederives() {
+        let mut config = RuntimeConfig::default();
+        config.stateless_small = true;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        rt.write_field(obj, info.hash(), 1, 28).unwrap();
+        rt.write_field(obj, info.hash(), 2, 175).unwrap();
+        assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), 28);
+        assert_eq!(rt.read_field(obj, info.hash(), 2).unwrap(), 175);
+        // The stored plan is a cache over a pure derivation: recomputing
+        // from (epoch key, generation, slot) reproduces it exactly.
+        let (slot, generation) = rt.heap().slot_gen(obj).unwrap();
+        let meta = rt.object_meta(obj).unwrap();
+        assert_eq!(meta.plan.dummies().len(), 0, "derived plans are permute-only");
+        let rederived = stateless_plan(&info, rt.epoch_key, generation, slot);
+        assert_eq!(meta.plan.plan_hash(), rederived.plan_hash());
+    }
+
+    #[test]
+    fn stateless_slot_reuse_rerandomizes_via_generation() {
+        let mut config = RuntimeConfig::default();
+        config.stateless_small = true;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let info = people();
+        // free + remalloc reuses the slot with a bumped generation, so
+        // the derived permutation changes without any stored state.
+        let mut hashes = HashSet::new();
+        let mut obj = rt.olr_malloc(&info).unwrap();
+        for _ in 0..12 {
+            hashes.insert(rt.object_meta(obj).unwrap().plan.plan_hash());
+            rt.olr_free(obj).unwrap();
+            let next = rt.olr_malloc(&info).unwrap();
+            assert_eq!(obj, next, "allocator should reuse the slot");
+            obj = next;
+        }
+        assert!(hashes.len() > 1, "generation bump must re-randomize");
+    }
+
+    #[test]
+    fn stateless_path_skips_large_classes() {
+        let mut config = RuntimeConfig::default();
+        config.stateless_small = true;
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let mut b = ClassDecl::builder("Big");
+        for i in 0..12 {
+            b = b.field(format!("f{i}"), FieldKind::I64);
+        }
+        let big = Arc::new(ClassInfo::from_decl(b.build()));
+        let obj = rt.olr_malloc(&big).unwrap();
+        // Large classes keep the engine path: dummies (and their traps)
+        // are still woven in under the default policy.
+        assert!(!rt.object_meta(obj).unwrap().plan.dummies().is_empty());
+    }
+
+    #[test]
+    fn metadata_accounting_counts_static_table_and_pools() {
+        // The old accounting ignored the static-OLR table entirely (the
+        // "256 B" undercount) and knew nothing of pools.
+        let info = people();
+        let mut st = ObjectRuntime::new(RandomizeMode::static_olr(3), RuntimeConfig::default());
+        let baseline = st.estimated_metadata_bytes();
+        st.olr_malloc(&info).unwrap();
+        let with_plan = st.estimated_metadata_bytes();
+        assert!(
+            with_plan > baseline + plan_payload_bytes(&st.compile_time_plan(&info)) - 1,
+            "static table plans must be counted: {baseline} -> {with_plan}"
+        );
+        let mut rt = polar_rt();
+        rt.olr_malloc(&info).unwrap();
+        assert!(rt.pools.metadata_bytes() > 0);
+        assert!(rt.estimated_metadata_bytes() > rt.pools.metadata_bytes());
     }
 }

@@ -41,6 +41,12 @@ pub struct RuntimeStats {
     pub site_ic_hits: u64,
     /// Inline-cache probes that fell back to the full metadata path.
     pub site_ic_misses: u64,
+    /// Allocations whose plan came out of a per-class pool without an
+    /// inline generation (the §V-B fast path's steady-state case).
+    pub pool_hits: u64,
+    /// Pool refill events: warm-up batch fills plus steady-state churn
+    /// regenerations.
+    pub pool_refills: u64,
 }
 
 impl RuntimeStats {
@@ -76,6 +82,8 @@ impl AddAssign for RuntimeStats {
         self.shadow_misses += rhs.shadow_misses;
         self.site_ic_hits += rhs.site_ic_hits;
         self.site_ic_misses += rhs.site_ic_misses;
+        self.pool_hits += rhs.pool_hits;
+        self.pool_refills += rhs.pool_refills;
     }
 }
 

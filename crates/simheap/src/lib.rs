@@ -39,6 +39,10 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+mod slab;
+
+pub use slab::{Slab, SLAB_CHUNK};
+
 /// A heap address: a byte offset into the arena. `0` is reserved as null.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Addr(pub u64);
@@ -222,7 +226,10 @@ pub struct SimHeap {
     quarantine: VecDeque<Addr>,
     /// Dense block table, indexed by slot id; entries are never removed
     /// (freed blocks keep their record, exactly like the old hashtable).
-    slots: Vec<BlockInfo>,
+    /// Chunked [`Slab`] storage: growth appends a fixed-size chunk
+    /// instead of reallocating and copying every record, so malloc never
+    /// pays an O(slots) copy spike.
+    slots: Slab<BlockInfo>,
     /// `addr / ALIGN → slot id + 1` for every unit a block covers.
     index: Vec<u32>,
     stats: HeapStats,
@@ -238,7 +245,7 @@ impl SimHeap {
             free_lists: Default::default(),
             large_free: Vec::new(),
             quarantine: VecDeque::new(),
-            slots: Vec::new(),
+            slots: Slab::new(),
             index: vec![0],
             stats: HeapStats::default(),
         }
@@ -308,8 +315,7 @@ impl SimHeap {
                 info.generation += 1;
             }
             None => {
-                let slot = self.slots.len() as u32;
-                self.slots.push(BlockInfo {
+                let slot = self.slots.push(BlockInfo {
                     base: addr,
                     size: usable,
                     requested: size,
@@ -388,6 +394,7 @@ impl SimHeap {
     }
 
     /// Slot id covering `addr` (any interior byte), if a block owns it.
+    #[inline]
     fn slot_containing(&self, addr: Addr) -> Option<usize> {
         let unit = (addr.0 as usize) / ALIGN;
         match self.index.get(unit) {
@@ -397,9 +404,10 @@ impl SimHeap {
     }
 
     /// Slot id when `addr` is exactly a block base.
+    #[inline]
     fn slot_of_base(&self, addr: Addr) -> Option<usize> {
         let slot = self.slot_containing(addr)?;
-        (self.slots[slot].base == addr).then_some(slot)
+        (self.slots.as_slice().get(slot)?.base == addr).then_some(slot)
     }
 
     /// Stable dense slot id and current allocation generation for a block
@@ -411,14 +419,26 @@ impl SimHeap {
     /// shadow tables (the POLaR runtime's object metadata) index by slot
     /// and self-invalidate stale entries by generation instead of
     /// explicitly removing them.
+    #[inline]
     pub fn slot_gen(&self, addr: Addr) -> Option<(u32, u64)> {
-        let slot = self.slot_of_base(addr)?;
-        Some((slot as u32, self.slots[slot].generation))
+        // One slice borrow serves both the base check and the generation
+        // load — this is the member-access hot path.
+        let slots = self.slots.as_slice();
+        let slot = self.slot_containing(addr)?;
+        let info = slots.get(slot)?;
+        (info.base == addr).then(|| (slot as u32, info.generation))
     }
 
     /// Number of distinct block slots ever created (freed slots included).
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Bytes of allocator metadata: the block-table slab (whole chunks)
+    /// plus the arena-unit index. Feeds overhead accounting so metadata
+    /// tables are not invisibly free.
+    pub fn metadata_bytes(&self) -> usize {
+        self.slots.capacity_bytes() + self.index.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Block metadata for the block *containing* `addr`, if any. O(1)

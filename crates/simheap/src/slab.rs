@@ -1,0 +1,315 @@
+//! A free-listed metadata slab with generation reuse.
+//!
+//! The allocation fast path (paper §V-B) wants `olr_malloc`/`olr_free`
+//! to do **no allocation of their own in the steady state**. Two
+//! metadata tables stood in the way: the heap's block table and the
+//! runtime's shadow table, both plain `Vec`s that were resized with
+//! per-call bookkeeping on the allocation path. [`Slab`] replaces them:
+//!
+//! * **Contiguous arena, chunk-quantized growth** — records live in one
+//!   contiguous allocation (indexing is a single bounds check and load,
+//!   which the member-access hot path depends on), and the arena grows
+//!   by doubling, never by less than [`SLAB_CHUNK`] entries, so the
+//!   steady state allocates nothing and growth work is O(1) amortized.
+//! * **Free list + generations** — [`Slab::release`] returns an entry
+//!   to a LIFO free list and bumps its generation; [`Slab::alloc`]
+//!   pops the free list before appending. Holders of a stale
+//!   `(index, generation)` handle detect reuse by comparing
+//!   generations, the same self-invalidation discipline the shadow
+//!   index uses for heap blocks. (The heap block table and shadow table
+//!   themselves never release entries — freed-object records are
+//!   retained as UAF-detection evidence — so they use the slab in
+//!   append/ensure mode; the free-list mode serves metadata whose
+//!   lifetime *does* end, and tooling built on top.)
+//!
+//! `Index`/`IndexMut`/`iter` make the slab a drop-in for the `Vec`s it
+//! replaces, and [`Slab::capacity_bytes`] feeds honest `metadata_bytes`
+//! accounting.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Minimum entries reserved per growth step. 64 keeps small heaps at
+/// one reservation while letting doubling take over for large ones.
+pub const SLAB_CHUNK: usize = 64;
+
+/// Free-listed, generation-tracked storage for metadata records.
+#[derive(Clone)]
+pub struct Slab<T> {
+    data: Vec<T>,
+    free: Vec<u32>,
+    generations: Vec<u64>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab { data: Vec::new(), free: Vec::new(), generations: Vec::new() }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.data.len())
+            .field("capacity", &self.data.capacity())
+            .field("free", &self.free.len())
+            .finish()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab (no storage reserved yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries ever created (live + released).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the slab holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append `value`, returning its stable index. Ignores the free
+    /// list — this is the append-only discipline of the block/shadow
+    /// tables, where records are never recycled.
+    pub fn push(&mut self, value: T) -> u32 {
+        let idx = self.data.len();
+        if idx == self.data.capacity() {
+            // Grow by doubling, never by less than one chunk: steady
+            // state allocates nothing, growth is O(1) amortized.
+            let add = self.data.capacity().max(SLAB_CHUNK);
+            self.data.reserve_exact(add);
+            self.generations.reserve_exact(add);
+        }
+        self.data.push(value);
+        self.generations.push(0);
+        idx as u32
+    }
+
+    /// Shared access to entry `idx`, if it exists.
+    #[inline(always)]
+    pub fn get(&self, idx: usize) -> Option<&T> {
+        self.data.get(idx)
+    }
+
+    /// Mutable access to entry `idx`, if it exists.
+    #[inline(always)]
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut T> {
+        self.data.get_mut(idx)
+    }
+
+    /// Iterate over all entries in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.data.iter()
+    }
+
+    /// The entries as one contiguous slice. Hot paths that index the
+    /// slab more than once borrow this first so repeated lookups
+    /// compile to plain slice indexing (one pointer, fused bounds
+    /// checks) instead of going through the accessor each time.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable variant of [`Slab::as_slice`].
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Bytes of backing storage: the arena's reserved capacity plus
+    /// free-list and generation bookkeeping.
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<T>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.generations.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Current generation of entry `idx` (0 for never-released entries).
+    pub fn generation(&self, idx: usize) -> Option<u64> {
+        self.generations.get(idx).copied()
+    }
+}
+
+impl<T: Default> Slab<T> {
+    /// Direct-mapped access: grow (with defaults) until `idx` exists,
+    /// then return it mutably. The runtime's shadow table uses this to
+    /// map heap slot ids straight to records.
+    pub fn ensure(&mut self, idx: usize) -> &mut T {
+        while self.data.len() <= idx {
+            self.push(T::default());
+        }
+        &mut self[idx]
+    }
+
+    /// Take an entry from the free list (bumped-generation reuse) or
+    /// append a fresh default one. Returns the entry's stable index and
+    /// its current generation; a handle holding an older generation for
+    /// the same index is provably stale.
+    pub fn alloc(&mut self) -> (u32, u64) {
+        match self.free.pop() {
+            Some(idx) => {
+                let i = idx as usize;
+                self.data[i] = T::default();
+                (idx, self.generations[i])
+            }
+            None => {
+                let idx = self.push(T::default());
+                (idx, 0)
+            }
+        }
+    }
+
+    /// Return entry `idx` to the free list and bump its generation so
+    /// outstanding `(index, generation)` handles self-invalidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range. Releasing the same index twice
+    /// without an intervening [`Slab::alloc`] is a logic error the
+    /// generations make detectable but this method does not police.
+    pub fn release(&mut self, idx: u32) {
+        assert!((idx as usize) < self.data.len(), "release of untracked slab index {idx}");
+        self.generations[idx as usize] += 1;
+        self.free.push(idx);
+    }
+}
+
+impl<T> Index<usize> for Slab<T> {
+    type Output = T;
+
+    #[inline(always)]
+    fn index(&self, idx: usize) -> &T {
+        self.get(idx).expect("slab index out of range")
+    }
+}
+
+impl<T> IndexMut<usize> for Slab<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, idx: usize) -> &mut T {
+        self.get_mut(idx).expect("slab index out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index_round_trip_across_chunks() {
+        let mut slab = Slab::new();
+        for i in 0..3 * SLAB_CHUNK + 5 {
+            assert_eq!(slab.push(i), i as u32);
+        }
+        assert_eq!(slab.len(), 3 * SLAB_CHUNK + 5);
+        for i in 0..slab.len() {
+            assert_eq!(slab[i], i);
+        }
+        assert_eq!(slab.iter().copied().collect::<Vec<_>>(), (0..slab.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ensure_grows_with_defaults() {
+        let mut slab: Slab<u64> = Slab::new();
+        *slab.ensure(70) = 9;
+        assert_eq!(slab.len(), 71);
+        assert_eq!(slab[70], 9);
+        assert_eq!(slab[0], 0);
+        // Ensure on an existing index does not grow.
+        *slab.ensure(3) = 4;
+        assert_eq!(slab.len(), 71);
+    }
+
+    #[test]
+    fn contents_survive_growth() {
+        let mut slab = Slab::new();
+        for i in 0..SLAB_CHUNK {
+            slab.push(i * 3);
+        }
+        let before: Vec<usize> = slab.iter().copied().collect();
+        for i in 0..10 * SLAB_CHUNK {
+            slab.push(i);
+        }
+        let after: Vec<usize> = slab.iter().take(SLAB_CHUNK).copied().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn growth_is_chunk_quantized() {
+        // Reservations never go below one chunk, so a one-entry slab
+        // already has a chunk's worth of headroom and repeated pushes
+        // within it allocate nothing further.
+        let mut slab: Slab<u64> = Slab::new();
+        slab.push(0);
+        let cap = slab.capacity_bytes();
+        for i in 1..SLAB_CHUNK {
+            slab.push(i as u64);
+        }
+        assert_eq!(slab.capacity_bytes(), cap);
+    }
+
+    #[test]
+    fn free_list_reuses_with_bumped_generation() {
+        let mut slab: Slab<u32> = Slab::new();
+        let (a, gen_a) = slab.alloc();
+        let (b, _) = slab.alloc();
+        assert_ne!(a, b);
+        assert_eq!(gen_a, 0);
+        slab.release(a);
+        // LIFO reuse of the released entry, one generation later.
+        let (c, gen_c) = slab.alloc();
+        assert_eq!(c, a);
+        assert_eq!(gen_c, gen_a + 1);
+        // The slab did not grow: steady-state alloc/release allocates
+        // nothing new.
+        assert_eq!(slab.len(), 2);
+    }
+
+    #[test]
+    fn stale_handles_are_detectable() {
+        let mut slab: Slab<u32> = Slab::new();
+        let (idx, generation) = slab.alloc();
+        slab.release(idx);
+        let (again, new_generation) = slab.alloc();
+        assert_eq!(idx, again);
+        // A holder of (idx, generation) can now prove its handle stale.
+        assert_ne!(generation, slab.generation(idx as usize).unwrap());
+        assert_eq!(new_generation, slab.generation(idx as usize).unwrap());
+    }
+
+    #[test]
+    fn released_entries_are_reset_to_default() {
+        let mut slab: Slab<u64> = Slab::new();
+        let (idx, _) = slab.alloc();
+        slab[idx as usize] = 0xFFFF;
+        slab.release(idx);
+        let (idx2, _) = slab.alloc();
+        assert_eq!(idx, idx2);
+        assert_eq!(slab[idx as usize], 0, "recycled entry must be clean");
+    }
+
+    #[test]
+    fn capacity_bytes_counts_whole_chunks() {
+        let mut slab: Slab<u64> = Slab::new();
+        assert_eq!(slab.capacity_bytes(), 0);
+        slab.push(1);
+        assert!(slab.capacity_bytes() >= SLAB_CHUNK * std::mem::size_of::<u64>());
+        let one_chunk = slab.capacity_bytes();
+        for i in 0..2 * SLAB_CHUNK {
+            slab.push(i as u64);
+        }
+        assert!(slab.capacity_bytes() > one_chunk);
+    }
+
+    #[test]
+    #[should_panic(expected = "slab index out of range")]
+    fn out_of_range_index_panics() {
+        let slab: Slab<u8> = Slab::new();
+        let _ = slab[0];
+    }
+}

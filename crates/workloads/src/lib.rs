@@ -98,6 +98,53 @@ mod tests {
     }
 
     #[test]
+    fn spec_workloads_draw_from_the_plan_pool() {
+        use polar_instrument::{instrument, InstrumentOptions};
+        use polar_ir::interp::run_with_mode;
+        use polar_runtime::{PoolPolicy, RandomizeMode, RuntimeConfig};
+
+        // Allocation-dominated workload (the paper's worst case) — the
+        // fast path's target population.
+        let w = spec::by_name("458.sjeng").unwrap();
+        let (hardened, _) = instrument(&w.module, &InstrumentOptions::default());
+
+        let mut config = RuntimeConfig::default();
+        config.heap.capacity = 512 << 20;
+        let pooled = run_with_mode(
+            &hardened,
+            RandomizeMode::per_allocation(),
+            config,
+            &w.input,
+            w.limits,
+        );
+        assert!(pooled.result.is_ok(), "{:?}", pooled.result);
+        assert!(pooled.stats.allocations > 0);
+        assert!(
+            pooled.stats.pool_hits > pooled.stats.allocations / 2,
+            "allocation-heavy workload should mostly hit the plan pool: {} hits / {} allocs",
+            pooled.stats.pool_hits,
+            pooled.stats.allocations
+        );
+
+        let mut config = RuntimeConfig::default();
+        config.heap.capacity = 512 << 20;
+        config.pool = PoolPolicy::disabled();
+        let unpooled = run_with_mode(
+            &hardened,
+            RandomizeMode::per_allocation(),
+            config,
+            &w.input,
+            w.limits,
+        );
+        assert!(unpooled.result.is_ok(), "{:?}", unpooled.result);
+        assert_eq!(unpooled.stats.pool_hits, 0, "disabled pool must never report hits");
+        // Pooling is a perf lever, not a semantic one: the workload's
+        // outcome and detection counters are identical either way.
+        assert_eq!(pooled.result, unpooled.result);
+        assert_eq!(pooled.stats.total_detections(), unpooled.stats.total_detections());
+    }
+
+    #[test]
     fn fig6_excludes_libquantum() {
         let names: Vec<&str> = fig6_spec().iter().map(|w| w.name).collect();
         assert_eq!(names.len(), 11);

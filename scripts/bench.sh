@@ -44,8 +44,15 @@ out="BENCH_runtime.json"
 if [ -n "$quick" ]; then
     out="/tmp/BENCH_runtime.quick.json"
 fi
+# Prefer the committed trajectory file as the baseline so reruns append
+# (replacing any prior snapshot with the same label); fall back to the
+# pinned seed-era numbers on a fresh checkout.
+baseline="scripts/bench_baseline_seed.json"
+if [ -f BENCH_runtime.json ]; then
+    baseline="BENCH_runtime.json"
+fi
 ./target/release/bench_json $quick \
     --snapshot "$snapshot" \
-    --baseline scripts/bench_baseline_seed.json \
+    --baseline "$baseline" \
     --out "$out"
 echo "ok: wrote $out"

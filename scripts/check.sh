@@ -69,3 +69,10 @@ echo "== bench smoke (1 iteration) =="
 # trajectory writer) without paying for real measurements.
 scripts/bench.sh --quick --snapshot smoke
 echo "ok: bench smoke green"
+
+echo "== bench gate (reduced-iteration, >25% regression fails) =="
+# Short timed measurement of the two gated hot paths compared against
+# the pinned shadow-index numbers; keeps the allocation fast path from
+# silently regressing without paying for a full bench run.
+./target/release/bench_json --gate scripts/bench_baseline_seed.json
+echo "ok: bench gate green"

@@ -5,7 +5,10 @@
 
 use polar::instrument::{instrument, InstrumentOptions};
 use polar::ir::interp::{run_native, run_with_mode, ExecLimits};
-use polar::layout::{DummyPolicy, LayoutEngine, PermuteMode, RandomizationPolicy};
+use polar::layout::{
+    stateless_perm, stateless_plan, stateless_size_bound, DummyPolicy, EpochKey, LayoutEngine,
+    PermuteMode, PoolPolicy, RandomizationPolicy,
+};
 use polar::prelude::*;
 use polar_check::{
     any, check_with, ensure, ensure_eq, just, one_of, vec as vec_of, Config, Strategy, StrategyExt,
@@ -347,6 +350,109 @@ fn access_table_agrees_with_field_scan() {
         }
         Ok(())
     });
+}
+
+/// Same seed ⇒ the plan pool hands out an identical draw sequence.
+/// Pooling amortizes generation but must not cost replay determinism:
+/// two runtimes built from one config see the same plans in the same
+/// order, allocation by allocation.
+#[test]
+fn pool_draw_sequence_is_deterministic() {
+    let strategy = (arbitrary_class(), any::<u64>(), 1usize..40);
+    check_with(cfg(), "pool_draw_sequence_is_deterministic", &strategy, |(decl, seed, allocs)| {
+        let info = std::sync::Arc::new(ClassInfo::from_decl(decl.clone()));
+        let mut seqs = Vec::new();
+        for _ in 0..2 {
+            let mut config = RuntimeConfig::default();
+            config.seed = *seed;
+            let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+            let mut seq = Vec::new();
+            for _ in 0..*allocs {
+                let obj = rt.olr_malloc(&info).unwrap();
+                seq.push(rt.object_meta(obj).unwrap().plan.plan_hash());
+                rt.olr_free(obj).unwrap();
+            }
+            seqs.push(seq);
+        }
+        ensure_eq!(seqs[0], seqs[1], "pool draws diverged under one seed");
+        Ok(())
+    });
+}
+
+/// Plans served from the pool are exactly as well-formed as freshly
+/// generated ones: they validate structurally and their packed access
+/// table agrees with the authoritative offset arrays (the same check
+/// `access_table_agrees_with_field_scan` applies to engine output).
+#[test]
+fn pooled_plans_match_unpooled_validity() {
+    let strategy = (arbitrary_class(), any::<u64>());
+    check_with(cfg(), "pooled_plans_match_unpooled_validity", &strategy, |(decl, seed)| {
+        let info = std::sync::Arc::new(ClassInfo::from_decl(decl.clone()));
+        for pool in [PoolPolicy::default(), PoolPolicy::disabled()] {
+            let mut config = RuntimeConfig::default();
+            config.seed = *seed;
+            config.pool = pool;
+            let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+            for _ in 0..6 {
+                let obj = rt.olr_malloc(&info).unwrap();
+                let plan = std::sync::Arc::clone(&rt.object_meta(obj).unwrap().plan);
+                ensure!(plan.validate().is_ok(), "invalid plan (pool {pool:?}): {plan}");
+                for field in 0..plan.field_count() {
+                    let access = plan.access(field).expect("in-bounds field has an entry");
+                    ensure_eq!(
+                        access.offset,
+                        plan.offset(field),
+                        "access table diverges (pool {pool:?}): {plan}"
+                    );
+                }
+                ensure!(plan.access(plan.field_count()).is_none(), "one-past-the-end entry");
+                rt.olr_free(obj).unwrap();
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The stateless small-class path is sound for every (generation, slot)
+/// identity: the keyed Feistel yields a true permutation, and the plan
+/// derived from it validates, matches the raw permutation, stays within
+/// the conservative size bound, and carries no per-object state. 64
+/// cases × 160 identities ≈ 10k pairs per run.
+#[test]
+fn stateless_permutations_are_bijective_and_match_plans() {
+    let strategy = (vec_of(arbitrary_field_kind(), 1..9), any::<u64>(), any::<u64>());
+    check_with(
+        cfg(),
+        "stateless_permutations_are_bijective_and_match_plans",
+        &strategy,
+        |(kinds, key, salt)| {
+            let mut b = ClassDecl::builder("Small");
+            for (i, kind) in kinds.iter().enumerate() {
+                b = b.field(format!("f{i}"), *kind);
+            }
+            let info = ClassInfo::from_decl(b.build());
+            let key = EpochKey(*key);
+            let n = info.field_count();
+            let identity: Vec<usize> = (0..n).collect();
+            for i in 0..160u64 {
+                let generation = salt.wrapping_add(i * 31) % 97;
+                let slot = ((salt >> 32).wrapping_add(i * 7) % 1024) as u32;
+                let perm = stateless_perm(key, generation, slot, n);
+                let mut sorted = perm.clone();
+                sorted.sort_unstable();
+                ensure_eq!(sorted, identity, "not a bijection at gen={generation} slot={slot}");
+                let plan = stateless_plan(&info, key, generation, slot);
+                ensure!(plan.validate().is_ok(), "{plan}");
+                ensure_eq!(plan.permutation(), perm, "plan disagrees with raw permutation");
+                ensure!(
+                    plan.size() <= stateless_size_bound(&info),
+                    "plan exceeds the allocation bound: {plan}"
+                );
+                ensure!(plan.dummies().is_empty(), "stateless plans must carry no dummies");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Offset-cache coherence across free + re-malloc: warm every cache in
