@@ -25,30 +25,25 @@
 //! mode), compares each against the fastest pinned entry for that bench
 //! in FILE, and exits non-zero on a >25% regression. This keeps the
 //! allocation fast path honest without paying for a full bench run.
+//!
+//! The `_mtN` rows drive a [`ShardedRuntime`] with N threads; their
+//! `ns_per_op` is *aggregate* (wall time ÷ total ops across threads), so
+//! on a multi-core host it drops below the single-thread figure as the
+//! shards scale, and on a single-vCPU host it reports the facade's
+//! serialization cost honestly.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use polar_bench::json::{parse_entries, retain_prior, write_entries, Entry};
 use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
 use polar_ir::interp::{run, ExecLimits};
 use polar_ir::trace::NopTracer;
 use polar_ir::Inst;
-use polar_runtime::{ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig};
-
-/// One measurement row of `BENCH_runtime.json`.
-#[derive(Debug, Clone)]
-struct Entry {
-    /// Which run produced this row (`"current"` or the baseline label).
-    snapshot: String,
-    bench: String,
-    mode: String,
-    ns_per_op: f64,
-    /// Offset-cache hit rate over the timed loop, when meaningful.
-    cache_hit_rate: Option<f64>,
-    /// `estimated_metadata_bytes` at the end of the timed loop.
-    metadata_bytes: usize,
-}
+use polar_runtime::{
+    ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig, ShardedRuntime,
+};
 
 fn probe() -> Arc<ClassInfo> {
     Arc::new(ClassInfo::from_decl(
@@ -101,7 +96,38 @@ fn entry(
         ns_per_op,
         cache_hit_rate: rt.stats().cache_hit_ratio(),
         metadata_bytes: rt.estimated_metadata_bytes(),
+        quick: false,
     }
+}
+
+/// Best-of-`samples` aggregate ns/op for `threads` workers each running
+/// `body(thread, iters)` concurrently against a shared runtime.
+fn time_mt(
+    quick: bool,
+    threads: u64,
+    iters: u64,
+    samples: u32,
+    body: &(dyn Fn(u64, u64) + Sync),
+) -> f64 {
+    let run_once = |n: u64| -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || body(t, n));
+            }
+        });
+        t0.elapsed().as_nanos() as f64 / (threads * n) as f64
+    };
+    if quick {
+        run_once(1);
+        return 0.0;
+    }
+    run_once(iters / 10 + 1); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        best = best.min(run_once(iters));
+    }
+    best
 }
 
 fn run_benches(quick: bool) -> Vec<Entry> {
@@ -235,6 +261,69 @@ fn run_benches(quick: bool) -> Vec<Entry> {
         ));
     }
 
+    // Sharded runtime, N threads of malloc+free on their own handles
+    // (each handle's home shard is distinct, so the only shared state is
+    // the striped locks and the atomic stats).
+    for threads in [2u64, 4, 8] {
+        let rt = ShardedRuntime::new(
+            RandomizeMode::per_allocation(),
+            big_config(),
+            threads as usize,
+        );
+        let ns = time_mt(quick, threads, 50_000, samples, &|t, n| {
+            let mut h = rt.handle(t);
+            for _ in 0..n {
+                let a = h.olr_malloc(&info).expect("alloc");
+                h.olr_free(a).expect("free");
+            }
+        });
+        out.push(Entry {
+            snapshot: "current".to_owned(),
+            bench: format!("olr_malloc_free_mt{threads}"),
+            mode: "polar".to_owned(),
+            ns_per_op: ns,
+            cache_hit_rate: rt.stats().cache_hit_ratio(),
+            metadata_bytes: rt.estimated_metadata_bytes(),
+            quick: false,
+        });
+    }
+
+    // Sharded runtime, 4 threads each hammering cached member access on
+    // their own hot object (one per shard: no lock contention, just the
+    // routing and locking overhead on top of the cached lookup).
+    {
+        let threads = 4u64;
+        let rt = ShardedRuntime::new(
+            RandomizeMode::per_allocation(),
+            big_config(),
+            threads as usize,
+        );
+        let objs: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut h = rt.handle(t);
+                let obj = h.olr_malloc(&info).expect("alloc");
+                rt.olr_getptr(obj, info.hash(), 1).expect("warm");
+                obj
+            })
+            .collect();
+        let hash = info.hash();
+        let ns = time_mt(quick, threads, 500_000, samples, &|t, n| {
+            let obj = objs[t as usize];
+            for _ in 0..n {
+                rt.olr_getptr(obj, hash, 1).expect("access");
+            }
+        });
+        out.push(Entry {
+            snapshot: "current".to_owned(),
+            bench: "olr_getptr_mt4".to_owned(),
+            mode: "polar".to_owned(),
+            ns_per_op: ns,
+            cache_hit_rate: rt.stats().cache_hit_ratio(),
+            metadata_bytes: rt.estimated_metadata_bytes(),
+            quick: false,
+        });
+    }
+
     out
 }
 
@@ -346,81 +435,6 @@ fn interp_loop_module() -> (polar_ir::Module, u64) {
     (mb.build().expect("module"), ITERS)
 }
 
-// ---------------------------------------------------------------------
-// JSON in/out (hand-rolled: the workspace is registry-free by policy).
-// ---------------------------------------------------------------------
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn write_entries(buf: &mut String, entries: &[Entry]) {
-    for (i, e) in entries.iter().enumerate() {
-        let hit = match e.cache_hit_rate {
-            Some(r) => format!("{r:.6}"),
-            None => "null".to_owned(),
-        };
-        let _ = write!(
-            buf,
-            "    {{\"snapshot\": \"{}\", \"bench\": \"{}\", \"mode\": \"{}\", \
-             \"ns_per_op\": {:.2}, \"cache_hit_rate\": {}, \"metadata_bytes\": {}}}",
-            json_escape(&e.snapshot),
-            json_escape(&e.bench),
-            json_escape(&e.mode),
-            e.ns_per_op,
-            hit,
-            e.metadata_bytes
-        );
-        buf.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
-    }
-}
-
-/// Parse entries out of a JSON file this binary previously wrote. Only
-/// the flat per-entry objects are read; anything else is ignored.
-fn parse_entries(text: &str, default_snapshot: &str) -> Vec<Entry> {
-    let mut out = Vec::new();
-    for obj in text.split('{').skip(1) {
-        let obj = match obj.split('}').next() {
-            Some(o) => o,
-            None => continue,
-        };
-        let field = |key: &str| -> Option<String> {
-            let pat = format!("\"{key}\":");
-            let rest = &obj[obj.find(&pat)? + pat.len()..];
-            let rest = rest.trim_start();
-            if let Some(stripped) = rest.strip_prefix('"') {
-                Some(stripped.split('"').next()?.to_owned())
-            } else {
-                Some(
-                    rest.split(|c: char| c == ',' || c == '}')
-                        .next()?
-                        .trim()
-                        .to_owned(),
-                )
-            }
-        };
-        let (bench, mode) = match (field("bench"), field("mode")) {
-            (Some(b), Some(m)) => (b, m),
-            _ => continue,
-        };
-        let ns: f64 = match field("ns_per_op").and_then(|v| v.parse().ok()) {
-            Some(v) => v,
-            None => continue,
-        };
-        out.push(Entry {
-            snapshot: field("snapshot").unwrap_or_else(|| default_snapshot.to_owned()),
-            bench,
-            mode,
-            ns_per_op: ns,
-            cache_hit_rate: field("cache_hit_rate").and_then(|v| v.parse().ok()),
-            metadata_bytes: field("metadata_bytes")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0),
-        });
-    }
-    out
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut quick = false;
@@ -467,16 +481,15 @@ fn main() {
     let mut current = run_benches(quick);
     for e in &mut current {
         e.snapshot = snapshot.clone();
+        e.quick = quick;
     }
 
-    // Merge in prior snapshots, replacing any with the current label so
-    // a rerun appends one fresh snapshot instead of duplicating rows.
+    // Merge in prior snapshots under the like-for-like rule: a full run
+    // replaces all rows with its label, a quick run replaces only prior
+    // quick rows (it must never clobber a real measurement).
     let baseline_entries: Vec<Entry> = match &baseline {
         Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) => parse_entries(&text, "seed")
-                .into_iter()
-                .filter(|e| e.snapshot != snapshot)
-                .collect(),
+            Ok(text) => retain_prior(parse_entries(&text, "seed"), &snapshot, quick),
             Err(e) => {
                 eprintln!("warning: cannot read baseline {path}: {e}");
                 Vec::new()
@@ -489,7 +502,7 @@ fn main() {
     let headline = |entries: &[Entry]| -> Option<f64> {
         entries
             .iter()
-            .find(|e| e.bench == "olr_getptr_cached" && e.mode == "polar")
+            .find(|e| e.bench == "olr_getptr_cached" && e.mode == "polar" && !e.quick)
             .map(|e| e.ns_per_op)
     };
     let speedup = match (headline(&baseline_entries), headline(&current)) {

@@ -74,13 +74,28 @@ macro_rules! uniform_int_impl {
         impl UniformInt for $t {
             fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 // Map through the unsigned domain so signed ranges work,
-                // then pick via fixed-point multiply (Lemire): monotone
-                // in the raw draw and free of modulo's worst-case bias.
+                // then pick via Lemire's nearly-divisionless method: a
+                // fixed-point multiply selects the bucket, and draws whose
+                // low product word falls inside the `2^64 mod s` remainder
+                // are rejected so every bucket covers exactly the same
+                // number of raw 64-bit values. Without the rejection step,
+                // `floor(x * s / 2^64)` alone over-represents the first
+                // `2^64 mod s` buckets by one raw value each.
                 let span = (hi as $u).wrapping_sub(lo as $u) as u64;
                 if span == u64::MAX {
                     return rng.next_u64() as $t;
                 }
-                let offset = ((u128::from(rng.next_u64()) * u128::from(span + 1)) >> 64) as u64;
+                let s = span + 1;
+                let mut m = u128::from(rng.next_u64()) * u128::from(s);
+                if (m as u64) < s {
+                    // Only compute the threshold on this cold branch;
+                    // `s.wrapping_neg() % s == 2^64 mod s`.
+                    let threshold = s.wrapping_neg() % s;
+                    while (m as u64) < threshold {
+                        m = u128::from(rng.next_u64()) * u128::from(s);
+                    }
+                }
+                let offset = (m >> 64) as u64;
                 (lo as $u).wrapping_add(offset as $u) as $t
             }
 
@@ -119,5 +134,90 @@ impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
         let (lo, hi) = self.into_inner();
         assert!(lo <= hi, "cannot sample from an empty range");
         T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Pearson's chi-square statistic for observed cell counts against a
+/// uniform expectation. Shared by the distribution tests here and the
+/// shuffle tests in [`crate::seq`].
+#[cfg(test)]
+pub(crate) fn chi_square(observed: &[u64], total: u64) -> f64 {
+    let expected = total as f64 / observed.len() as f64;
+    observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{RngExt, SeedableRng};
+
+    /// An `Rng` replaying a scripted sequence of raw words.
+    struct ScriptedRng {
+        words: Vec<u64>,
+        next: usize,
+    }
+
+    impl Rng for ScriptedRng {
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.next];
+            self.next += 1;
+            w
+        }
+    }
+
+    #[test]
+    fn rejection_resamples_the_remainder_region() {
+        // For span 6 the rejection threshold is 2^64 mod 6 = 4: a raw
+        // word x is rejected iff the low word of x*6 is below 4, which
+        // happens exactly for x = 0 and x = 2^63 (both give low word 0).
+        // Both must be resampled; the third word is accepted.
+        let mut rng = ScriptedRng { words: vec![0, 1 << 63, 5], next: 0 };
+        let v: u64 = rng.random_range(0..6);
+        assert_eq!(rng.next, 3, "the two remainder-region words must be rejected");
+        assert_eq!(v, 0, "x = 5 maps to bucket (5 * 6) >> 64 = 0");
+
+        // A word just outside the remainder region is accepted first try.
+        let mut rng = ScriptedRng { words: vec![1, 99], next: 0 };
+        let v: u64 = rng.random_range(0..6);
+        assert_eq!(rng.next, 1);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn range_draws_are_uniform_chi_square() {
+        // 13 cells, 130k draws: expected 10k per cell. The 0.9999
+        // quantile of chi-square with 12 degrees of freedom is ~39.5;
+        // the seed is fixed so the check is deterministic.
+        const CELLS: usize = 13;
+        const DRAWS: u64 = 130_000;
+        let mut rng = StdRng::seed_from_u64(0x600D_5EED);
+        let mut counts = [0u64; CELLS];
+        for _ in 0..DRAWS {
+            counts[rng.random_range(0..CELLS)] += 1;
+        }
+        let chi2 = chi_square(&counts, DRAWS);
+        assert!(chi2 < 45.0, "range draws look non-uniform: chi^2 = {chi2:.1}, counts {counts:?}");
+    }
+
+    #[test]
+    fn signed_range_draws_are_uniform_chi_square() {
+        // Signed ranges go through the same unsigned mapping; make sure
+        // the wraparound arithmetic keeps the distribution flat.
+        const DRAWS: u64 = 110_000;
+        let mut rng = StdRng::seed_from_u64(0xB1A5_0FF5);
+        let mut counts = [0u64; 11];
+        for _ in 0..DRAWS {
+            let v: i32 = rng.random_range(-5..=5);
+            counts[(v + 5) as usize] += 1;
+        }
+        let chi2 = chi_square(&counts, DRAWS);
+        assert!(chi2 < 42.0, "signed draws look non-uniform: chi^2 = {chi2:.1}, counts {counts:?}");
     }
 }

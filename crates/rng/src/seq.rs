@@ -31,3 +31,56 @@ impl<T> SliceRandom for [T] {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distr::chi_square;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    /// Rank a 4-element permutation into 0..24 (Lehmer code).
+    fn perm_index(p: &[u8; 4]) -> usize {
+        let mut idx = 0usize;
+        for i in 0..4 {
+            let rank = p[i + 1..].iter().filter(|&&x| x < p[i]).count();
+            idx = idx * (4 - i) + rank;
+        }
+        idx
+    }
+
+    #[test]
+    fn shuffle_is_uniform_over_permutations_chi_square() {
+        // 4! = 24 cells, 48k shuffles: expected 2000 per cell. The
+        // 0.9999 quantile of chi-square with 23 degrees of freedom is
+        // ~57.3; the seed is fixed so the check is deterministic. This
+        // is the distribution the plan pool's Fisher-Yates field
+        // shuffles rely on.
+        const SHUFFLES: u64 = 48_000;
+        let mut rng = StdRng::seed_from_u64(0x5EED_F00D);
+        let mut counts = [0u64; 24];
+        for _ in 0..SHUFFLES {
+            let mut p = [0u8, 1, 2, 3];
+            p.shuffle(&mut rng);
+            counts[perm_index(&p)] += 1;
+        }
+        let chi2 = chi_square(&counts, SHUFFLES);
+        assert!(
+            chi2 < 62.0,
+            "shuffle looks non-uniform over S4: chi^2 = {chi2:.1}, counts {counts:?}"
+        );
+    }
+
+    #[test]
+    fn choose_is_uniform_chi_square() {
+        const DRAWS: u64 = 70_000;
+        let items = [0usize, 1, 2, 3, 4, 5, 6];
+        let mut rng = StdRng::seed_from_u64(0xC405_E);
+        let mut counts = [0u64; 7];
+        for _ in 0..DRAWS {
+            counts[*items.choose(&mut rng).unwrap()] += 1;
+        }
+        let chi2 = chi_square(&counts, DRAWS);
+        assert!(chi2 < 36.0, "choose looks non-uniform: chi^2 = {chi2:.1}, counts {counts:?}");
+    }
+}

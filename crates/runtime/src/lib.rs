@@ -59,13 +59,18 @@
 
 mod error;
 mod runtime;
+mod sharded;
 mod stats;
 
 pub use error::{RuntimeError, TrapReport};
 // Re-exported so runtime configurators can name the pool policy without
 // a direct polar-layout dependency.
 pub use polar_layout::{DrawMode, PoolPolicy};
+// Re-exported because every runtime entry point takes or returns heap
+// addresses; callers shouldn't need a polar-simheap dependency for that.
+pub use polar_simheap::Addr;
 pub use runtime::{
     ObjectMeta, ObjectRuntime, ObjectState, RandomizeMode, RuntimeConfig, SiteCache,
 };
-pub use stats::RuntimeStats;
+pub use sharded::{ShardHandle, ShardedRuntime};
+pub use stats::{AtomicRuntimeStats, RuntimeStats};

@@ -182,6 +182,16 @@ impl Default for ShadowSlot {
     }
 }
 
+/// Source field bytes staged for an object copy: the packed contents of
+/// every field, plus each field's start offset in the packed buffer.
+/// Produced by [`ObjectRuntime::stage_fields`], consumed by
+/// [`ObjectRuntime::install_copy`].
+#[derive(Debug)]
+pub(crate) struct StagedFields {
+    bytes: Vec<u8>,
+    starts: Vec<usize>,
+}
+
 /// Outcome of a shadow-index probe.
 enum Probe {
     /// `shadow[i]` holds a generation-current record for the address.
@@ -410,7 +420,7 @@ impl ObjectRuntime {
     }
 
     /// Whether `info` is served by the stateless small-class path.
-    fn stateless_applicable(&self, info: &ClassInfo) -> bool {
+    pub(crate) fn stateless_applicable(&self, info: &ClassInfo) -> bool {
         self.config.stateless_small
             && matches!(self.mode, RandomizeMode::PerAllocation { .. })
             && info.field_count() <= STATELESS_MAX_FIELDS
@@ -427,6 +437,24 @@ impl ObjectRuntime {
             return self.olr_malloc_stateless(info);
         }
         let plan = self.draw_plan(info);
+        self.olr_malloc_with_plan(info, plan)
+    }
+
+    /// Instrumented allocation with a caller-supplied layout plan.
+    ///
+    /// This is how the sharded facade allocates: each thread draws the
+    /// plan from its *own* pool and RNG outside the shard lock, then the
+    /// shard only has to malloc, seed traps and record metadata. Callers
+    /// must pass a plan generated (or interned) for `info`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap exhaustion as [`RuntimeError::Heap`].
+    pub fn olr_malloc_with_plan(
+        &mut self,
+        info: &Arc<ClassInfo>,
+        plan: Arc<LayoutPlan>,
+    ) -> Result<Addr, RuntimeError> {
         let base = self.heap.malloc(plan.size().max(1) as usize)?;
         self.seed_canaries(base, &plan)?;
         self.record_object(base, Arc::clone(info), plan);
@@ -702,8 +730,23 @@ impl ObjectRuntime {
         src: Addr,
         site_class: &Arc<ClassInfo>,
     ) -> Result<(), RuntimeError> {
+        let (info, src_plan) = self.copy_source(src, site_class)?;
+        let staged = self.stage_fields(src, &src_plan)?;
+        self.install_copy(dst, info, &src_plan, &staged)
+    }
+
+    /// Resolve the class and source-side layout for an object copy from
+    /// `src` (UAF-checked), counting the attempt. Split out of
+    /// [`ObjectRuntime::olr_memcpy`] so the sharded facade can run the
+    /// source half on one shard and [`ObjectRuntime::install_copy`] on
+    /// another.
+    pub(crate) fn copy_source(
+        &mut self,
+        src: Addr,
+        site_class: &Arc<ClassInfo>,
+    ) -> Result<(Arc<ClassInfo>, Arc<LayoutPlan>), RuntimeError> {
         self.stats.memcpys += 1;
-        let (info, src_plan) = match Self::probe(&self.heap, &self.shadow, src) {
+        match Self::probe(&self.heap, &self.shadow, src) {
             Probe::Hit(i) => {
                 let src_meta =
                     self.shadow[i].meta.as_ref().expect("probe hit carries metadata");
@@ -711,14 +754,51 @@ impl ObjectRuntime {
                     self.stats.uaf_detected += 1;
                     return Err(RuntimeError::UseAfterFree { addr: src });
                 }
-                (Arc::clone(&src_meta.class), Arc::clone(&src_meta.plan))
+                Ok((Arc::clone(&src_meta.class), Arc::clone(&src_meta.plan)))
             }
-            Probe::Miss => (
+            Probe::Miss => Ok((
                 Arc::clone(site_class),
                 self.interner.intern(LayoutPlan::natural_for(site_class)),
-            ),
-        };
+            )),
+        }
+    }
 
+    /// Read every source field (laid out by `src_plan`) into one packed
+    /// scratch buffer.
+    ///
+    /// Staging is what makes overlapping copies safe: every source byte
+    /// is read before [`ObjectRuntime::install_copy`] writes a single
+    /// destination byte, so a rerandomized dst plan that moves field k
+    /// onto the source bytes of field k+1 can no longer clobber them
+    /// mid-copy (the in-place `olr_memcpy(p, p, …)` rerandomization case,
+    /// and partial overlaps through interior source pointers).
+    pub(crate) fn stage_fields(
+        &self,
+        src: Addr,
+        src_plan: &LayoutPlan,
+    ) -> Result<StagedFields, RuntimeError> {
+        let mut bytes = Vec::with_capacity(src_plan.size() as usize);
+        let mut starts = Vec::with_capacity(src_plan.field_count());
+        for field in 0..src_plan.field_count() {
+            let size = src_plan.field_size(field) as usize;
+            let from = src.offset(src_plan.offset(field) as u64);
+            starts.push(bytes.len());
+            bytes.extend_from_slice(self.heap.read(from, size)?);
+        }
+        Ok(StagedFields { bytes, starts })
+    }
+
+    /// Destination half of an object copy: pick the duplicate's plan,
+    /// write the staged field bytes at that plan's offsets, seed traps
+    /// and record metadata. `staged` must come from
+    /// [`ObjectRuntime::stage_fields`] over `src_plan`.
+    pub(crate) fn install_copy(
+        &mut self,
+        dst: Addr,
+        info: Arc<ClassInfo>,
+        src_plan: &Arc<LayoutPlan>,
+        staged: &StagedFields,
+    ) -> Result<(), RuntimeError> {
         let dst_limit = self
             .heap
             .block_at(dst)
@@ -745,15 +825,15 @@ impl ObjectRuntime {
                 None => self.plan_fitting(&info, dst_limit)?,
             }
         } else {
-            Arc::clone(&src_plan)
+            Arc::clone(src_plan)
         };
 
-        // Field-by-field translation between the two plans.
+        // Field-by-field translation between the two plans, all reads
+        // already behind us in the scratch buffer.
         for field in 0..src_plan.field_count() {
             let size = src_plan.field_size(field) as usize;
-            let from = src.offset(src_plan.offset(field) as u64);
             let to = dst.offset(dst_plan.offset(field) as u64);
-            self.heap.memmove(to, from, size)?;
+            self.heap.write(to, &staged.bytes[staged.starts[field]..][..size])?;
         }
         self.seed_canaries(dst, &dst_plan)?;
         self.record_object(dst, info, dst_plan);
@@ -1105,6 +1185,73 @@ mod tests {
         let src_plan = rt.object_meta(src).unwrap().plan.plan_hash();
         let dst_plan = rt.object_meta(dst).unwrap().plan.plan_hash();
         assert_eq!(src_plan, dst_plan);
+    }
+
+    #[test]
+    fn memcpy_in_place_rerandomization_preserves_fields() {
+        // Regression test for the overlapping-copy bug: `olr_memcpy(p, p,
+        // …)` rerandomizes a buffer in place (deserialized natural-layout
+        // bytes get a fresh randomized plan at the same address). The old
+        // per-field memmove loop wrote each field to its dst offset
+        // before reading the next, so any dst plan that moved an early
+        // field onto a later field's source bytes corrupted the object.
+        let mut rt = polar_rt();
+        let info = people();
+        let natural = LayoutPlan::natural_for(&info);
+        for round in 0..20u64 {
+            let buf = rt.malloc_raw(128).unwrap();
+            // Seed natural-layout field values, as a deserializer would.
+            for field in 0..natural.field_count() {
+                rt.heap_mut()
+                    .write_uint(
+                        buf.offset(natural.offset(field) as u64),
+                        1000 + round * 10 + field as u64,
+                        natural.field_size(field).min(8) as usize,
+                    )
+                    .unwrap();
+            }
+            rt.olr_memcpy(buf, buf, &info).unwrap();
+            for field in 0..natural.field_count() {
+                assert_eq!(
+                    rt.read_field(buf, info.hash(), field).unwrap(),
+                    1000 + round * 10 + field as u64,
+                    "round {round}: field {field} corrupted by in-place rerandomization"
+                );
+            }
+            rt.olr_free(buf).unwrap();
+        }
+    }
+
+    #[test]
+    fn memcpy_with_partial_overlap_preserves_fields() {
+        // Same bug, other shape: the source is an interior pointer into
+        // the destination block, so the two field ranges overlap without
+        // being identical.
+        let mut rt = polar_rt();
+        let info = people();
+        let natural = LayoutPlan::natural_for(&info);
+        for round in 0..20u64 {
+            let buf = rt.malloc_raw(128).unwrap();
+            let src = buf.offset(16);
+            for field in 0..natural.field_count() {
+                rt.heap_mut()
+                    .write_uint(
+                        src.offset(natural.offset(field) as u64),
+                        2000 + round * 10 + field as u64,
+                        natural.field_size(field).min(8) as usize,
+                    )
+                    .unwrap();
+            }
+            rt.olr_memcpy(buf, src, &info).unwrap();
+            for field in 0..natural.field_count() {
+                assert_eq!(
+                    rt.read_field(buf, info.hash(), field).unwrap(),
+                    2000 + round * 10 + field as u64,
+                    "round {round}: field {field} corrupted by overlapping copy"
+                );
+            }
+            rt.olr_free(buf).unwrap();
+        }
     }
 
     #[test]

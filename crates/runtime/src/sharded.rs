@@ -1,0 +1,779 @@
+//! The concurrent sharded runtime: POLaR for multi-threaded programs.
+//!
+//! [`ObjectRuntime`] is deliberately `&mut self` — one heap, one shadow
+//! index, one RNG. This module scales it across threads without touching
+//! that hot path:
+//!
+//! * **Shards.** A [`ShardedRuntime`] owns N complete `ObjectRuntime`s,
+//!   each behind its own mutex (lock striping) and each given a disjoint
+//!   arena window `[i·span, (i+1)·span)` via
+//!   [`HeapConfig::arena_base`](polar_simheap::HeapConfig). Any address
+//!   names its owning shard by one division, so frees, member accesses
+//!   and copies route without consulting shared state.
+//! * **Per-thread plan state.** Each thread obtains a [`ShardHandle`]
+//!   carrying its *own* [`PlanPools`], [`PlanInterner`], [`LayoutEngine`]
+//!   and [`BufferedRng`], seeded from disjoint [`SplitMix64`] jump
+//!   streams of the root seed. Plans are drawn outside any lock; the
+//!   home shard only mallocs, seeds traps and records metadata. Streams
+//!   are per-thread, so the plan sequence a thread sees is a pure
+//!   function of `(root seed, thread index)` — independent of scheduling
+//!   and of every other thread (the cross-thread determinism the tests
+//!   pin down, and the independence Heelan-style heap-shaping attacks
+//!   are meant to be starved by).
+//! * **Atomic stats.** Handle-side pool and interner counters fold into
+//!   an [`AtomicRuntimeStats`] with relaxed adds;
+//!   [`ShardedRuntime::stats`] combines that snapshot with each shard's
+//!   counters read under the shard lock.
+//!
+//! Handles round-robin their **home shard** (`thread % shards`) for
+//! allocations; accesses to any address still work from any thread
+//! because routing is by address, not by handle.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use polar_classinfo::{ClassHash, ClassInfo};
+use polar_layout::{
+    LayoutEngine, PlanInterner, PlanPools, RandomizationPolicy, STATELESS_MAX_FIELDS,
+};
+use polar_rng::{BufferedRng, Rng, SeedableRng, SplitMix64, Xoshiro256StarStar};
+use polar_simheap::{Addr, HeapError};
+
+use crate::error::RuntimeError;
+use crate::runtime::{ObjectMeta, ObjectRuntime, RandomizeMode, RuntimeConfig, SiteCache};
+use crate::stats::{AtomicRuntimeStats, RuntimeStats};
+
+/// Smallest per-shard arena the constructor accepts: a shard must at
+/// least fit its reserved alignment unit plus a few blocks.
+const MIN_SHARD_CAPACITY: usize = 4096;
+
+/// Salt folded into the root seed before deriving per-shard runtime
+/// seeds, so shard-internal RNG streams (plan fitting, unpooled draws)
+/// never coincide with the per-thread handle streams derived from the
+/// unsalted root.
+const SHARD_SEED_SALT: u64 = 0x5348_4152; // "SHAR"
+
+/// A thread-safe POLaR runtime: N address-partitioned [`ObjectRuntime`]
+/// shards behind striped locks, shared by reference across threads.
+///
+/// The existing single-thread API is untouched — `ShardedRuntime` is a
+/// facade over ordinary `ObjectRuntime`s, and single-threaded code keeps
+/// using `ObjectRuntime` directly.
+#[derive(Debug)]
+pub struct ShardedRuntime {
+    shards: Vec<Mutex<ObjectRuntime>>,
+    /// Arena bytes per shard; shard of `addr` = `addr / span`.
+    span: u64,
+    mode: RandomizeMode,
+    config: RuntimeConfig,
+    /// Handle-side counters (pool hits/refills, interner dedup) folded in
+    /// with relaxed atomics.
+    facade: AtomicRuntimeStats,
+}
+
+impl ShardedRuntime {
+    /// Create a runtime with `shards` address-partitioned shards.
+    ///
+    /// `config.heap.capacity` is the *total* arena budget, split evenly;
+    /// `config.heap.arena_base` must be 0 (the facade assigns bases).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`, when the per-shard capacity would fall
+    /// below a usable minimum, or when `config.heap.arena_base != 0`.
+    pub fn new(mode: RandomizeMode, config: RuntimeConfig, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded runtime needs at least one shard");
+        assert_eq!(
+            config.heap.arena_base, 0,
+            "the facade owns arena partitioning; leave arena_base at 0"
+        );
+        // Round the per-shard span down to an alignment-friendly boundary
+        // so every shard window starts on a block-aligned address.
+        let per = (config.heap.capacity / shards) & !(MIN_SHARD_CAPACITY - 1);
+        assert!(
+            per >= MIN_SHARD_CAPACITY,
+            "capacity {} is too small for {} shards",
+            config.heap.capacity,
+            shards
+        );
+        let shards = (0..shards)
+            .map(|i| {
+                let mut shard_config = config;
+                shard_config.heap.capacity = per;
+                shard_config.heap.arena_base = i as u64 * per as u64;
+                // Distinct per-shard seeds keep shard-internal streams
+                // (plan fitting, unpooled draws, epoch keys) independent.
+                shard_config.seed =
+                    SplitMix64::stream(config.seed ^ SHARD_SEED_SALT, i as u64).next_u64();
+                Mutex::new(ObjectRuntime::new(mode, shard_config))
+            })
+            .collect();
+        ShardedRuntime { shards, span: per as u64, mode, config, facade: AtomicRuntimeStats::new() }
+    }
+
+    /// The runtime's mode.
+    pub fn mode(&self) -> &RandomizeMode {
+        &self.mode
+    }
+
+    /// The configuration the facade was built from (total capacity,
+    /// root seed).
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Arena bytes owned by each shard.
+    pub fn shard_span(&self) -> u64 {
+        self.span
+    }
+
+    /// A per-thread handle. `thread` selects both the home shard
+    /// (`thread % shards`) and the thread's disjoint randomness stream;
+    /// two handles built with the same `(root seed, thread)` draw
+    /// identical plan sequences regardless of what other threads do.
+    pub fn handle(&self, thread: u64) -> ShardHandle<'_> {
+        let policy = match self.mode {
+            RandomizeMode::PerAllocation { policy } => policy,
+            RandomizeMode::StaticOlr { policy, .. } => policy,
+            RandomizeMode::Native => RandomizationPolicy::off(),
+        };
+        ShardHandle {
+            rt: self,
+            home: (thread % self.shards.len() as u64) as usize,
+            engine: LayoutEngine::new(policy),
+            interner: PlanInterner::new(),
+            pools: PlanPools::new(self.config.pool),
+            rng: thread_rng(self.config.seed, thread),
+            flushed_unique: 0,
+            flushed_dedup: 0,
+        }
+    }
+
+    /// The shard owning `addr`, or `None` for null and out-of-window
+    /// addresses.
+    fn shard_of(&self, addr: Addr) -> Option<usize> {
+        if addr.is_null() {
+            return None;
+        }
+        let i = (addr.0 / self.span) as usize;
+        (i < self.shards.len()).then_some(i)
+    }
+
+    fn shard(&self, i: usize) -> MutexGuard<'_, ObjectRuntime> {
+        self.shards[i].lock().expect("shard lock poisoned by a panicking thread")
+    }
+
+    /// Route `addr` to its shard's lock, or fail with `err`.
+    fn route(&self, addr: Addr, err: RuntimeError) -> Result<MutexGuard<'_, ObjectRuntime>, RuntimeError> {
+        match self.shard_of(addr) {
+            Some(i) => Ok(self.shard(i)),
+            None => Err(err),
+        }
+    }
+
+    /// [`ObjectRuntime::olr_free`], routed by address.
+    ///
+    /// # Errors
+    ///
+    /// As for the single-thread call; addresses outside every shard
+    /// window report [`HeapError::InvalidFree`].
+    pub fn olr_free(&self, addr: Addr) -> Result<(), RuntimeError> {
+        self.route(addr, RuntimeError::Heap(HeapError::InvalidFree(addr)))?.olr_free(addr)
+    }
+
+    /// [`ObjectRuntime::olr_getptr`], routed by address.
+    ///
+    /// # Errors
+    ///
+    /// As for the single-thread call; unroutable addresses report
+    /// [`RuntimeError::UnknownObject`].
+    pub fn olr_getptr(
+        &self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+    ) -> Result<Addr, RuntimeError> {
+        self.route(base, RuntimeError::UnknownObject(base))?.olr_getptr(base, expected, field)
+    }
+
+    /// [`ObjectRuntime::olr_getptr_ic`], routed by address. The site
+    /// cache is the caller's (typically thread-local) storage.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::olr_getptr`].
+    pub fn olr_getptr_ic(
+        &self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        ic: &mut SiteCache,
+    ) -> Result<Addr, RuntimeError> {
+        self.route(base, RuntimeError::UnknownObject(base))?
+            .olr_getptr_ic(base, expected, field, ic)
+    }
+
+    /// [`ObjectRuntime::read_field`], routed by address.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::olr_getptr`] plus heap faults.
+    pub fn read_field(
+        &self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+    ) -> Result<u64, RuntimeError> {
+        self.route(base, RuntimeError::UnknownObject(base))?.read_field(base, expected, field)
+    }
+
+    /// [`ObjectRuntime::write_field`], routed by address.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::olr_getptr`] plus heap faults.
+    pub fn write_field(
+        &self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        value: u64,
+    ) -> Result<(), RuntimeError> {
+        self.route(base, RuntimeError::UnknownObject(base))?
+            .write_field(base, expected, field, value)
+    }
+
+    /// [`ObjectRuntime::olr_memcpy`] across shards: same-shard copies
+    /// delegate under one lock; cross-shard copies stage the source
+    /// fields on the source shard, then install the duplicate on the
+    /// destination shard. Both locks are taken in shard-index order so
+    /// concurrent copies in opposite directions cannot deadlock.
+    ///
+    /// # Errors
+    ///
+    /// As for the single-thread call; unroutable endpoints fault.
+    pub fn olr_memcpy(
+        &self,
+        dst: Addr,
+        src: Addr,
+        site_class: &Arc<ClassInfo>,
+    ) -> Result<(), RuntimeError> {
+        let len = site_class.size() as usize;
+        let src_i = self
+            .shard_of(src)
+            .ok_or(RuntimeError::Heap(HeapError::Fault { addr: src, len }))?;
+        let dst_i = self
+            .shard_of(dst)
+            .ok_or(RuntimeError::Heap(HeapError::Fault { addr: dst, len }))?;
+        if src_i == dst_i {
+            return self.shard(src_i).olr_memcpy(dst, src, site_class);
+        }
+        // Index-ordered locking: every cross-shard copy acquires the
+        // lower-numbered shard first.
+        let (first, second) = (src_i.min(dst_i), src_i.max(dst_i));
+        let first_guard = self.shard(first);
+        let second_guard = self.shard(second);
+        let (mut src_rt, mut dst_rt) = if src_i < dst_i {
+            (first_guard, second_guard)
+        } else {
+            (second_guard, first_guard)
+        };
+        let (info, src_plan) = src_rt.copy_source(src, site_class)?;
+        let staged = src_rt.stage_fields(src, &src_plan)?;
+        dst_rt.install_copy(dst, info, &src_plan, &staged)
+    }
+
+    /// [`ObjectRuntime::check_traps`], routed by address.
+    ///
+    /// # Errors
+    ///
+    /// As for the single-thread call.
+    pub fn check_traps(&self, base: Addr) -> Result<Vec<crate::TrapReport>, RuntimeError> {
+        self.route(base, RuntimeError::UnknownObject(base))?.check_traps(base)
+    }
+
+    /// Metadata snapshot for the object at `base` (cloned out of the
+    /// owning shard), if tracked.
+    pub fn object_meta(&self, base: Addr) -> Option<ObjectMeta> {
+        let i = self.shard_of(base)?;
+        self.shard(i).object_meta(base).cloned()
+    }
+
+    /// Combined statistics: every shard's counters (each read under its
+    /// lock, so per-shard numbers are internally consistent) plus the
+    /// facade's handle-side atomics. Exact at quiescence; while threads
+    /// are mid-operation each counter is individually exact but the
+    /// cross-counter view is approximate (see [`AtomicRuntimeStats`]).
+    ///
+    /// `unique_plans`/`dedup_saved` sum over *all* interners (one per
+    /// shard + one per handle), so they bound metadata held, not global
+    /// plan distinctness.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut total = self.facade.snapshot();
+        for i in 0..self.shards.len() {
+            total += self.shard(i).stats();
+        }
+        total
+    }
+
+    /// Estimated POLaR bookkeeping bytes, summed over shards.
+    pub fn estimated_metadata_bytes(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.shard(i).estimated_metadata_bytes()).sum()
+    }
+}
+
+/// Seed material for thread `t` comes from SplitMix64 stream `t` of the
+/// root seed: disjoint expansion windows give every thread an
+/// independent, reproducible generator no other stream index can reach.
+fn thread_rng(root: u64, thread: u64) -> BufferedRng {
+    let mut seeder = SplitMix64::stream(root, thread);
+    let mut seed = <Xoshiro256StarStar as SeedableRng>::Seed::default();
+    seeder.fill_bytes(seed.as_mut());
+    BufferedRng::new(Xoshiro256StarStar::from_seed(seed))
+}
+
+/// One thread's view of a [`ShardedRuntime`]: thread-owned plan pools,
+/// interner and RNG (no lock needed to draw a plan), plus a home shard
+/// for allocations. Not `Sync` — create one handle per thread.
+#[derive(Debug)]
+pub struct ShardHandle<'rt> {
+    rt: &'rt ShardedRuntime,
+    home: usize,
+    engine: LayoutEngine,
+    interner: PlanInterner,
+    pools: PlanPools,
+    rng: BufferedRng,
+    /// Interner absolute values already folded into the facade atomics
+    /// (the interner only grows, so flushing sends the delta).
+    flushed_unique: u64,
+    flushed_dedup: u64,
+}
+
+impl ShardHandle<'_> {
+    /// The runtime this handle draws on.
+    pub fn runtime(&self) -> &ShardedRuntime {
+        self.rt
+    }
+
+    /// Index of the shard this handle allocates from.
+    pub fn home_shard(&self) -> usize {
+        self.home
+    }
+
+    /// Instrumented allocation. In `PerAllocation` mode the layout plan
+    /// is drawn from this thread's pool/RNG *before* the home shard's
+    /// lock is taken — the critical section is just malloc + trap
+    /// seeding + metadata record. Other modes (and the stateless
+    /// small-class path, whose plan derives from heap identity) delegate
+    /// to the shard's own deterministic state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ObjectRuntime::olr_malloc`].
+    pub fn olr_malloc(&mut self, info: &Arc<ClassInfo>) -> Result<Addr, RuntimeError> {
+        let stateless = self.rt.config.stateless_small
+            && matches!(self.rt.mode, RandomizeMode::PerAllocation { .. })
+            && info.field_count() <= STATELESS_MAX_FIELDS;
+        if !matches!(self.rt.mode, RandomizeMode::PerAllocation { .. }) || stateless {
+            return self.rt.shard(self.home).olr_malloc(info);
+        }
+        let plan = if self.rt.config.pool.enabled() {
+            let before = self.pools.stats();
+            let plan = self.pools.draw(info, &self.engine, &mut self.interner, &mut self.rng);
+            let after = self.pools.stats();
+            self.rt.facade.add(&RuntimeStats {
+                pool_hits: after.hits - before.hits,
+                pool_refills: after.refills - before.refills,
+                ..RuntimeStats::default()
+            });
+            plan
+        } else {
+            self.interner.intern(self.engine.generate(info, &mut self.rng))
+        };
+        // Interner growth/dedup since the last flush, as deltas.
+        let interned = RuntimeStats {
+            unique_plans: self.interner.unique_plans() as u64,
+            dedup_saved: self.interner.dedup_hits(),
+            ..RuntimeStats::default()
+        };
+        self.flush_interner_delta(interned);
+        self.rt.shard(self.home).olr_malloc_with_plan(info, plan)
+    }
+
+    /// Fold the interner counters' growth since the last flush into the
+    /// facade atomics.
+    fn flush_interner_delta(&mut self, current: RuntimeStats) {
+        // The interner only grows, so the delta since the previous flush
+        // is non-negative; track the high-water marks in-place.
+        let delta = RuntimeStats {
+            unique_plans: current.unique_plans - self.flushed_unique,
+            dedup_saved: current.dedup_saved - self.flushed_dedup,
+            ..RuntimeStats::default()
+        };
+        if delta.unique_plans != 0 || delta.dedup_saved != 0 {
+            self.rt.facade.add(&delta);
+        }
+        self.flushed_unique = current.unique_plans;
+        self.flushed_dedup = current.dedup_saved;
+    }
+
+    /// Raw (untracked) buffer allocation on the home shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors.
+    pub fn malloc_raw(&mut self, size: usize) -> Result<Addr, RuntimeError> {
+        self.rt.shard(self.home).malloc_raw(size)
+    }
+
+    /// Raw free, routed by address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors.
+    pub fn free_raw(&mut self, addr: Addr) -> Result<(), RuntimeError> {
+        self.rt
+            .route(addr, RuntimeError::Heap(HeapError::InvalidFree(addr)))?
+            .free_raw(addr)
+    }
+
+    /// [`ShardedRuntime::olr_free`] (address-routed; works on any
+    /// shard's objects, not just the home shard's).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::olr_free`].
+    pub fn olr_free(&mut self, addr: Addr) -> Result<(), RuntimeError> {
+        self.rt.olr_free(addr)
+    }
+
+    /// [`ShardedRuntime::olr_getptr`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::olr_getptr`].
+    pub fn olr_getptr(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+    ) -> Result<Addr, RuntimeError> {
+        self.rt.olr_getptr(base, expected, field)
+    }
+
+    /// [`ShardedRuntime::read_field`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::read_field`].
+    pub fn read_field(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+    ) -> Result<u64, RuntimeError> {
+        self.rt.read_field(base, expected, field)
+    }
+
+    /// [`ShardedRuntime::write_field`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::write_field`].
+    pub fn write_field(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        value: u64,
+    ) -> Result<(), RuntimeError> {
+        self.rt.write_field(base, expected, field, value)
+    }
+
+    /// [`ShardedRuntime::olr_memcpy`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::olr_memcpy`].
+    pub fn olr_memcpy(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        site_class: &Arc<ClassInfo>,
+    ) -> Result<(), RuntimeError> {
+        self.rt.olr_memcpy(dst, src, site_class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_classinfo::{ClassDecl, FieldKind};
+    use polar_layout::PlanHash;
+    use polar_rng::RngExt;
+
+    fn people() -> Arc<ClassInfo> {
+        Arc::new(ClassInfo::from_decl(
+            ClassDecl::builder("People")
+                .field("vtable", FieldKind::VtablePtr)
+                .field("age", FieldKind::I32)
+                .field("height", FieldKind::I32)
+                .build(),
+        ))
+    }
+
+    fn record() -> Arc<ClassInfo> {
+        Arc::new(ClassInfo::from_decl(
+            ClassDecl::builder("Record")
+                .field("id", FieldKind::I64)
+                .field("score", FieldKind::I64)
+                .field("flags", FieldKind::I32)
+                .field("pad", FieldKind::I32)
+                .build(),
+        ))
+    }
+
+    fn sharded(shards: usize) -> ShardedRuntime {
+        let mut config = RuntimeConfig::default();
+        config.heap.capacity = 64 << 20;
+        ShardedRuntime::new(RandomizeMode::per_allocation(), config, shards)
+    }
+
+    #[test]
+    fn single_shard_facade_behaves_like_object_runtime() {
+        let rt = sharded(1);
+        let info = people();
+        let mut h = rt.handle(0);
+        let obj = h.olr_malloc(&info).unwrap();
+        h.write_field(obj, info.hash(), 1, 30).unwrap();
+        h.write_field(obj, info.hash(), 2, 170).unwrap();
+        assert_eq!(h.read_field(obj, info.hash(), 1).unwrap(), 30);
+        assert_eq!(rt.read_field(obj, info.hash(), 2).unwrap(), 170);
+        rt.olr_free(obj).unwrap();
+        assert!(matches!(
+            rt.olr_getptr(obj, info.hash(), 1).unwrap_err(),
+            RuntimeError::UseAfterFree { .. }
+        ));
+        assert!(matches!(rt.olr_free(obj).unwrap_err(), RuntimeError::DoubleFree(_)));
+        let stats = rt.stats();
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.uaf_detected, 1);
+    }
+
+    #[test]
+    fn addresses_route_back_to_their_shard() {
+        let rt = sharded(4);
+        let info = people();
+        for t in 0..4u64 {
+            let mut h = rt.handle(t);
+            let obj = h.olr_malloc(&info).unwrap();
+            assert_eq!(
+                (obj.0 / rt.shard_span()) as usize,
+                h.home_shard(),
+                "allocation must land in the handle's home shard window"
+            );
+            // Any thread can free any address: routing is by address.
+            rt.olr_free(obj).unwrap();
+        }
+        // Unroutable addresses fail cleanly instead of hitting shard 0.
+        let wild = Addr(rt.shard_span() * 5);
+        assert!(matches!(
+            rt.olr_getptr(wild, info.hash(), 0).unwrap_err(),
+            RuntimeError::UnknownObject(_)
+        ));
+        assert!(matches!(
+            rt.olr_free(wild).unwrap_err(),
+            RuntimeError::Heap(HeapError::InvalidFree(_))
+        ));
+        assert!(rt.object_meta(Addr::NULL).is_none());
+    }
+
+    #[test]
+    fn cross_shard_memcpy_translates_fields() {
+        let rt = sharded(4);
+        let info = people();
+        let mut h0 = rt.handle(0);
+        let mut h1 = rt.handle(1);
+        let src = h0.olr_malloc(&info).unwrap();
+        h0.write_field(src, info.hash(), 1, 41).unwrap();
+        h0.write_field(src, info.hash(), 2, 182).unwrap();
+        let dst = h1.malloc_raw(128).unwrap();
+        assert_ne!(
+            (src.0 / rt.shard_span()) as usize,
+            (dst.0 / rt.shard_span()) as usize,
+            "test requires endpoints on different shards"
+        );
+        // Both directions, so both lock orders are exercised.
+        rt.olr_memcpy(dst, src, &info).unwrap();
+        assert_eq!(rt.read_field(dst, info.hash(), 1).unwrap(), 41);
+        assert_eq!(rt.read_field(dst, info.hash(), 2).unwrap(), 182);
+        rt.write_field(dst, info.hash(), 1, 99).unwrap();
+        rt.olr_memcpy(src, dst, &info).unwrap();
+        assert_eq!(rt.read_field(src, info.hash(), 1).unwrap(), 99);
+        assert_eq!(rt.stats().memcpys, 2);
+        // A freed cross-shard source is still UAF-detected.
+        rt.olr_free(dst).unwrap();
+        assert!(matches!(
+            rt.olr_memcpy(src, dst, &info).unwrap_err(),
+            RuntimeError::UseAfterFree { .. }
+        ));
+    }
+
+    /// The multi-threaded stress test: N threads × M random
+    /// malloc/getptr/free ops, each thread checking every read against
+    /// its own oracle of written values.
+    #[test]
+    fn parallel_churn_against_per_thread_oracles() {
+        const THREADS: u64 = 4;
+        const OPS: usize = 4000;
+        let rt = sharded(4);
+        let people = people();
+        let record = record();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let rt = &rt;
+                let people = &people;
+                let record = &record;
+                scope.spawn(move || {
+                    let mut h = rt.handle(t);
+                    let mut driver = SplitMix64::new(0xD81E + t);
+                    // (addr, class, field values) oracles for live objects.
+                    let mut live: Vec<(Addr, Arc<ClassInfo>, Vec<u64>)> = Vec::new();
+                    for op in 0..OPS {
+                        match driver.random_range(0..4u32) {
+                            0 => {
+                                let info =
+                                    if driver.random_range(0..2u32) == 0 { people } else { record };
+                                let obj = h.olr_malloc(info).unwrap();
+                                let mut vals = Vec::new();
+                                for field in 0..info.field_count() {
+                                    let v = driver.next_u64() & 0xFFFF_FFFF;
+                                    h.write_field(obj, info.hash(), field, v).unwrap();
+                                    vals.push(v);
+                                }
+                                live.push((obj, Arc::clone(info), vals));
+                            }
+                            1 if !live.is_empty() => {
+                                let i = driver.random_range(0..live.len());
+                                let (obj, info, vals) = &live[i];
+                                let field = driver.random_range(0..info.field_count());
+                                assert_eq!(
+                                    h.read_field(*obj, info.hash(), field).unwrap(),
+                                    vals[field],
+                                    "thread {t} op {op}: oracle mismatch"
+                                );
+                            }
+                            2 if !live.is_empty() => {
+                                let i = driver.random_range(0..live.len());
+                                let (obj, info, vals) = &mut live[i];
+                                let field = driver.random_range(0..info.field_count());
+                                let v = driver.next_u64() & 0xFFFF_FFFF;
+                                h.write_field(*obj, info.hash(), field, v).unwrap();
+                                vals[field] = v;
+                            }
+                            3 if !live.is_empty() => {
+                                let (obj, _, _) = live.swap_remove(driver.random_range(0..live.len()));
+                                h.olr_free(obj).unwrap();
+                            }
+                            _ => {}
+                        }
+                    }
+                    for (obj, _, _) in live {
+                        h.olr_free(obj).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = rt.stats();
+        assert!(stats.allocations > 0);
+        assert_eq!(
+            stats.allocations, stats.frees,
+            "every allocation was drained, so the quiescent snapshot must balance"
+        );
+        assert_eq!(stats.total_detections(), 0);
+        assert!(
+            stats.pool_hits > stats.allocations / 2,
+            "thread-local pools should serve most draws: {} hits / {} allocs",
+            stats.pool_hits,
+            stats.allocations
+        );
+    }
+
+    /// Seeded cross-thread determinism: with one root seed, each thread's
+    /// plan sequence is identical across runs (and independent of the
+    /// other threads' scheduling, because all plan state is handle-local).
+    #[test]
+    fn same_root_seed_gives_identical_per_thread_plan_sequences() {
+        const THREADS: u64 = 3;
+        const ALLOCS: usize = 60;
+        let run = || -> Vec<Vec<PlanHash>> {
+            let rt = sharded(THREADS as usize);
+            let people = people();
+            let record = record();
+            let mut sequences: Vec<Vec<PlanHash>> = vec![Vec::new(); THREADS as usize];
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|t| {
+                        let rt = &rt;
+                        let people = &people;
+                        let record = &record;
+                        scope.spawn(move || {
+                            let mut h = rt.handle(t);
+                            let mut seq = Vec::with_capacity(ALLOCS);
+                            for i in 0..ALLOCS {
+                                let info = if i % 2 == 0 { people } else { record };
+                                let obj = h.olr_malloc(info).unwrap();
+                                seq.push(rt.object_meta(obj).unwrap().plan.plan_hash());
+                            }
+                            seq
+                        })
+                    })
+                    .collect();
+                for (t, handle) in handles.into_iter().enumerate() {
+                    sequences[t] = handle.join().unwrap();
+                }
+            });
+            sequences
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "per-thread plan sequences must replay exactly");
+        // Streams are disjoint, so threads must not mirror each other.
+        assert_ne!(first[0], first[1]);
+        assert_ne!(first[1], first[2]);
+    }
+
+    #[test]
+    fn in_place_memcpy_works_through_the_facade() {
+        // The overlap fix holds on the sharded path too (same-shard
+        // delegation uses the staged single-runtime copy).
+        let rt = sharded(2);
+        let info = people();
+        let mut h = rt.handle(0);
+        let obj = h.olr_malloc(&info).unwrap();
+        h.write_field(obj, info.hash(), 1, 7).unwrap();
+        h.write_field(obj, info.hash(), 2, 9).unwrap();
+        rt.olr_memcpy(obj, obj, &info).unwrap();
+        assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), 7);
+        assert_eq!(rt.read_field(obj, info.hash(), 2).unwrap(), 9);
+    }
+
+    #[test]
+    fn metadata_bytes_sum_over_shards() {
+        let rt = sharded(4);
+        let info = people();
+        let mut handles: Vec<_> = (0..4).map(|t| rt.handle(t)).collect();
+        for h in &mut handles {
+            for _ in 0..10 {
+                h.olr_malloc(&info).unwrap();
+            }
+        }
+        assert!(rt.estimated_metadata_bytes() > 0);
+        assert_eq!(rt.stats().allocations, 40);
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters the runtime maintains, matching the columns of the paper's
 /// Table III ("number of allocation/free, member variable access, and
@@ -87,6 +88,71 @@ impl AddAssign for RuntimeStats {
     }
 }
 
+macro_rules! atomic_stats {
+    ($($(#[$doc:meta])* $field:ident),* $(,)?) => {
+        /// [`RuntimeStats`] with every counter behind a relaxed
+        /// [`AtomicU64`], shared by all threads of a
+        /// [`ShardedRuntime`](crate::ShardedRuntime).
+        ///
+        /// Counters are individually exact and monotone. A
+        /// [`snapshot`](AtomicRuntimeStats::snapshot) taken while other
+        /// threads are mid-operation is a *consistent read of each
+        /// counter*, not an atomic cut across all of them (relaxed loads
+        /// impose no cross-counter ordering); at quiescence — after the
+        /// contributing threads' operations have completed — the snapshot
+        /// is exact. That trade keeps the hot path at plain `fetch_add`s
+        /// with no lock and no fence.
+        #[derive(Debug, Default)]
+        pub struct AtomicRuntimeStats {
+            $($(#[$doc])* $field: AtomicU64,)*
+        }
+
+        impl AtomicRuntimeStats {
+            /// All counters at zero.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Fold a per-thread delta into the shared counters
+            /// (relaxed `fetch_add` per non-zero field).
+            pub fn add(&self, delta: &RuntimeStats) {
+                $(
+                    if delta.$field != 0 {
+                        self.$field.fetch_add(delta.$field, Ordering::Relaxed);
+                    }
+                )*
+            }
+
+            /// Read every counter (relaxed; see the type docs for the
+            /// coherence contract).
+            pub fn snapshot(&self) -> RuntimeStats {
+                RuntimeStats {
+                    $($field: self.$field.load(Ordering::Relaxed),)*
+                }
+            }
+        }
+    };
+}
+
+atomic_stats!(
+    allocations,
+    frees,
+    memcpys,
+    member_accesses,
+    cache_hits,
+    uaf_detected,
+    mismatch_detected,
+    traps_triggered,
+    unique_plans,
+    dedup_saved,
+    shadow_hits,
+    shadow_misses,
+    site_ic_hits,
+    site_ic_misses,
+    pool_hits,
+    pool_refills,
+);
+
 impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -131,5 +197,38 @@ mod tests {
         let s = RuntimeStats::default().to_string();
         assert!(s.contains("alloc=0"));
         assert!(s.contains("n/a"));
+    }
+
+    #[test]
+    fn atomic_stats_accumulate_and_snapshot() {
+        let shared = AtomicRuntimeStats::new();
+        shared.add(&RuntimeStats { allocations: 3, pool_hits: 2, ..Default::default() });
+        shared.add(&RuntimeStats { allocations: 1, frees: 4, ..Default::default() });
+        let snap = shared.snapshot();
+        assert_eq!(snap.allocations, 4);
+        assert_eq!(snap.frees, 4);
+        assert_eq!(snap.pool_hits, 2);
+        assert_eq!(snap.memcpys, 0);
+    }
+
+    #[test]
+    fn atomic_stats_sum_across_threads() {
+        let shared = AtomicRuntimeStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        shared.add(&RuntimeStats {
+                            allocations: 1,
+                            member_accesses: 2,
+                            ..Default::default()
+                        });
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.allocations, 4000);
+        assert_eq!(snap.member_accesses, 8000);
     }
 }

@@ -170,6 +170,12 @@ pub struct HeapConfig {
     /// the default; ASan-style defenses set this so linear overflows walk
     /// into no-man's-land before reaching the neighbour).
     pub redzone: usize,
+    /// First address of this heap's arena (0 = the default, standalone
+    /// heap). A sharded runtime gives each shard a disjoint
+    /// `[arena_base, arena_base + capacity)` window so any address names
+    /// its owning shard by simple division; accesses below `arena_base`
+    /// fault just like accesses past the arena end.
+    pub arena_base: u64,
 }
 
 impl Default for HeapConfig {
@@ -180,6 +186,7 @@ impl Default for HeapConfig {
             poison: None,
             zero_on_alloc: false,
             redzone: 0,
+            arena_base: 0,
         }
     }
 }
@@ -262,8 +269,16 @@ impl SimHeap {
     }
 
     /// Current arena extent in bytes (grows on demand up to capacity).
+    /// This is the *local* extent: the heap owns addresses
+    /// `[arena_base, arena_base + arena_len)`.
     pub fn arena_len(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Local arena offset of a global address; `None` below `arena_base`.
+    #[inline]
+    fn local(&self, addr: Addr) -> Option<u64> {
+        addr.0.checked_sub(self.config.arena_base)
     }
 
     /// Allocate `size` bytes, rounded up to a size class.
@@ -322,7 +337,7 @@ impl SimHeap {
                     state: BlockState::Live,
                     generation: 1,
                 });
-                let first = (base as usize) / ALIGN;
+                let first = ((base - self.config.arena_base) as usize) / ALIGN;
                 let last = first + usable.div_ceil(ALIGN);
                 if self.index.len() < last {
                     self.index.resize(last, 0);
@@ -333,7 +348,7 @@ impl SimHeap {
             }
         }
         if self.config.zero_on_alloc {
-            let start = base as usize;
+            let start = (base - self.config.arena_base) as usize;
             self.arena[start..start + usable].fill(0);
         }
         self.stats.allocs += 1;
@@ -349,7 +364,7 @@ impl SimHeap {
             return Err(HeapError::OutOfMemory { requested: usable });
         }
         self.arena.resize(new_len, 0);
-        Ok(base as u64)
+        Ok(self.config.arena_base + base as u64)
     }
 
     /// Free a block previously returned by [`SimHeap::malloc`].
@@ -372,7 +387,7 @@ impl SimHeap {
         }
         let size = block.size;
         if let Some(poison) = self.config.poison {
-            let start = addr.0 as usize;
+            let start = (addr.0 - self.config.arena_base) as usize;
             self.arena[start..start + size].fill(poison);
         }
         self.stats.frees += 1;
@@ -396,7 +411,7 @@ impl SimHeap {
     /// Slot id covering `addr` (any interior byte), if a block owns it.
     #[inline]
     fn slot_containing(&self, addr: Addr) -> Option<usize> {
-        let unit = (addr.0 as usize) / ALIGN;
+        let unit = (self.local(addr)? as usize) / ALIGN;
         match self.index.get(unit) {
             Some(&raw) if raw != 0 => Some(raw as usize - 1),
             _ => None,
@@ -456,7 +471,7 @@ impl SimHeap {
     }
 
     fn check_range(&self, addr: Addr, len: usize) -> Result<(usize, usize), HeapError> {
-        let start = addr.0 as usize;
+        let start = self.local(addr).ok_or(HeapError::Fault { addr, len })? as usize;
         let end = start.checked_add(len).ok_or(HeapError::Fault { addr, len })?;
         if addr.is_null() || end > self.arena.len() || len == 0 {
             return Err(HeapError::Fault { addr, len });
@@ -550,7 +565,8 @@ impl SimHeap {
     pub fn read_in_block(&self, addr: Addr, len: usize) -> Result<&[u8], HeapError> {
         let block = self.block_containing(addr).ok_or(
             // Inside the arena but in no block: a redzone/quarantine hit.
-            if (addr.0 as usize) < self.arena.len() && !addr.is_null() {
+            if self.local(addr).is_some_and(|l| (l as usize) < self.arena.len()) && !addr.is_null()
+            {
                 HeapError::OutOfBlock { addr, len }
             } else {
                 HeapError::Fault { addr, len }
@@ -574,7 +590,8 @@ impl SimHeap {
     pub fn write_in_block(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), HeapError> {
         let len = bytes.len();
         let block = self.block_containing(addr).ok_or(
-            if (addr.0 as usize) < self.arena.len() && !addr.is_null() {
+            if self.local(addr).is_some_and(|l| (l as usize) < self.arena.len()) && !addr.is_null()
+            {
                 HeapError::OutOfBlock { addr, len }
             } else {
                 HeapError::Fault { addr, len }
@@ -887,6 +904,62 @@ mod tests {
         assert!(h.slot_gen(a.offset(16)).is_none(), "interior pointer is not a base");
         assert!(h.slot_gen(Addr(1 << 40)).is_none());
         assert!(h.slot_gen(Addr::NULL).is_none());
+    }
+
+    #[test]
+    fn based_arena_owns_a_shifted_window() {
+        const BASE: u64 = 1 << 32;
+        let mut h = SimHeap::new(HeapConfig { arena_base: BASE, ..HeapConfig::default() });
+        let a = h.malloc(32).unwrap();
+        assert!(a.0 >= BASE + ALIGN as u64, "addresses start past the shifted reserved unit");
+        h.write_u64(a, 0xFEED).unwrap();
+        assert_eq!(h.read_u64(a).unwrap(), 0xFEED);
+        assert_eq!(h.block_at(a).unwrap().base, a);
+        assert!(h.slot_gen(a).is_some());
+        h.free(a).unwrap();
+        let b = h.malloc(32).unwrap();
+        assert_eq!(a, b, "immediate reuse works in a based arena");
+    }
+
+    #[test]
+    fn accesses_below_the_base_fault() {
+        const BASE: u64 = 1 << 32;
+        let mut h = SimHeap::new(HeapConfig { arena_base: BASE, ..HeapConfig::default() });
+        let _a = h.malloc(32).unwrap();
+        // Addresses in another shard's window (below this base) are wild.
+        let foreign = Addr(4096);
+        assert!(matches!(h.read(foreign, 8).unwrap_err(), HeapError::Fault { .. }));
+        assert_eq!(h.free(foreign), Err(HeapError::InvalidFree(foreign)));
+        assert!(h.slot_gen(foreign).is_none());
+        assert!(h.block_containing(foreign).is_none());
+        assert!(matches!(
+            h.read_in_block(foreign, 1).unwrap_err(),
+            HeapError::Fault { .. }
+        ));
+    }
+
+    #[test]
+    fn disjoint_bases_give_disjoint_address_windows() {
+        let span = 1u64 << 20;
+        let mut shards: Vec<SimHeap> = (0..4)
+            .map(|i| {
+                SimHeap::new(HeapConfig {
+                    capacity: span as usize,
+                    arena_base: i * span,
+                    ..HeapConfig::default()
+                })
+            })
+            .collect();
+        for (i, shard) in shards.iter_mut().enumerate() {
+            for _ in 0..16 {
+                let a = shard.malloc(64).unwrap();
+                assert_eq!(
+                    (a.0 / span) as usize,
+                    i,
+                    "address {a} must route back to shard {i} by division"
+                );
+            }
+        }
     }
 
     #[test]

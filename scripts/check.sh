@@ -63,6 +63,15 @@ cargo build --release --offline
 cargo test -q --offline
 echo "ok: tier-1 green"
 
+echo "== threaded stress smoke (release) =="
+# The sharded-runtime tests and the churn workload re-run in release
+# mode: optimized codegen changes timing enough to surface races the
+# debug-mode tier-1 pass can miss (more preemption points per second,
+# fewer implicit synchronization stalls).
+cargo test -q --offline --release -p polar-runtime sharded
+cargo test -q --offline --release -p polar-workloads churn
+echo "ok: threaded stress green"
+
 echo "== bench smoke (1 iteration) =="
 # A single-iteration pass through every benchmark: catches hot-path
 # regressions that only the bench harness exercises (e.g. the JSON
