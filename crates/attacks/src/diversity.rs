@@ -66,10 +66,13 @@ fn layouts_of_run(defense: &Defense, run: u64, instances: usize) -> Vec<PlanHash
         Defense::StaticOlr { binary_seed } => {
             (RandomizeMode::static_olr(*binary_seed), RuntimeConfig::default())
         }
-        Defense::Polar { process_seed, .. } => {
+        Defense::Polar { process_seed, .. }
+        | Defense::PolarStateless { process_seed }
+        | Defense::Sharded { process_seed, .. } => {
             let mut c = RuntimeConfig::default();
             // Fresh process entropy per execution.
             c.seed = process_seed ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            c.stateless_small = matches!(defense, Defense::PolarStateless { .. });
             (RandomizeMode::per_allocation(), c)
         }
     };
@@ -82,7 +85,9 @@ fn layouts_of_run(defense: &Defense, run: u64, instances: usize) -> Vec<PlanHash
                 rt.compile_time_plan(&info).plan_hash()
             }
             // POLaR: one metadata record per allocation.
-            Defense::Polar { .. } => {
+            Defense::Polar { .. }
+            | Defense::PolarStateless { .. }
+            | Defense::Sharded { .. } => {
                 let base = rt.olr_malloc(&info).expect("alloc");
                 rt.object_meta(base).expect("meta").plan.plan_hash()
             }

@@ -6,9 +6,10 @@ use std::sync::Arc;
 
 use polar_classinfo::ClassInfo;
 use polar_instrument::{instrument, InstrumentOptions};
-use polar_ir::interp::{run_with_mode, ExecLimits, ExecReport};
+use polar_ir::interp::{run, run_with_mode, ExecLimits, ExecReport};
+use polar_ir::trace::NopTracer;
 use polar_layout::{LayoutPlan, RandomizationPolicy, StaticOlrTable};
-use polar_runtime::{RandomizeMode, RuntimeConfig};
+use polar_runtime::{RandomizeMode, RuntimeConfig, ShardedRuntime};
 
 use crate::scenarios::{Scenario, ScenarioKind};
 
@@ -35,6 +36,22 @@ pub enum Defense {
         /// purely probabilistic layout defense).
         detect: bool,
     },
+    /// POLaR with the stateless small-class path enabled: classes at or
+    /// under the stateless field bound get keyed-permutation layouts with
+    /// no dummies or traps (the SPAM-style space/detection trade-off);
+    /// metadata checks stay armed.
+    PolarStateless {
+        /// The process's runtime entropy (fresh per execution).
+        process_seed: u64,
+    },
+    /// POLaR on the concurrent sharded runtime facade (single-context
+    /// embedding: allocations from shard 0, accesses routed by address).
+    Sharded {
+        /// The process's runtime entropy (fresh per execution).
+        process_seed: u64,
+        /// Shard count.
+        shards: usize,
+    },
     /// Redzone-based memory safety (ASan-style, Section VII-C of the
     /// paper): natural layouts, but every raw access is checked against
     /// its heap block.
@@ -47,6 +64,16 @@ impl Defense {
         Defense::Polar { process_seed, detect: true }
     }
 
+    /// POLaR with the stateless small-class path on.
+    pub fn polar_stateless(process_seed: u64) -> Self {
+        Defense::PolarStateless { process_seed }
+    }
+
+    /// POLaR on the sharded facade (four shards).
+    pub fn sharded(process_seed: u64) -> Self {
+        Defense::Sharded { process_seed, shards: 4 }
+    }
+
     /// Display label for tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -54,19 +81,23 @@ impl Defense {
             Defense::StaticOlr { .. } => "static-olr",
             Defense::Polar { detect: true, .. } => "polar",
             Defense::Polar { detect: false, .. } => "polar(no-detect)",
+            Defense::PolarStateless { .. } => "polar-stateless",
+            Defense::Sharded { .. } => "sharded",
             Defense::Redzone => "redzone",
         }
     }
 
-    fn mode(&self) -> RandomizeMode {
+    pub(crate) fn mode(&self) -> RandomizeMode {
         match self {
             Defense::Native | Defense::Redzone => RandomizeMode::Native,
             Defense::StaticOlr { binary_seed } => RandomizeMode::static_olr(*binary_seed),
-            Defense::Polar { .. } => RandomizeMode::per_allocation(),
+            Defense::Polar { .. } | Defense::PolarStateless { .. } | Defense::Sharded { .. } => {
+                RandomizeMode::per_allocation()
+            }
         }
     }
 
-    fn config(&self) -> RuntimeConfig {
+    pub(crate) fn config(&self) -> RuntimeConfig {
         let mut config = RuntimeConfig::default();
         match self {
             Defense::Polar { process_seed, detect } => {
@@ -74,6 +105,16 @@ impl Defense {
                 config.detect_class_mismatch = *detect;
                 config.detect_use_after_free = *detect;
                 config.check_traps_on_free = *detect;
+            }
+            Defense::PolarStateless { process_seed } => {
+                config.seed = *process_seed;
+                config.stateless_small = true;
+            }
+            Defense::Sharded { process_seed, .. } => {
+                config.seed = *process_seed;
+                // The scenarios touch a few hundred bytes; a small total
+                // arena keeps per-trial facade construction cheap.
+                config.heap.capacity = 4 << 20;
             }
             Defense::Redzone => {
                 config.redzone_checks = true;
@@ -115,7 +156,8 @@ pub enum AttackOutcome {
 }
 
 impl AttackOutcome {
-    fn classify(report: &ExecReport) -> Self {
+    /// Classify an execution report: hijack beats detection beats crash.
+    pub fn classify(report: &ExecReport) -> Self {
         use polar_ir::interp::ExecError;
         use polar_simheap::HeapError;
         if report.output.first() == Some(&ATTACK_VALUE) {
@@ -230,14 +272,13 @@ pub fn run_attack_with_param(
     payload[rel..rel + 8].copy_from_slice(&ATTACK_VALUE.to_le_bytes());
     input.extend(payload);
     let module = prepare_module(scenario, defense);
-    let report =
-        run_with_mode(&module, defense.mode(), defense.config(), &input, ExecLimits::default());
+    let report = execute(&module, defense, &input);
     report.output.first() == Some(&ATTACK_VALUE)
 }
 
-fn prepare_module(scenario: &Scenario, defense: &Defense) -> polar_ir::Module {
+pub(crate) fn prepare_module(scenario: &Scenario, defense: &Defense) -> polar_ir::Module {
     match defense {
-        Defense::Polar { .. } => {
+        Defense::Polar { .. } | Defense::PolarStateless { .. } | Defense::Sharded { .. } => {
             let (hardened, _) = instrument(&scenario.module, &InstrumentOptions::default());
             hardened
         }
@@ -248,13 +289,24 @@ fn prepare_module(scenario: &Scenario, defense: &Defense) -> polar_ir::Module {
     }
 }
 
+/// One execution under `defense`'s runtime: the sharded defense builds
+/// the lock-striped facade; every other defense runs on a fresh
+/// single-context runtime.
+pub(crate) fn execute(module: &polar_ir::Module, defense: &Defense, input: &[u8]) -> ExecReport {
+    match defense {
+        Defense::Sharded { shards, .. } => {
+            let mut rt = ShardedRuntime::new(defense.mode(), defense.config(), *shards);
+            run(module, &mut rt, input, ExecLimits::default(), &mut NopTracer)
+        }
+        _ => run_with_mode(module, defense.mode(), defense.config(), input, ExecLimits::default()),
+    }
+}
+
 /// Run one attack execution and classify the outcome.
 pub fn run_attack(scenario: &Scenario, defense: &Defense, attacker: Attacker) -> AttackOutcome {
     let input = craft_input(scenario, defense, attacker);
     let module = prepare_module(scenario, defense);
-    let report =
-        run_with_mode(&module, defense.mode(), defense.config(), &input, ExecLimits::default());
-    AttackOutcome::classify(&report)
+    AttackOutcome::classify(&execute(&module, defense, &input))
 }
 
 /// Aggregated trial results.

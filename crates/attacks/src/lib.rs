@@ -20,7 +20,10 @@
 //!   attacker who can read the runtime's metadata defeats POLaR;
 //! * [`probing`] — the Section III-B2 reproduction problem quantified: a
 //!   binary-less attacker converges on static OLR by repeated probing but
-//!   never stabilizes against POLaR.
+//!   never stabilizes against POLaR;
+//! * [`search`] — the adaptive adversary: seed-deterministic campaigns
+//!   (built on `polar-fuzz`) that *evolve* allocation/free/spray/probe
+//!   tapes against each defense mode and report per-mode bypass rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,8 @@ pub mod harness;
 pub mod metadata_leak;
 pub mod probing;
 pub mod scenarios;
+pub mod search;
 
 pub use harness::{AttackOutcome, Attacker, Defense, TrialStats};
 pub use scenarios::{Scenario, ScenarioKind};
+pub use search::{run_campaign, scorecard, CampaignBudget, CampaignReport, SecMode};

@@ -13,6 +13,7 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use polar_attacks::harness::{trials, Attacker, Defense};
+use polar_attacks::search::{scorecard, CampaignBudget};
 use polar_attacks::{cve, diversity, scenarios};
 use polar_bench::{
     ablation_rows, fig6_rows, js_rows, sites_rows, table1_rows, table2_row, table3_rows,
@@ -20,7 +21,7 @@ use polar_bench::{
 };
 use polar_instrument::{check_compatibility, instrument, InstrumentOptions};
 use polar_ir::interp::{run_native, run_with_mode, ExecLimits};
-use polar_runtime::{RandomizeMode, RuntimeConfig};
+use polar_runtime::{RandomizeMode, RuntimeConfig, RuntimeError, ShardedRuntime};
 use polar_workloads::{gc, js};
 
 fn ms(d: Duration) -> f64 {
@@ -231,6 +232,12 @@ fn security() {
                 Box::new(|t| Defense::Polar { process_seed: 0xA000 + t, detect: false }),
                 Attacker::BinaryAware,
             ),
+            (
+                "polar-stateless",
+                Box::new(|t| Defense::polar_stateless(0xB000 + t)),
+                Attacker::BinaryAware,
+            ),
+            ("sharded", Box::new(|t| Defense::sharded(0xC000 + t)), Attacker::BinaryAware),
             ("redzone", Box::new(|_| Defense::Redzone), Attacker::BinaryAware),
         ];
         for (label, factory, attacker) in configs {
@@ -249,6 +256,123 @@ fn security() {
             );
         }
     }
+}
+
+fn adaptive() {
+    let budget = CampaignBudget::quick();
+    heading("Adaptive attacker — evolved attack tapes, bypass probability per mode");
+    println!(
+        "(each campaign: {} search execs, then {} fresh-seed replays of the best",
+        budget.search_execs, budget.eval_trials
+    );
+    println!(" evolved tape; seed-deterministic — full budget in BENCH_security.json)\n");
+    println!(
+        "{:<18} {:<16} {:>11} {:>9} {:>9} {:>9}",
+        "scenario", "defense", "search hits", "tape len", "bypass %", "detect %"
+    );
+    println!("{}", "-".repeat(78));
+    for r in scorecard(budget, 0x5EC5_CA4D) {
+        println!(
+            "{:<18} {:<16} {:>11} {:>9} {:>8.1}% {:>8.1}%",
+            r.scenario,
+            r.mode.label(),
+            r.successes_during_search,
+            r.tape_len,
+            r.bypass_rate() * 100.0,
+            r.detection_rate() * 100.0
+        );
+    }
+    println!("\n  (the attacker evolves allocation/free/spray/probe tapes per mode;");
+    println!("   native and static-OLR fall once searched, POLaR stays probabilistic)");
+}
+
+fn sharded_detect() {
+    use std::sync::Arc;
+
+    use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
+
+    heading("Sharded runtime — attack-detection counters folded across shards");
+    let threads = 4u64;
+    let mut config = RuntimeConfig::default();
+    config.heap.capacity = 64 << 20;
+    let rt = ShardedRuntime::new(RandomizeMode::per_allocation(), config, threads as usize);
+    let victim = Arc::new(ClassInfo::from_decl(
+        ClassDecl::builder("DetectVictim")
+            .field("a", FieldKind::I64)
+            .field("b", FieldKind::I64)
+            .field("fp", FieldKind::FnPtr)
+            .build(),
+    ));
+    let confused = Arc::new(ClassInfo::from_decl(
+        ClassDecl::builder("DetectConfused")
+            .field("x", FieldKind::I64)
+            .field("y", FieldKind::I64)
+            .build(),
+    ));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let rt = &rt;
+            let victim = &victim;
+            let confused = &confused;
+            scope.spawn(move || {
+                let mut h = rt.handle(t);
+                for _ in 0..50 {
+                    // Use-after-free.
+                    let a = h.olr_malloc(victim).expect("alloc");
+                    h.olr_free(a).expect("free");
+                    assert!(matches!(
+                        h.read_field(a, victim.hash(), 0),
+                        Err(RuntimeError::UseAfterFree { .. })
+                    ));
+                    // Type confusion.
+                    let b = h.olr_malloc(victim).expect("alloc");
+                    assert!(matches!(
+                        h.read_field(b, confused.hash(), 0),
+                        Err(RuntimeError::ClassMismatch { .. })
+                    ));
+                    h.olr_free(b).expect("free");
+                    // Double free.
+                    let c = h.olr_malloc(victim).expect("alloc");
+                    h.olr_free(c).expect("free");
+                    assert!(matches!(
+                        h.olr_free(c),
+                        Err(RuntimeError::DoubleFree(_))
+                    ));
+                    // Overflow into a booby trap, caught on free.
+                    let d = h.olr_malloc(victim).expect("alloc");
+                    let canaried = rt
+                        .object_meta(d)
+                        .and_then(|m| {
+                            m.plan.dummies().iter().find(|x| x.canary.is_some()).cloned()
+                        });
+                    match canaried {
+                        Some(dummy) => {
+                            let slot = d.offset(u64::from(dummy.offset));
+                            let cur = rt.heap_read_uint(slot, 1).expect("read");
+                            rt.heap_write_uint(slot, !cur & 0xFF, 1).expect("write");
+                            assert!(matches!(
+                                h.olr_free(d),
+                                Err(RuntimeError::TrapTriggered(_))
+                            ));
+                        }
+                        None => h.olr_free(d).expect("free"),
+                    }
+                }
+            });
+        }
+    });
+    let stats = rt.stats();
+    println!("({threads} threads, 50 rounds each of UAF / confusion / double-free /");
+    println!(" trap-corrupting overflow against a {}-shard runtime)\n", threads);
+    println!("  uaf_detected         {:>8}", stats.uaf_detected);
+    println!("  mismatch_detected    {:>8}", stats.mismatch_detected);
+    println!("  double_free_detected {:>8}", stats.double_free_detected);
+    println!("  traps_triggered      {:>8}", stats.traps_triggered);
+    println!("  trap_scans           {:>8}", stats.trap_scans);
+    println!("  dummy_touches        {:>8}", stats.dummy_touches);
+    println!("  total_detections     {:>8}", stats.total_detections());
+    println!("\n  (folded from the per-shard atomic stats; before this table only the");
+    println!("   single-shard facade surfaced its detection counters)");
 }
 
 fn sites() {
@@ -325,7 +449,8 @@ fn main() {
     let mut wanted: HashSet<&str> = args.iter().map(|s| s.as_str()).collect();
     if wanted.is_empty() || wanted.contains("all") {
         wanted = ["fig2", "table1", "fig6", "table2", "fig7", "table3", "table4", "compat",
-            "security", "sites", "probing", "metadata", "ablation"]
+            "security", "adaptive", "sharded-detect", "sites", "probing", "metadata",
+            "ablation"]
             .into_iter()
             .collect();
     }
@@ -361,6 +486,12 @@ fn main() {
     }
     if wanted.contains("security") {
         security();
+    }
+    if wanted.contains("adaptive") {
+        adaptive();
+    }
+    if wanted.contains("sharded-detect") {
+        sharded_detect();
     }
     if wanted.contains("sites") {
         sites();

@@ -10,6 +10,7 @@
 
 pub mod json;
 pub mod micro;
+pub mod security;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -1,0 +1,252 @@
+//! Generic-over-target search campaigns.
+//!
+//! [`Fuzzer`](crate::Fuzzer) is married to IR modules and coverage maps.
+//! The adaptive security evaluation needs the same mutate → execute →
+//! retain loop against a different kind of target (attack tapes run
+//! through a heap VM), so this module factors the loop out: anything
+//! implementing [`CampaignTarget`] can be searched. Feedback is
+//! deliberately abstract — novelty *tokens* (the target's own notion of
+//! "something new happened"), a scalar *score* (the target's gradient),
+//! and a *success* flag (the target's goal predicate).
+//!
+//! Determinism contract: a campaign's behavior is a pure function of
+//! `(options.seed, seed tapes, target behavior)`. The driver's only
+//! randomness is the [`Mutator`]'s seeded RNG; token bookkeeping uses a
+//! `HashSet` for membership *only* (never iterated), so hash-order
+//! nondeterminism cannot leak into decisions.
+
+use std::collections::HashSet;
+
+use crate::corpus::Corpus;
+use crate::minimize::{minimize_with, MinimizeStats};
+use crate::mutate::Mutator;
+
+/// What one target execution reports back to the search loop.
+#[derive(Debug, Clone, Default)]
+pub struct Feedback {
+    /// Novelty tokens: opaque identifiers for "interesting things" this
+    /// execution did (an outcome class, an adjacency bucket, a probed
+    /// offset…). A tape producing any not-yet-seen token is retained.
+    pub tokens: Vec<u64>,
+    /// Scalar fitness; higher is better. A tape beating the best score
+    /// so far is retained even without fresh tokens.
+    pub score: i64,
+    /// Whether this execution achieved the campaign goal.
+    pub success: bool,
+}
+
+/// Something a [`Campaign`] can search against: executes a byte tape,
+/// reports [`Feedback`].
+pub trait CampaignTarget {
+    /// Execute `tape` once.
+    fn execute(&mut self, tape: &[u8]) -> Feedback;
+}
+
+/// Campaign tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Mutator RNG seed — the campaign's only randomness source.
+    pub seed: u64,
+    /// Upper bound on evolved tape length.
+    pub max_tape_len: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions { seed: 0xCA4D, max_tape_len: 96 }
+    }
+}
+
+/// Aggregate campaign counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Target executions performed.
+    pub execs: u64,
+    /// Executions retained into the corpus (fresh token, score
+    /// improvement, or success).
+    pub interesting: u64,
+    /// Executions that hit the goal predicate.
+    pub successes: u64,
+}
+
+/// The mutate → execute → retain loop over a [`CampaignTarget`].
+#[derive(Debug)]
+pub struct Campaign<T> {
+    target: T,
+    mutator: Mutator,
+    corpus: Corpus,
+    seen: HashSet<u64>,
+    stats: CampaignStats,
+    best: Option<(i64, Vec<u8>)>,
+    best_success: Option<Vec<u8>>,
+}
+
+impl<T: CampaignTarget> Campaign<T> {
+    /// A campaign over `target` with the given options.
+    pub fn new(target: T, options: CampaignOptions) -> Self {
+        Campaign {
+            target,
+            mutator: Mutator::new(options.seed, options.max_tape_len),
+            corpus: Corpus::new(),
+            seen: HashSet::new(),
+            stats: CampaignStats::default(),
+            best: None,
+            best_success: None,
+        }
+    }
+
+    /// Execute `tape` as-is and retain it if interesting — use for the
+    /// hand-written starting points every scenario ships.
+    pub fn seed_tape(&mut self, tape: Vec<u8>) {
+        self.run_one(tape);
+    }
+
+    /// Run `execs` mutate → execute → retain iterations.
+    pub fn run(&mut self, execs: u64) {
+        for _ in 0..execs {
+            let mut tape = match self.corpus.pick(self.mutator.rng()) {
+                Some(i) => self.corpus.entry(i).data.clone(),
+                None => Vec::new(),
+            };
+            // Occasional splice partner, energy-weighted like the pick.
+            let other = self
+                .corpus
+                .pick(self.mutator.rng())
+                .map(|i| self.corpus.entry(i).data.clone());
+            self.mutator.mutate(&mut tape, other.as_deref());
+            self.run_one(tape);
+        }
+    }
+
+    fn run_one(&mut self, tape: Vec<u8>) {
+        let feedback = self.target.execute(&tape);
+        self.stats.execs += 1;
+        let mut fresh = 0usize;
+        for token in &feedback.tokens {
+            if self.seen.insert(*token) {
+                fresh += 1;
+            }
+        }
+        let improved = self.best.as_ref().is_none_or(|(s, _)| feedback.score > *s);
+        if improved {
+            self.best = Some((feedback.score, tape.clone()));
+        }
+        if feedback.success {
+            self.stats.successes += 1;
+            if self.best_success.as_ref().is_none_or(|b| tape.len() < b.len()) {
+                self.best_success = Some(tape.clone());
+            }
+        }
+        if fresh > 0 || improved || feedback.success {
+            self.stats.interesting += 1;
+            self.corpus.add(tape, fresh);
+        }
+    }
+
+    /// Campaign counters so far.
+    pub fn stats(&self) -> CampaignStats {
+        self.stats
+    }
+
+    /// The highest-scoring tape seen, if any execution ran.
+    pub fn best_tape(&self) -> Option<&[u8]> {
+        self.best.as_ref().map(|(_, t)| t.as_slice())
+    }
+
+    /// The shortest goal-achieving tape seen, if any.
+    pub fn best_success(&self) -> Option<&[u8]> {
+        self.best_success.as_deref()
+    }
+
+    /// Shared access to the target.
+    pub fn target(&self) -> &T {
+        &self.target
+    }
+
+    /// Exclusive access to the target (e.g. to reconfigure between
+    /// phases).
+    pub fn target_mut(&mut self) -> &mut T {
+        &mut self.target
+    }
+
+    /// Consume the campaign, returning the target.
+    pub fn into_target(self) -> T {
+        self.target
+    }
+
+    /// Shrink the best success tape against `predicate` (which should
+    /// re-run the target deterministically and report whether the
+    /// candidate still succeeds). Returns the minimized tape, or `None`
+    /// when the campaign never succeeded.
+    pub fn minimize_success(
+        &mut self,
+        mut predicate: impl FnMut(&mut T, &[u8]) -> bool,
+    ) -> Option<(Vec<u8>, MinimizeStats)> {
+        let tape = self.best_success.clone()?;
+        let target = &mut self.target;
+        let (minimized, stats) = minimize_with(tape, |candidate| predicate(target, candidate));
+        self.best_success = Some(minimized.clone());
+        Some((minimized, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pure target: success when the tape contains the magic pair
+    /// `0xA5 0x5A`; score rewards near misses; tokens expose each byte
+    /// value seen (a crude coverage signal).
+    struct PairHunt;
+
+    impl CampaignTarget for PairHunt {
+        fn execute(&mut self, tape: &[u8]) -> Feedback {
+            let mut score = 0i64;
+            let mut tokens = Vec::new();
+            for b in tape {
+                tokens.push(u64::from(*b));
+                if *b == 0xA5 {
+                    score += 10;
+                }
+            }
+            let success = tape.windows(2).any(|w| w == [0xA5, 0x5A]);
+            Feedback { tokens, score: score + success as i64 * 1000, success }
+        }
+    }
+
+    #[test]
+    fn campaign_finds_the_magic_pair() {
+        let mut campaign = Campaign::new(PairHunt, CampaignOptions::default());
+        campaign.seed_tape(vec![0u8; 8]);
+        campaign.run(3000);
+        assert!(campaign.stats().successes > 0, "{:?}", campaign.stats());
+        let best = campaign.best_success().unwrap();
+        assert!(best.windows(2).any(|w| w == [0xA5, 0x5A]));
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = Campaign::new(
+                PairHunt,
+                CampaignOptions { seed, ..CampaignOptions::default() },
+            );
+            c.seed_tape(vec![1, 2, 3, 4]);
+            c.run(500);
+            (c.stats(), c.best_tape().map(<[u8]>::to_vec))
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0.execs, 0);
+    }
+
+    #[test]
+    fn minimize_success_preserves_the_goal() {
+        let mut campaign = Campaign::new(PairHunt, CampaignOptions::default());
+        campaign.seed_tape(vec![9, 9, 0xA5, 0x5A, 9, 9, 9, 9]);
+        assert!(campaign.best_success().is_some());
+        let (minimized, _) =
+            campaign.minimize_success(|t, cand| t.execute(cand).success).unwrap();
+        assert!(minimized.len() <= 8);
+        assert!(minimized.windows(2).any(|w| w == [0xA5, 0x5A]));
+    }
+}

@@ -17,18 +17,23 @@
 //!   crash, or POLaR detection;
 //! * [`minimize`] — ddmin-style crash-input minimization
 //!   (libFuzzer's `-minimize_crash`);
+//! * [`Campaign`] — the same mutate → execute → retain loop generic over
+//!   any [`CampaignTarget`] (the adaptive security evaluation searches
+//!   attack tapes with it);
 //! * [`taintclass_campaign`] — the full Section IV-B pipeline: fuzz for
 //!   coverage, taint-analyze every corpus member, merge the reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod corpus;
 mod coverage;
 mod fuzzer;
 pub mod minimize;
 mod mutate;
 
+pub use campaign::{Campaign, CampaignOptions, CampaignStats, CampaignTarget, Feedback};
 pub use corpus::{Corpus, CorpusEntry};
 pub use minimize::{minimize_crash, minimize_with, MinimizeStats};
 pub use coverage::{CoverageMap, CoverageTracer};

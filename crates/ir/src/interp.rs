@@ -17,7 +17,8 @@
 use std::fmt;
 
 use polar_runtime::{
-    ObjectRuntime, RandomizeMode, RuntimeConfig, RuntimeError, RuntimeStats, SiteCache,
+    ObjectRuntime, PolarRuntime, RandomizeMode, RuntimeConfig, RuntimeError, RuntimeStats,
+    SiteCache,
 };
 use polar_simheap::{Addr, HeapError};
 
@@ -139,10 +140,11 @@ struct Frame {
 /// Run `module` against `rt` with `input` as the untrusted program input.
 ///
 /// The runtime's mode decides how the `Olr*` instructions behave;
-/// native object instructions ignore the mode entirely.
-pub fn run<T: Tracer>(
+/// native object instructions ignore the mode entirely. `rt` is any
+/// [`PolarRuntime`] — the plain [`ObjectRuntime`] or the sharded facade.
+pub fn run<T: Tracer, R: PolarRuntime>(
     module: &Module,
-    rt: &mut ObjectRuntime,
+    rt: &mut R,
     input: &[u8],
     limits: ExecLimits,
     tracer: &mut T,
@@ -222,9 +224,9 @@ pub fn run_with_mode(
     run(module, &mut rt, input, limits, &mut NopTracer)
 }
 
-struct Machine<'m, 'i, T: Tracer> {
+struct Machine<'m, 'i, T: Tracer, R: PolarRuntime> {
     module: &'m Module,
-    rt: &'m mut ObjectRuntime,
+    rt: &'m mut R,
     input: &'i [u8],
     limits: ExecLimits,
     tracer: &'m mut T,
@@ -239,7 +241,7 @@ struct Machine<'m, 'i, T: Tracer> {
     steps: u64,
 }
 
-impl<T: Tracer> Machine<'_, '_, T> {
+impl<T: Tracer, R: PolarRuntime> Machine<'_, '_, T, R> {
     fn exec_entry(&mut self) -> Result<u64, ExecError> {
         let entry = self.module.entry;
         let mut stack = vec![Frame {
@@ -287,7 +289,7 @@ impl<T: Tracer> Machine<'_, '_, T> {
                     Inst::AllocObj { dst, class } => {
                         let plan = &self.ct_plans[class.0 as usize];
                         let size = plan.size().max(1);
-                        let base = self.rt.heap_mut().malloc(size as usize)?;
+                        let base = self.rt.heap_malloc(size as usize)?;
                         frame.regs[dst.0 as usize] = base.0;
                         self.tracer.on_event(&TraceEvent::ObjAlloc {
                             dst: *dst,
@@ -298,7 +300,7 @@ impl<T: Tracer> Machine<'_, '_, T> {
                     }
                     Inst::FreeObj { ptr } => {
                         let base = Addr(frame.regs[ptr.0 as usize]);
-                        self.rt.heap_mut().free(base)?;
+                        self.rt.heap_free(base)?;
                         self.tracer.on_event(&TraceEvent::ObjFree { base });
                     }
                     Inst::Gep { dst, obj, class, field } => {
@@ -321,17 +323,13 @@ impl<T: Tracer> Machine<'_, '_, T> {
                         let size = self.ct_plans[class.0 as usize].size();
                         let d = Addr(frame.regs[dst.0 as usize]);
                         let s = Addr(frame.regs[src.0 as usize]);
-                        self.rt.heap_mut().memmove(d, s, size as usize)?;
+                        self.rt.heap_memmove(d, s, size as usize)?;
                         self.tracer.on_event(&TraceEvent::ObjCopy { dst: d, src: s, class: *class });
                     }
                     Inst::OlrMalloc { dst, class } => {
                         let info = self.module.registry.get(*class).clone();
                         let base = self.rt.olr_malloc(&info)?;
-                        let size = self
-                            .rt
-                            .object_meta(base)
-                            .map(|m| m.plan.size())
-                            .unwrap_or_else(|| info.size());
+                        let size = self.rt.plan_size(base).unwrap_or_else(|| info.size());
                         frame.regs[dst.0 as usize] = base.0;
                         self.tracer.on_event(&TraceEvent::ObjAlloc {
                             dst: *dst,
@@ -376,22 +374,22 @@ impl<T: Tracer> Machine<'_, '_, T> {
                     }
                     Inst::AllocBuf { dst, size } => {
                         let size = frame.regs[size.0 as usize].max(1);
-                        let base = self.rt.heap_mut().malloc(size as usize)?;
+                        let base = self.rt.heap_malloc(size as usize)?;
                         frame.regs[dst.0 as usize] = base.0;
                         self.tracer
                             .on_event(&TraceEvent::BufAlloc { dst: *dst, base, size });
                     }
                     Inst::FreeBuf { ptr } => {
                         let base = Addr(frame.regs[ptr.0 as usize]);
-                        self.rt.heap_mut().free(base)?;
+                        self.rt.heap_free(base)?;
                         self.tracer.on_event(&TraceEvent::BufFree { base });
                     }
                     Inst::Load { dst, addr, width } => {
                         let a = Addr(frame.regs[addr.0 as usize]);
                         if self.rt.config().redzone_checks {
-                            self.rt.heap().read_in_block(a, usize::from(*width))?;
+                            self.rt.heap_check_in_block(a, usize::from(*width))?;
                         }
-                        let v = self.rt.heap().read_uint(a, usize::from(*width))?;
+                        let v = self.rt.heap_read_uint(a, usize::from(*width))?;
                         frame.regs[dst.0 as usize] = v;
                         self.tracer
                             .on_event(&TraceEvent::Load { dst: *dst, addr: a, width: *width });
@@ -400,9 +398,9 @@ impl<T: Tracer> Machine<'_, '_, T> {
                         let a = Addr(frame.regs[addr.0 as usize]);
                         let v = frame.regs[src.0 as usize];
                         if self.rt.config().redzone_checks {
-                            self.rt.heap().read_in_block(a, usize::from(*width))?;
+                            self.rt.heap_check_in_block(a, usize::from(*width))?;
                         }
-                        self.rt.heap_mut().write_uint(a, v, usize::from(*width))?;
+                        self.rt.heap_write_uint(a, v, usize::from(*width))?;
                         self.tracer
                             .on_event(&TraceEvent::Store { src: *src, addr: a, width: *width });
                     }
@@ -412,10 +410,10 @@ impl<T: Tracer> Machine<'_, '_, T> {
                         let l = frame.regs[len.0 as usize];
                         if l > 0 {
                             if self.rt.config().redzone_checks {
-                                self.rt.heap().read_in_block(s, l as usize)?;
-                                self.rt.heap().read_in_block(d, l as usize)?;
+                                self.rt.heap_check_in_block(s, l as usize)?;
+                                self.rt.heap_check_in_block(d, l as usize)?;
                             }
-                            self.rt.heap_mut().memmove(d, s, l as usize)?;
+                            self.rt.heap_memmove(d, s, l as usize)?;
                         }
                         self.tracer.on_event(&TraceEvent::Memcpy { dst: d, src: s, len: l });
                     }
@@ -436,7 +434,7 @@ impl<T: Tracer> Machine<'_, '_, T> {
                         let avail = self.input.len().saturating_sub(off_v).min(len_v);
                         if avail > 0 {
                             let bytes = self.input[off_v..off_v + avail].to_vec();
-                            self.rt.heap_mut().write(base, &bytes)?;
+                            self.rt.heap_write(base, &bytes)?;
                         }
                         self.tracer.on_event(&TraceEvent::InputRead {
                             buf: base,

@@ -57,11 +57,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 mod error;
 mod runtime;
 mod sharded;
 mod stats;
 
+pub use api::PolarRuntime;
 pub use error::{RuntimeError, TrapReport};
 // Re-exported so runtime configurators can name the pool policy without
 // a direct polar-layout dependency.

@@ -537,11 +537,15 @@ impl ObjectRuntime {
         if self.shadow[idx].meta.as_ref().expect("probe hit carries metadata").state
             == ObjectState::Freed
         {
+            self.stats.double_free_detected += 1;
             return Err(RuntimeError::DoubleFree(base));
         }
         if self.config.check_traps_on_free {
+            self.stats.trap_scans += 1;
             let reports = self.scan_traps(base)?;
             if let Some(report) = reports.first() {
+                self.stats.traps_triggered += reports.len() as u64;
+                self.stats.dummy_touches += reports.len() as u64;
                 return Err(RuntimeError::TrapTriggered(*report));
             }
         }
@@ -902,7 +906,9 @@ impl ObjectRuntime {
     /// [`RuntimeError::UnknownObject`] for untracked addresses.
     pub fn check_traps(&mut self, base: Addr) -> Result<Vec<TrapReport>, RuntimeError> {
         let reports = self.scan_traps(base)?;
+        self.stats.trap_scans += 1;
         self.stats.traps_triggered += reports.len() as u64;
+        self.stats.dummy_touches += reports.len() as u64;
         Ok(reports)
     }
 

@@ -324,6 +324,122 @@ impl ShardedRuntime {
     pub fn estimated_metadata_bytes(&self) -> usize {
         (0..self.shards.len()).map(|i| self.shard(i).estimated_metadata_bytes()).sum()
     }
+
+    /// The shard owning `addr` for a raw heap access, or a wild-access
+    /// fault when no shard window contains it.
+    fn heap_shard(&self, addr: Addr, len: usize) -> Result<MutexGuard<'_, ObjectRuntime>, HeapError> {
+        match self.shard_of(addr) {
+            Some(i) => Ok(self.shard(i)),
+            None => Err(HeapError::Fault { addr, len }),
+        }
+    }
+
+    /// Raw (untracked) allocation on shard `shard % shard_count()` — the
+    /// sharded analogue of [`ObjectRuntime::malloc_raw`] for callers
+    /// embedding the facade as one execution context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors.
+    pub fn malloc_raw_on(&self, shard: usize, size: usize) -> Result<Addr, RuntimeError> {
+        self.shard(shard % self.shards.len()).malloc_raw(size)
+    }
+
+    /// Instrumented allocation on shard `shard % shard_count()`, using
+    /// the shard's own deterministic plan state rather than a per-thread
+    /// [`ShardHandle`]. Single-context embeddings (one logical thread
+    /// driving the whole facade) allocate this way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ObjectRuntime::olr_malloc`].
+    pub fn olr_malloc_on(
+        &self,
+        shard: usize,
+        info: &Arc<ClassInfo>,
+    ) -> Result<Addr, RuntimeError> {
+        self.shard(shard % self.shards.len()).olr_malloc(info)
+    }
+
+    /// [`ObjectRuntime::compile_time_plan`], delegated to shard 0. The
+    /// static-OLR table derives from the mode's binary seed, which every
+    /// shard shares, so any shard would answer identically.
+    pub fn compile_time_plan(&self, info: &Arc<ClassInfo>) -> Arc<polar_layout::LayoutPlan> {
+        self.shard(0).compile_time_plan(info)
+    }
+
+    /// Raw free, routed by address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors; addresses outside every shard window
+    /// report [`HeapError::InvalidFree`].
+    pub fn free_raw(&self, addr: Addr) -> Result<(), RuntimeError> {
+        self.route(addr, RuntimeError::Heap(HeapError::InvalidFree(addr)))?.free_raw(addr)
+    }
+
+    /// Arena-bounded raw read ([`SimHeap::read_uint`]), routed by
+    /// address. Like the single-heap primitive this deliberately ignores
+    /// block boundaries within a shard — it is the attack-model probe.
+    ///
+    /// [`SimHeap::read_uint`]: polar_simheap::SimHeap::read_uint
+    ///
+    /// # Errors
+    ///
+    /// Faults outside every shard window or past a shard's arena.
+    pub fn heap_read_uint(&self, addr: Addr, width: usize) -> Result<u64, HeapError> {
+        self.heap_shard(addr, width)?.heap().read_uint(addr, width)
+    }
+
+    /// Arena-bounded raw write, routed by address (the attack-model
+    /// corruption primitive; see [`ShardedRuntime::heap_read_uint`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::heap_read_uint`].
+    pub fn heap_write_uint(&self, addr: Addr, value: u64, width: usize) -> Result<(), HeapError> {
+        self.heap_shard(addr, width)?.heap_mut().write_uint(addr, value, width)
+    }
+
+    /// Arena-bounded raw byte write, routed by address.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::heap_read_uint`].
+    pub fn heap_write(&self, addr: Addr, bytes: &[u8]) -> Result<(), HeapError> {
+        self.heap_shard(addr, bytes.len())?.heap_mut().write(addr, bytes)
+    }
+
+    /// Raw `memmove`, routed by endpoint. Same-shard moves delegate to
+    /// the shard heap (overlap-safe); cross-shard moves stage through a
+    /// buffer — the windows are disjoint, so there is no overlap to
+    /// preserve and the two locks can be taken one at a time.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::heap_read_uint`] on either endpoint.
+    pub fn heap_memmove(&self, dst: Addr, src: Addr, len: usize) -> Result<(), HeapError> {
+        let src_i = self.shard_of(src).ok_or(HeapError::Fault { addr: src, len })?;
+        let dst_i = self.shard_of(dst).ok_or(HeapError::Fault { addr: dst, len })?;
+        if src_i == dst_i {
+            return self.shard(src_i).heap_mut().memmove(dst, src, len);
+        }
+        let staged = self.shard(src_i).heap().read(src, len)?.to_vec();
+        self.shard(dst_i).heap_mut().write(dst, &staged)
+    }
+
+    /// Block-boundary check ([`SimHeap::read_in_block`]), routed by
+    /// address — the redzone-mode guard.
+    ///
+    /// [`SimHeap::read_in_block`]: polar_simheap::SimHeap::read_in_block
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfBlock`] for accesses crossing a block boundary,
+    /// plus routing faults.
+    pub fn heap_check_in_block(&self, addr: Addr, len: usize) -> Result<(), HeapError> {
+        self.heap_shard(addr, len)?.heap().read_in_block(addr, len).map(|_| ())
+    }
 }
 
 /// Seed material for thread `t` comes from SplitMix64 stream `t` of the
@@ -746,6 +862,70 @@ mod tests {
         // Streams are disjoint, so threads must not mirror each other.
         assert_ne!(first[0], first[1]);
         assert_ne!(first[1], first[2]);
+    }
+
+    /// Satellite regression for the staged cross-shard copy: the copy
+    /// destination's booby traps must be as live as a same-shard copy's —
+    /// a corrupted dummy canary on the duplicate fires `TrapTriggered` on
+    /// free either way, and the new trap counters fold across shards.
+    #[test]
+    fn cross_shard_memcpy_preserves_trap_detection_parity() {
+        fn corrupt_and_free(rt: &ShardedRuntime, dst: Addr) -> bool {
+            let Some(meta) = rt.object_meta(dst) else {
+                panic!("copy destination must be tracked after olr_memcpy");
+            };
+            let Some(dummy) = meta.plan.dummies().iter().find(|d| d.canary.is_some()) else {
+                // This draw carried no canaried dummy; clean free, retry.
+                rt.olr_free(dst).unwrap();
+                return false;
+            };
+            let slot = dst.offset(u64::from(dummy.offset));
+            // Flip the canary's low byte so the scan cannot miss it.
+            let cur = rt.heap_read_uint(slot, 1).unwrap();
+            rt.heap_write_uint(slot, !cur & 0xFF, 1).unwrap();
+            assert!(
+                matches!(rt.olr_free(dst).unwrap_err(), RuntimeError::TrapTriggered(_)),
+                "corrupted duplicate dummy must trip the free-path trap scan"
+            );
+            true
+        }
+
+        let rt = sharded(4);
+        let info = people();
+        let mut h0 = rt.handle(0);
+        let mut h1 = rt.handle(1);
+        let src = h0.olr_malloc(&info).unwrap();
+        h0.write_field(src, info.hash(), 1, 5).unwrap();
+        let src_shard = (src.0 / rt.shard_span()) as usize;
+
+        for (cross, handle) in [(false, &mut h0), (true, &mut h1)] {
+            let mut proved = false;
+            for _ in 0..64 {
+                let dst = handle.malloc_raw(info.size() as usize + 64).unwrap();
+                assert_eq!(
+                    (dst.0 / rt.shard_span()) as usize != src_shard,
+                    cross,
+                    "destination must be {} the source shard",
+                    if cross { "outside" } else { "inside" }
+                );
+                rt.olr_memcpy(dst, src, &info).unwrap();
+                assert_eq!(rt.read_field(dst, info.hash(), 1).unwrap(), 5);
+                if corrupt_and_free(&rt, dst) {
+                    proved = true;
+                    break;
+                }
+            }
+            assert!(
+                proved,
+                "{}-shard copy: no destination drew a canaried dummy in 64 draws",
+                if cross { "cross" } else { "same" }
+            );
+        }
+
+        let stats = rt.stats();
+        assert!(stats.traps_triggered >= 2, "both paths must have fired: {stats:?}");
+        assert!(stats.dummy_touches >= stats.traps_triggered);
+        assert!(stats.trap_scans >= 2, "free-path sweeps must be counted: {stats:?}");
     }
 
     #[test]

@@ -26,6 +26,19 @@ pub struct RuntimeStats {
     pub mismatch_detected: u64,
     /// Booby-trap canaries found corrupted.
     pub traps_triggered: u64,
+    /// Booby-trap sweeps performed (explicit [`check_traps`] calls plus
+    /// the free-path scan when `check_traps_on_free` is set).
+    ///
+    /// [`check_traps`]: crate::ObjectRuntime::check_traps
+    pub trap_scans: u64,
+    /// Dummy slots found with a corrupted canary, counted per slot across
+    /// all sweeps. `traps_triggered` counts the same events; this counter
+    /// exists so attack evaluations can tell "no sweep ran" apart from
+    /// "sweeps ran and found nothing" together with `trap_scans`.
+    pub dummy_touches: u64,
+    /// Double frees of tracked objects detected (`olr_free` on an object
+    /// already in the freed state).
+    pub double_free_detected: u64,
     /// Distinct layout plans interned (metadata records after dedup).
     pub unique_plans: u64,
     /// Metadata records saved by plan deduplication.
@@ -63,7 +76,7 @@ impl RuntimeStats {
 
     /// Total security detections of any kind.
     pub fn total_detections(&self) -> u64 {
-        self.uaf_detected + self.mismatch_detected + self.traps_triggered
+        self.uaf_detected + self.mismatch_detected + self.traps_triggered + self.double_free_detected
     }
 }
 
@@ -77,6 +90,9 @@ impl AddAssign for RuntimeStats {
         self.uaf_detected += rhs.uaf_detected;
         self.mismatch_detected += rhs.mismatch_detected;
         self.traps_triggered += rhs.traps_triggered;
+        self.trap_scans += rhs.trap_scans;
+        self.dummy_touches += rhs.dummy_touches;
+        self.double_free_detected += rhs.double_free_detected;
         self.unique_plans += rhs.unique_plans;
         self.dedup_saved += rhs.dedup_saved;
         self.shadow_hits += rhs.shadow_hits;
@@ -143,6 +159,9 @@ atomic_stats!(
     uaf_detected,
     mismatch_detected,
     traps_triggered,
+    trap_scans,
+    dummy_touches,
+    double_free_detected,
     unique_plans,
     dedup_saved,
     shadow_hits,

@@ -85,3 +85,14 @@ echo "== bench gate (reduced-iteration, >25% regression fails) =="
 # silently regressing without paying for a full bench run.
 ./target/release/bench_json --gate scripts/bench_baseline_seed.json
 echo "ok: bench gate green"
+
+echo "== security gate (reduced-trial adaptive attacker) =="
+# Reruns the adaptive attack scorecard (3 scenarios x 5 modes) on the
+# quick budget at the pinned gate seed and compares each campaign's
+# bypass/detection rates against scripts/security_baseline.json: fails
+# when any mode's bypass rate climbs more than 10 points above its pin
+# or a detection rate falls more than 10 points below. Regenerate the
+# pin after an intentional defense change with:
+#     ./target/release/security_json --write-pin scripts/security_baseline.json
+./target/release/security_json --gate scripts/security_baseline.json
+echo "ok: security gate green"

@@ -9,6 +9,7 @@ use polar::layout::{
     stateless_perm, stateless_plan, stateless_size_bound, DummyPolicy, EpochKey, LayoutEngine,
     PermuteMode, PoolPolicy, RandomizationPolicy,
 };
+use polar::fuzz::{Campaign, CampaignOptions, CampaignTarget, Feedback, Mutator};
 use polar::prelude::*;
 use polar_check::{
     any, check_with, ensure, ensure_eq, just, one_of, vec as vec_of, Config, Strategy, StrategyExt,
@@ -585,4 +586,109 @@ fn regression_bytes8_i8_pair() {
         };
         check_historical(decl, policy, seed)
     });
+}
+
+/// A pure campaign target for the fuzz-invariant properties below:
+/// success when the tape contains the two-byte sequence `[a, b]`,
+/// near-miss scoring on `a` occurrences, byte values as coverage tokens.
+struct PairTarget {
+    a: u8,
+    b: u8,
+}
+
+impl CampaignTarget for PairTarget {
+    fn execute(&mut self, tape: &[u8]) -> Feedback {
+        Feedback {
+            tokens: tape.iter().map(|&x| u64::from(x)).collect(),
+            score: tape.iter().filter(|&&x| x == self.a).count() as i64,
+            success: tape.windows(2).any(|w| w == [self.a, self.b]),
+        }
+    }
+}
+
+/// Mutation under a fixed seed is byte-for-byte deterministic: two
+/// mutators built from the same seed evolve any starting tape through
+/// the identical sequence of inputs, and two whole campaigns over the
+/// same target replay to identical stats and best tapes.
+#[test]
+fn fuzzing_is_deterministic_under_a_fixed_seed() {
+    let strategy =
+        (any::<u64>(), vec_of(any::<u8>(), 0..32), vec_of(any::<u8>(), 0..16));
+    check_with(
+        cfg(),
+        "fuzzing_is_deterministic_under_a_fixed_seed",
+        &strategy,
+        |(seed, start, splice)| {
+            let mut ma = Mutator::new(*seed, 64);
+            let mut mb = Mutator::new(*seed, 64);
+            let mut ta = start.clone();
+            let mut tb = start.clone();
+            for round in 0..8 {
+                let other =
+                    if round % 2 == 0 { Some(splice.as_slice()) } else { None };
+                ma.mutate(&mut ta, other);
+                mb.mutate(&mut tb, other);
+                ensure_eq!(ta, tb, "mutation diverged at round {round}");
+            }
+
+            let options = CampaignOptions { seed: *seed, max_tape_len: 48 };
+            let mut ca = Campaign::new(PairTarget { a: 0xA5, b: 0x5A }, options);
+            let mut cb = Campaign::new(PairTarget { a: 0xA5, b: 0x5A }, options);
+            for c in [&mut ca, &mut cb] {
+                c.seed_tape(start.clone());
+                c.run(16);
+            }
+            ensure_eq!(ca.stats(), cb.stats());
+            ensure_eq!(ca.best_tape(), cb.best_tape());
+            ensure_eq!(ca.best_success(), cb.best_success());
+            Ok(())
+        },
+    );
+}
+
+/// Minimized tapes reproduce the original campaign outcome: after a
+/// successful campaign, `minimize_success` returns a tape that (a) still
+/// succeeds on a *fresh* target, (b) is no longer than what the search
+/// found, and (c) for this target shrinks to exactly the magic pair —
+/// ddmin plus byte normalization leave nothing extraneous behind.
+#[test]
+fn minimized_tapes_reproduce_the_campaign_outcome() {
+    let strategy = (
+        any::<u8>(),
+        any::<u8>(),
+        vec_of(any::<u8>(), 0..12),
+        vec_of(any::<u8>(), 0..12),
+        any::<u64>(),
+    );
+    check_with(
+        cfg(),
+        "minimized_tapes_reproduce_the_campaign_outcome",
+        &strategy,
+        |(a, b, prefix, suffix, seed)| {
+            let mut campaign = Campaign::new(
+                PairTarget { a: *a, b: *b },
+                CampaignOptions { seed: *seed, max_tape_len: 48 },
+            );
+            let mut tape = prefix.clone();
+            tape.extend_from_slice(&[*a, *b]);
+            tape.extend_from_slice(suffix);
+            let planted_len = tape.len();
+            campaign.seed_tape(tape);
+            campaign.run(24);
+
+            let found =
+                campaign.best_success().expect("planted success tape").to_vec();
+            ensure!(found.len() <= planted_len, "search lost the planted tape");
+            let (minimized, _) = campaign
+                .minimize_success(|t, cand| t.execute(cand).success)
+                .expect("campaign succeeded");
+            ensure!(minimized.len() <= found.len(), "minimization grew the tape");
+            ensure!(
+                PairTarget { a: *a, b: *b }.execute(&minimized).success,
+                "minimized tape no longer reproduces the outcome: {minimized:?}"
+            );
+            ensure_eq!(minimized, vec![*a, *b], "extraneous bytes survived ddmin");
+            Ok(())
+        },
+    );
 }

@@ -2,6 +2,8 @@
 //! end to end.
 
 use polar::attacks::harness::{run_attack, trials, AttackOutcome, Attacker, Defense};
+use polar::attacks::scenarios::ScenarioKind;
+use polar::attacks::search::{run_campaign, CampaignBudget, SecMode};
 use polar::attacks::{cve, diversity, scenarios};
 
 #[test]
@@ -39,6 +41,80 @@ fn claim_i_public_binary_breaks_static_olr_but_not_polar() {
             s.kind.label()
         );
     }
+}
+
+#[test]
+fn all_five_modes_meet_their_detection_contract() {
+    // Every scenario, every runtime mode of the scorecard, one contract
+    // per mode:
+    //   native / static-olr (binary known)  -> deterministic hijack, zero
+    //                                          detections
+    //   polar / sharded                     -> probabilistic bypass only;
+    //                                          corrupting reads (confusion,
+    //                                          UAF) are reliably detected
+    //   polar-stateless                     -> keyed permutation still
+    //                                          breaks determinism; the
+    //                                          metadata checks (not traps)
+    //                                          still catch corruption
+    type Factory = Box<dyn Fn(u64) -> Defense>;
+    let modes: Vec<(&str, Factory)> = vec![
+        ("native", Box::new(|_| Defense::Native)),
+        ("static-olr", Box::new(|_| Defense::StaticOlr { binary_seed: 17 })),
+        ("polar", Box::new(|t| Defense::polar(7000 + t))),
+        ("polar-stateless", Box::new(|t| Defense::polar_stateless(7000 + t))),
+        ("sharded", Box::new(|t| Defense::sharded(7000 + t))),
+    ];
+    for s in scenarios::all() {
+        let corrupting =
+            matches!(s.kind, ScenarioKind::TypeConfusion | ScenarioKind::UseAfterFree);
+        for (label, defense) in &modes {
+            let stats = trials(&s, |t| defense(t), Attacker::BinaryAware, 16);
+            let tag = format!("{}/{label}", s.kind.label());
+            match *label {
+                "native" | "static-olr" => {
+                    assert_eq!(stats.hijacked, 16, "{tag}: {stats}");
+                    assert_eq!(stats.detected, 0, "{tag}: {stats}");
+                }
+                "polar" | "sharded" => {
+                    assert!(stats.hijack_rate() < 0.5, "{tag}: {stats}");
+                    if corrupting {
+                        assert!(stats.detection_rate() > 0.9, "{tag}: {stats}");
+                    }
+                }
+                "polar-stateless" => {
+                    assert!(stats.hijack_rate() < 1.0, "{tag}: {stats}");
+                    if corrupting {
+                        assert!(stats.detection_rate() > 0.9, "{tag}: {stats}");
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_groomer_defeats_static_layouts_but_not_polar() {
+    // The evolved attacker (search loop over allocation/free/spray/probe
+    // tapes) lands the heap groom essentially always against a fixed
+    // layout, and stays probabilistic against per-allocation
+    // randomization — with the booby traps reporting most failed tries.
+    let native = run_campaign("heap-groom", SecMode::Native, CampaignBudget::quick(), 0xCAFE);
+    let olr = run_campaign("heap-groom", SecMode::StaticOlr, CampaignBudget::quick(), 0xCAFE);
+    let polar = run_campaign("heap-groom", SecMode::Polar, CampaignBudget::quick(), 0xCAFE);
+    assert!(native.bypass_rate() > 0.9, "{native:?}");
+    assert!(olr.bypass_rate() > 0.9, "{olr:?}");
+    assert!(polar.bypass_rate() < 0.5, "{polar:?}");
+    assert!(polar.detections > 0, "traps should flag failed grooms: {polar:?}");
+}
+
+#[test]
+fn adaptive_campaigns_replay_byte_identically() {
+    // The whole campaign — search, minimization, evaluation — is a pure
+    // function of (scenario, mode, budget, seed).
+    let a = run_campaign("misaligned-probe", SecMode::PolarStateless, CampaignBudget::quick(), 99);
+    let b = run_campaign("misaligned-probe", SecMode::PolarStateless, CampaignBudget::quick(), 99);
+    assert_eq!(a, b);
 }
 
 #[test]
