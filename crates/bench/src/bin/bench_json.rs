@@ -30,7 +30,11 @@
 //! `ns_per_op` is *aggregate* (wall time ÷ total ops across threads), so
 //! on a multi-core host it drops below the single-thread figure as the
 //! shards scale, and on a single-vCPU host it reports the facade's
-//! serialization cost honestly.
+//! serialization cost honestly. Every entry records the machine's
+//! detected parallelism (`std::thread::available_parallelism`) at
+//! measurement time; the gate refuses to compare an `_mt*` pin measured
+//! on a wider machine than the current one (it prints a skip notice
+//! instead of a meaningless FAIL).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -42,8 +46,15 @@ use polar_ir::interp::{run, ExecLimits};
 use polar_ir::trace::NopTracer;
 use polar_ir::Inst;
 use polar_runtime::{
-    ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig, ShardedRuntime,
+    ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig, ShardedRuntime, SiteCache,
 };
+use polar_workloads::contend::{run_contend, ContendConfig};
+
+/// Hardware threads the OS reports; 1 when detection fails (a container
+/// with no affinity information makes no scaling claims).
+fn detected_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
 
 fn probe() -> Arc<ClassInfo> {
     Arc::new(ClassInfo::from_decl(
@@ -97,6 +108,21 @@ fn entry(
         cache_hit_rate: rt.stats().cache_hit_ratio(),
         metadata_bytes: rt.estimated_metadata_bytes(),
         quick: false,
+        parallelism: detected_parallelism(),
+    }
+}
+
+/// An `_mtN`-style entry over a sharded runtime.
+fn mt_entry(bench: String, ns_per_op: f64, rt: &ShardedRuntime) -> Entry {
+    Entry {
+        snapshot: "current".to_owned(),
+        bench,
+        mode: "polar".to_owned(),
+        ns_per_op,
+        cache_hit_rate: rt.stats().cache_hit_ratio(),
+        metadata_bytes: rt.estimated_metadata_bytes(),
+        quick: false,
+        parallelism: detected_parallelism(),
     }
 }
 
@@ -277,21 +303,143 @@ fn run_benches(quick: bool) -> Vec<Entry> {
                 h.olr_free(a).expect("free");
             }
         });
+        out.push(mt_entry(format!("olr_malloc_free_mt{threads}"), ns, &rt));
+    }
+
+    // The speedup-vs-threads curve: N threads each hammering cached
+    // member access on their own hot object through a per-thread
+    // [`ShardHandle`] with a per-site inline cache — the shape
+    // instrumented GEP sites actually execute (the interpreter calls
+    // `olr_getptr_ic` with a per-site cache from a thread handle). The
+    // handle counts shapes into a plain per-thread sheet (flushed when
+    // it drops, inside the timed region), so the loop carries no
+    // per-op atomic RMW; the reads resolve on the optimistic seqlock
+    // path and adding threads must not serialize on the shard mutexes —
+    // the curve is the evidence (read it next to each row's recorded
+    // `parallelism`).
+    for threads in [1u64, 2, 4, 8] {
+        let rt = ShardedRuntime::new(
+            RandomizeMode::per_allocation(),
+            big_config(),
+            threads.max(2) as usize,
+        );
+        let objs: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut h = rt.handle(t);
+                let obj = h.olr_malloc(&info).expect("alloc");
+                rt.olr_getptr(obj, info.hash(), 1).expect("warm");
+                obj
+            })
+            .collect();
+        let hash = info.hash();
+        let ns = time_mt(quick, threads, 500_000, samples, &|t, n| {
+            let mut h = rt.handle(t);
+            let obj = objs[t as usize];
+            let mut ic = SiteCache::empty();
+            for _ in 0..n {
+                h.olr_getptr_ic(obj, hash, 1, &mut ic).expect("access");
+            }
+        });
+        out.push(mt_entry(format!("olr_getptr_mt{threads}"), ns, &rt));
+    }
+
+    // Same shape through read_field: snapshot + validated heap load.
+    {
+        let threads = 4u64;
+        let rt = ShardedRuntime::new(
+            RandomizeMode::per_allocation(),
+            big_config(),
+            threads as usize,
+        );
+        let objs: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut h = rt.handle(t);
+                let obj = h.olr_malloc(&info).expect("alloc");
+                h.write_field(obj, info.hash(), 1, 42).expect("init");
+                obj
+            })
+            .collect();
+        let hash = info.hash();
+        let ns = time_mt(quick, threads, 500_000, samples, &|t, n| {
+            let mut h = rt.handle(t);
+            let obj = objs[t as usize];
+            for _ in 0..n {
+                h.read_field(obj, hash, 1).expect("read");
+            }
+        });
+        out.push(mt_entry("read_field_mt4".to_owned(), ns, &rt));
+    }
+
+    // Mixed 90/10 read/write contention over one shared object set (the
+    // polar-workloads contend mix): readers race the writers' seqlock
+    // windows, so this row includes genuine retry/fallback traffic.
+    {
+        let threads = 4u64;
+        let ops = if quick { 100 } else { 100_000 };
+        let cfg = ContendConfig {
+            threads,
+            ops_per_thread: ops,
+            write_pct: 10,
+            ..Default::default()
+        };
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..if quick { 1 } else { samples } {
+            let t0 = Instant::now();
+            let report = run_contend(RandomizeMode::per_allocation(), cfg);
+            let dt = t0.elapsed().as_nanos() as f64;
+            best = best.min(dt / (threads * ops) as f64);
+            last = Some(report);
+        }
+        let report = last.expect("contend ran");
         out.push(Entry {
             snapshot: "current".to_owned(),
-            bench: format!("olr_malloc_free_mt{threads}"),
+            bench: "mixed_rw_mt4".to_owned(),
             mode: "polar".to_owned(),
-            ns_per_op: ns,
-            cache_hit_rate: rt.stats().cache_hit_ratio(),
-            metadata_bytes: rt.estimated_metadata_bytes(),
+            ns_per_op: if quick { 0.0 } else { best },
+            cache_hit_rate: report.stats.cache_hit_ratio(),
+            metadata_bytes: report.metadata_bytes,
             quick: false,
+            parallelism: detected_parallelism(),
         });
     }
 
-    // Sharded runtime, 4 threads each hammering cached member access on
-    // their own hot object (one per shard: no lock contention, just the
-    // routing and locking overhead on top of the cached lookup).
-    {
+    out
+}
+
+/// Reduced-iteration timed measurements of the gated hot paths.
+/// Cheaper than `run_benches` (seconds, not minutes) but still real
+/// measurements, unlike `--quick`. Each closure is only invoked when
+/// the gate decides the pin is comparable on this machine.
+fn gate_measurements() -> Vec<(&'static str, Box<dyn FnOnce() -> f64>)> {
+    // Best-of-8 over short loops: cheap (tens of ms total) but stable
+    // enough that scheduler noise doesn't trip the 25% tolerance.
+    let samples = 8;
+
+    let malloc_free = Box::new(move || {
+        let info = probe();
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        time_loop(false, 40_000, samples, || {
+            let a = rt.olr_malloc(&info).expect("alloc");
+            rt.olr_free(a).expect("free");
+        })
+    });
+
+    let getptr_cached = Box::new(move || {
+        let info = probe();
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let obj = rt.olr_malloc(&info).expect("alloc");
+        let hash = info.hash();
+        rt.olr_getptr(obj, hash, 1).expect("warm");
+        time_loop(false, 500_000, samples, || {
+            rt.olr_getptr(obj, hash, 1).expect("access");
+        })
+    });
+
+    // The lock-free read path, same shape as the olr_getptr_mt4 bench
+    // row but with reduced iterations.
+    let getptr_mt4 = Box::new(move || {
+        let info = probe();
         let threads = 4u64;
         let rt = ShardedRuntime::new(
             RandomizeMode::per_allocation(),
@@ -307,54 +455,33 @@ fn run_benches(quick: bool) -> Vec<Entry> {
             })
             .collect();
         let hash = info.hash();
-        let ns = time_mt(quick, threads, 500_000, samples, &|t, n| {
+        // Full bench-row iteration count and double the samples: at
+        // reduced iterations the thread spawn/join overhead dominates
+        // the ~8 ns op, and on a shared single-vCPU host whole samples
+        // get stolen by ambient load — best-of-16 only needs one clean
+        // window to measure the true cost.
+        time_mt(false, threads, 500_000, samples * 2, &|t, n| {
+            let mut h = rt.handle(t);
             let obj = objs[t as usize];
+            let mut ic = SiteCache::empty();
             for _ in 0..n {
-                rt.olr_getptr(obj, hash, 1).expect("access");
+                h.olr_getptr_ic(obj, hash, 1, &mut ic).expect("access");
             }
-        });
-        out.push(Entry {
-            snapshot: "current".to_owned(),
-            bench: "olr_getptr_mt4".to_owned(),
-            mode: "polar".to_owned(),
-            ns_per_op: ns,
-            cache_hit_rate: rt.stats().cache_hit_ratio(),
-            metadata_bytes: rt.estimated_metadata_bytes(),
-            quick: false,
-        });
-    }
-
-    out
-}
-
-/// Reduced-iteration timed measurement of the two gated hot paths.
-/// Cheaper than `run_benches` (seconds, not minutes) but still a real
-/// measurement, unlike `--quick`.
-fn gate_measurements() -> Vec<(&'static str, f64)> {
-    let info = probe();
-    // Best-of-8 over short loops: cheap (tens of ms total) but stable
-    // enough that scheduler noise doesn't trip the 25% tolerance.
-    let samples = 8;
-
-    let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
-    let malloc_free = time_loop(false, 40_000, samples, || {
-        let a = rt.olr_malloc(&info).expect("alloc");
-        rt.olr_free(a).expect("free");
+        })
     });
 
-    let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
-    let obj = rt.olr_malloc(&info).expect("alloc");
-    let hash = info.hash();
-    rt.olr_getptr(obj, hash, 1).expect("warm");
-    let getptr_cached = time_loop(false, 500_000, samples, || {
-        rt.olr_getptr(obj, hash, 1).expect("access");
-    });
-
-    vec![("olr_malloc_free", malloc_free), ("olr_getptr_cached", getptr_cached)]
+    vec![
+        ("olr_malloc_free", malloc_free as Box<dyn FnOnce() -> f64>),
+        ("olr_getptr_cached", getptr_cached),
+        ("olr_getptr_mt4", getptr_mt4),
+    ]
 }
 
-/// `--gate FILE`: fail (exit 1) if either gated bench regresses >25%
-/// against the fastest pinned polar-mode entry for it in FILE.
+/// `--gate FILE`: fail (exit 1) if any gated bench regresses >25%
+/// against the fastest pinned polar-mode entry for it in FILE. A pin
+/// measured with more hardware parallelism than this machine detects is
+/// skipped with a notice — an `_mt*` scaling claim from a wider box
+/// cannot be honestly re-checked on a narrower one.
 fn run_gate(pin_path: &str) -> i32 {
     const TOLERANCE: f64 = 1.25;
     let text = match std::fs::read_to_string(pin_path) {
@@ -365,21 +492,31 @@ fn run_gate(pin_path: &str) -> i32 {
         }
     };
     let pins = parse_entries(&text, "pinned");
+    let here = detected_parallelism();
     let mut failed = false;
-    for (bench, measured) in gate_measurements() {
+    for (bench, measure) in gate_measurements() {
         let pinned = pins
             .iter()
             .filter(|e| e.bench == bench && e.mode == "polar" && e.ns_per_op > 0.0)
-            .map(|e| e.ns_per_op)
-            .fold(f64::INFINITY, f64::min);
-        if !pinned.is_finite() {
+            .min_by(|a, b| a.ns_per_op.total_cmp(&b.ns_per_op));
+        let Some(pin) = pinned else {
             eprintln!("gate: no pinned polar entry for {bench} in {pin_path}, skipping");
             continue;
+        };
+        if pin.parallelism > here {
+            eprintln!(
+                "gate: {bench}: pin measured with parallelism {}, this machine \
+                 detects {here} — skipping (scaling claim not comparable)",
+                pin.parallelism
+            );
+            continue;
         }
-        let limit = pinned * TOLERANCE;
+        let measured = measure();
+        let limit = pin.ns_per_op * TOLERANCE;
         let verdict = if measured > limit { "FAIL" } else { "ok" };
         eprintln!(
-            "gate: {bench}: {measured:.2} ns/op (pinned {pinned:.2}, limit {limit:.2}) {verdict}"
+            "gate: {bench}: {measured:.2} ns/op (pinned {:.2}, limit {limit:.2}) {verdict}",
+            pin.ns_per_op
         );
         if measured > limit {
             failed = true;
@@ -514,8 +651,8 @@ fn main() {
     buf.push_str("{\n");
     let _ = writeln!(
         buf,
-        "  \"schema\": \"polar-bench/runtime-ops/v1 \
-         {{bench, mode, ns_per_op, cache_hit_rate, metadata_bytes}}\","
+        "  \"schema\": \"polar-bench/runtime-ops/v2 \
+         {{bench, mode, ns_per_op, cache_hit_rate, metadata_bytes, quick, parallelism}}\","
     );
     let _ = writeln!(buf, "  \"quick\": {quick},");
     match speedup {

@@ -31,6 +31,14 @@ pub struct Entry {
     /// True when the row came from a `--quick` run: the bench body was
     /// executed but not timed, so `ns_per_op` carries no information.
     pub quick: bool,
+    /// Hardware parallelism detected when the row was measured
+    /// (`std::thread::available_parallelism`). Multi-thread rows only
+    /// make scaling claims at or below this count; the regression gate
+    /// skips a pinned `_mt*` row when the current machine detects less
+    /// parallelism than the pin was measured with. Rows written before
+    /// the field existed parse as 1 — the weakest claim, so legacy
+    /// single-thread pins still gate everywhere.
+    pub parallelism: usize,
 }
 
 /// Escape a string for embedding in a JSON string literal.
@@ -49,14 +57,15 @@ pub fn write_entries(buf: &mut String, entries: &[Entry]) {
             buf,
             "    {{\"snapshot\": \"{}\", \"bench\": \"{}\", \"mode\": \"{}\", \
              \"ns_per_op\": {:.2}, \"cache_hit_rate\": {}, \"metadata_bytes\": {}, \
-             \"quick\": {}}}",
+             \"quick\": {}, \"parallelism\": {}}}",
             json_escape(&e.snapshot),
             json_escape(&e.bench),
             json_escape(&e.mode),
             e.ns_per_op,
             hit,
             e.metadata_bytes,
-            e.quick
+            e.quick,
+            e.parallelism
         );
         buf.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -106,6 +115,7 @@ pub fn parse_entries(text: &str, default_snapshot: &str) -> Vec<Entry> {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
             quick: field("quick").is_some_and(|v| v == "true"),
+            parallelism: field("parallelism").and_then(|v| v.parse().ok()).unwrap_or(1),
         });
     }
     out
@@ -135,14 +145,18 @@ mod tests {
             cache_hit_rate: if quick { None } else { Some(0.75) },
             metadata_bytes: 4096,
             quick,
+            parallelism: 1,
         }
     }
 
     #[test]
     fn entries_round_trip_through_json() {
+        let mut mt = row("lockfree", "olr_getptr_mt4", 9.8, false);
+        mt.parallelism = 4;
         let entries = vec![
             row("seed", "olr_malloc_free", 118.9, false),
             row("current", "olr_getptr_cached", 0.0, true),
+            mt,
         ];
         let mut buf = String::new();
         write_entries(&mut buf, &entries);
@@ -158,6 +172,40 @@ mod tests {
         let parsed = parse_entries(legacy, "seed");
         assert_eq!(parsed.len(), 1);
         assert!(!parsed[0].quick, "pre-tag rows must count as measurements");
+        assert_eq!(
+            parsed[0].parallelism, 1,
+            "pre-field rows were single-threaded: default to the weakest claim"
+        );
+    }
+
+    #[test]
+    fn merge_keeps_legacy_single_thread_rows_beside_mt_rows() {
+        // A new "lockfree" full run must evict only its own label; the
+        // legacy rows (no parallelism field, parsed as 1) under other
+        // labels survive untouched next to the freshly stamped mt rows.
+        let legacy = parse_entries(
+            "{\"snapshot\": \"sharded\", \"bench\": \"olr_getptr_cached\", \
+             \"mode\": \"polar\", \"ns_per_op\": 8.44, \
+             \"cache_hit_rate\": null, \"metadata_bytes\": 0, \"quick\": false}",
+            "sharded",
+        );
+        let mut stale = row("lockfree", "olr_getptr_mt4", 23.45, false);
+        stale.parallelism = 4;
+        let mut prior = legacy;
+        prior.push(stale);
+
+        let mut kept = retain_prior(prior, "lockfree", false);
+        assert_eq!(kept.len(), 1, "the stale lockfree row is evicted");
+        assert_eq!(kept[0].snapshot, "sharded");
+        assert_eq!(kept[0].parallelism, 1);
+
+        let mut fresh = row("lockfree", "olr_getptr_mt4", 9.8, false);
+        fresh.parallelism = 8;
+        kept.push(fresh);
+        let mut buf = String::new();
+        write_entries(&mut buf, &kept);
+        let reread = parse_entries(&buf, "fallback");
+        assert_eq!(reread, kept, "mixed legacy + mt rows round-trip");
     }
 
     #[test]

@@ -52,12 +52,14 @@ mod intern;
 mod plan;
 mod policy;
 mod pool;
+mod registry;
 mod static_olr;
 mod stateless;
 
 pub use engine::LayoutEngine;
 pub use intern::PlanInterner;
 pub use plan::{DummySlot, FieldAccess, LayoutPlan, PlanHash};
+pub use registry::PlanRegistry;
 pub use policy::{DummyPolicy, PermuteMode, RandomizationPolicy};
 pub use pool::{DrawMode, PlanPools, PoolPolicy, PoolStats};
 pub use static_olr::StaticOlrTable;

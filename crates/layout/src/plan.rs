@@ -232,6 +232,7 @@ impl LayoutPlan {
     }
 
     /// Content hash for interning.
+    #[inline]
     pub fn plan_hash(&self) -> PlanHash {
         self.hash
     }

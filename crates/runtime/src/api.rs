@@ -267,7 +267,7 @@ impl PolarRuntime for ObjectRuntime {
     }
 
     fn heap_check_in_block(&self, addr: Addr, len: usize) -> Result<(), HeapError> {
-        self.heap().read_in_block(addr, len).map(|_| ())
+        self.heap().check_in_block(addr, len)
     }
 }
 

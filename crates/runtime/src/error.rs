@@ -62,6 +62,13 @@ pub enum RuntimeError {
     DoubleFree(Addr),
     /// An underlying simulated-heap failure.
     Heap(HeapError),
+    /// The shard's mutex was poisoned by a panicking thread: the shard
+    /// is degraded (its objects unreachable through the facade) but the
+    /// caller — and every other shard — keeps running.
+    ShardPoisoned {
+        /// Index of the degraded shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -83,6 +90,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::TrapTriggered(report) => write!(f, "{report}"),
             RuntimeError::DoubleFree(addr) => write!(f, "double free of object {addr}"),
             RuntimeError::Heap(e) => write!(f, "heap error: {e}"),
+            RuntimeError::ShardPoisoned { shard } => {
+                write!(f, "shard {shard} poisoned by a panicking thread")
+            }
         }
     }
 }

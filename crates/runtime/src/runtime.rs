@@ -1,13 +1,14 @@
 //! The object runtime: shadow-index metadata, offset cache, and the four
 //! instrumented entry points.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use polar_classinfo::{ClassHash, ClassInfo};
 use polar_layout::{
     stateless_plan, stateless_size_bound, EpochKey, FieldAccess, LayoutEngine, LayoutPlan,
-    PlanHash, PlanInterner, PlanPools, PoolPolicy, RandomizationPolicy, StaticOlrTable,
-    STATELESS_MAX_FIELDS,
+    PlanHash, PlanInterner, PlanPools, PlanRegistry, PoolPolicy, RandomizationPolicy,
+    StaticOlrTable, STATELESS_MAX_FIELDS,
 };
 use polar_rng::{BufferedRng, Rng, SeedableRng, SplitMix64};
 use polar_simheap::{Addr, HeapConfig, SimHeap, Slab};
@@ -182,6 +183,17 @@ impl Default for ShadowSlot {
     }
 }
 
+/// Publication plumbing for a runtime whose heap mirrors metadata to
+/// lock-free readers: the process-wide plan registry (plans resolvable
+/// by small integer id without a lock) plus a per-runtime cache of ids
+/// already interned, so steady-state allocation does not touch the
+/// registry mutex at all.
+#[derive(Debug)]
+struct MetaPublisher {
+    registry: Arc<PlanRegistry>,
+    ids: HashMap<PlanHash, u32>,
+}
+
 /// Source field bytes staged for an object copy: the packed contents of
 /// every field, plus each field's start offset in the packed buffer.
 /// Produced by [`ObjectRuntime::stage_fields`], consumed by
@@ -220,12 +232,61 @@ pub struct SiteCache {
     plan: PlanHash,
     offset: u32,
     width: u8,
+    /// Last base address this site resolved (slot hint key).
+    last_base: u64,
+    /// Published slot id `last_base` resolved to. Purely a hint: the
+    /// lock-free path re-validates the snapshot's `base` (and the rest
+    /// of the seqlock-guarded metadata), so a stale hint costs one
+    /// wasted slot probe and falls back to the full unit-index walk.
+    last_slot: u32,
 }
 
 impl SiteCache {
     /// An empty (never-filled) site cache.
     pub const fn empty() -> Self {
-        SiteCache { filled: false, class: ClassHash(0), plan: PlanHash(0), offset: 0, width: 8 }
+        SiteCache {
+            filled: false,
+            class: ClassHash(0),
+            plan: PlanHash(0),
+            offset: 0,
+            width: 8,
+            last_base: 0,
+            last_slot: 0,
+        }
+    }
+
+    /// The published slot this site last resolved `base` to, if the
+    /// hint is for exactly this base.
+    #[inline]
+    pub(crate) fn slot_hint(&self, base: u64) -> Option<u32> {
+        (self.last_base == base).then_some(self.last_slot)
+    }
+
+    /// Remember which published slot `base` resolved to.
+    #[inline]
+    pub(crate) fn note_slot(&mut self, base: u64, slot: u32) {
+        self.last_base = base;
+        self.last_slot = slot;
+    }
+
+    /// The cached `(offset, width)` if the cache pins exactly this
+    /// `(class, plan)` pair — the same predicate the locked path's
+    /// inline-cache branch uses, exposed for the lock-free read path.
+    #[inline]
+    pub(crate) fn lookup(&self, expected: ClassHash, plan: PlanHash) -> Option<(u32, u8)> {
+        (self.filled && self.class == expected && self.plan == plan)
+            .then_some((self.offset, self.width))
+    }
+
+    /// Pin a resolution, as the locked path does after a full lookup.
+    /// Keeps the slot hint: pin happens on plan churn, not base churn.
+    #[inline]
+    pub(crate) fn pin(&mut self, class: ClassHash, plan: PlanHash, offset: u32, width: u8) {
+        self.filled = true;
+        self.class = class;
+        self.plan = plan;
+        self.offset = offset;
+        self.width = width;
     }
 }
 
@@ -261,6 +322,11 @@ pub struct ObjectRuntime {
     rng: BufferedRng,
     stats: RuntimeStats,
     config: RuntimeConfig,
+    /// `Some` when this runtime mirrors metadata for lock-free readers
+    /// (a shard of a published [`ShardedRuntime`](crate::ShardedRuntime));
+    /// `None` for plain single-threaded runtimes, whose behavior is
+    /// byte-for-byte unchanged.
+    publish: Option<MetaPublisher>,
 }
 
 impl ObjectRuntime {
@@ -289,7 +355,22 @@ impl ObjectRuntime {
             rng: BufferedRng::seed_from_u64(config.seed),
             stats: RuntimeStats::default(),
             config,
+            publish: None,
         }
+    }
+
+    /// A runtime over a *published* heap: block and object metadata are
+    /// mirrored into seqlocked publication slots, and plans are interned
+    /// into `registry` so lock-free readers can resolve them by id.
+    pub(crate) fn new_published(
+        mode: RandomizeMode,
+        config: RuntimeConfig,
+        registry: Arc<PlanRegistry>,
+    ) -> Self {
+        let mut rt = Self::new(mode, config);
+        rt.heap = SimHeap::new_published(config.heap);
+        rt.publish = Some(MetaPublisher { registry, ids: HashMap::new() });
+        rt
     }
 
     /// The runtime's mode.
@@ -338,6 +419,23 @@ impl ObjectRuntime {
                 _ => Probe::Miss,
             },
             None => Probe::Miss,
+        }
+    }
+
+    /// Report whether the object's offset-cache entry was already warm,
+    /// warming it as a side effect. On a published heap the publication
+    /// slot is the single authority — shared with the lock-free read
+    /// path, so both paths agree on which access is the cold one —
+    /// falling back to the shadow flag for uncovered slots.
+    #[inline]
+    fn warm_probe(heap: &SimHeap, slot: &mut ShadowSlot, idx: usize) -> bool {
+        match heap.publisher() {
+            Some(p) if p.covers(idx as u32) => p.warm_probe(idx as u32),
+            _ => {
+                let was = slot.warmed;
+                slot.warmed = true;
+                was
+            }
         }
     }
 
@@ -456,8 +554,19 @@ impl ObjectRuntime {
         plan: Arc<LayoutPlan>,
     ) -> Result<Addr, RuntimeError> {
         let base = self.heap.malloc(plan.size().max(1) as usize)?;
-        self.seed_canaries(base, &plan)?;
-        self.record_object(base, Arc::clone(info), plan);
+        let (slot, _) =
+            self.heap.slot_gen(base).expect("base is a block the heap just returned");
+        // One writer window spans canary seeding and the metadata
+        // mirror: a lock-free reader either sees the slot's previous
+        // record (whose meta generation no longer matches) or the
+        // complete new one — never a half-recorded object.
+        let win = self.heap.pub_open(slot);
+        let seeded = self.seed_canaries(base, &plan);
+        if seeded.is_ok() {
+            self.record_object(base, Arc::clone(info), plan);
+        }
+        self.heap.pub_close(slot, win);
+        seeded?;
         self.stats.allocations += 1;
         Ok(base)
     }
@@ -477,7 +586,9 @@ impl ObjectRuntime {
         let plan = stateless_plan(info, self.epoch_key, generation, slot);
         let plan = self.interner.intern(plan);
         // Derived plans are permute-only: no canaries to seed.
+        let win = self.heap.pub_open(slot);
         self.record_object(base, Arc::clone(info), plan);
+        self.heap.pub_close(slot, win);
         self.stats.allocations += 1;
         Ok(base)
     }
@@ -489,16 +600,35 @@ impl ObjectRuntime {
     fn record_object(&mut self, base: Addr, class: Arc<ClassInfo>, plan: Arc<LayoutPlan>) {
         let (slot, block_gen) =
             self.heap.slot_gen(base).expect("base is a block the heap just returned");
+        let plan_id = self.publish_plan_id(&plan);
+        let (class_hash, plan_hash) = (class.hash(), plan.plan_hash());
         let entry = self.shadow.ensure(slot as usize);
         if entry.meta.is_none() {
             self.meta_count += 1;
         }
         let generation = entry.meta.as_ref().map_or(0, |m| m.generation) + 1;
-        entry.class_hash = class.hash();
-        entry.plan_hash = plan.plan_hash();
+        entry.class_hash = class_hash;
+        entry.plan_hash = plan_hash;
         entry.block_gen = block_gen;
         entry.warmed = false;
         entry.meta = Some(ObjectMeta { class, plan, state: ObjectState::Live, generation });
+        if let Some(p) = self.heap.publisher() {
+            // Callers hold the slot's writer window open across this.
+            p.mirror_record(slot, class_hash.0, plan_hash.0, plan_id, block_gen);
+        }
+    }
+
+    /// Registry id for `plan` on a published runtime (interning it on
+    /// first sight and caching per runtime); `None` when unpublished or
+    /// the registry is full — readers then fall back to the lock.
+    fn publish_plan_id(&mut self, plan: &Arc<LayoutPlan>) -> Option<u32> {
+        let publish = self.publish.as_mut()?;
+        if let Some(&id) = publish.ids.get(&plan.plan_hash()) {
+            return Some(id);
+        }
+        let id = publish.registry.intern(plan)?;
+        publish.ids.insert(plan.plan_hash(), id);
+        Some(id)
     }
 
     fn seed_canaries(&mut self, base: Addr, plan: &LayoutPlan) -> Result<(), RuntimeError> {
@@ -553,6 +683,14 @@ impl ObjectRuntime {
         slot.meta.as_mut().expect("probe hit carries metadata").state = ObjectState::Freed;
         // The offset-cache entry dies with the object.
         slot.warmed = false;
+        // Mirror the state flip before releasing the block, inside its
+        // own writer window: a lock-free reader sees LIVE (old record)
+        // or FREED, never the torn in-between.
+        let win = self.heap.pub_open(idx as u32);
+        if let Some(p) = self.heap.publisher() {
+            p.mirror_free(idx as u32);
+        }
+        self.heap.pub_close(idx as u32, win);
         self.heap.free(base)?;
         self.stats.frees += 1;
         Ok(())
@@ -639,10 +777,8 @@ impl ObjectRuntime {
                     self.stats.site_ic_hits += 1;
                     // Keep the Section V-B counter's semantics: the first
                     // access warms the per-object entry, later ones hit.
-                    if slot.warmed {
+                    if Self::warm_probe(&self.heap, slot, idx) {
                         self.stats.cache_hits += 1;
-                    } else {
-                        slot.warmed = true;
                     }
                     return Ok((base.offset(site.offset as u64), site.width as usize));
                 }
@@ -659,12 +795,10 @@ impl ObjectRuntime {
         // With UAF detection disabled a freed object's access falls
         // through to the retained plan, exactly like an uninstrumented
         // dangling dereference.
-        if self.config.offset_cache && state == ObjectState::Live {
-            if slot.warmed {
-                self.stats.cache_hits += 1;
-            } else {
-                slot.warmed = true;
-            }
+        if self.config.offset_cache && state == ObjectState::Live
+            && Self::warm_probe(&self.heap, slot, idx)
+        {
+            self.stats.cache_hits += 1;
         }
         let actual = slot.class_hash;
         let plan_hash = slot.plan_hash;
@@ -675,13 +809,7 @@ impl ObjectRuntime {
             Self::resolve(&self.config, &mut self.stats, base, actual, &meta.plan, expected, field)?;
         if let Some(site) = ic {
             if self.config.offset_cache && state == ObjectState::Live && actual == expected {
-                *site = SiteCache {
-                    filled: true,
-                    class: expected,
-                    plan: plan_hash,
-                    offset: access.offset,
-                    width: access.width,
-                };
+                site.pin(expected, plan_hash, access.offset, access.width);
             }
         }
         Ok((addr, access.width as usize))
@@ -787,7 +915,7 @@ impl ObjectRuntime {
             let size = src_plan.field_size(field) as usize;
             let from = src.offset(src_plan.offset(field) as u64);
             starts.push(bytes.len());
-            bytes.extend_from_slice(self.heap.read(from, size)?);
+            self.heap.read_into(from, size, &mut bytes)?;
         }
         Ok(StagedFields { bytes, starts })
     }
@@ -833,15 +961,25 @@ impl ObjectRuntime {
         };
 
         // Field-by-field translation between the two plans, all reads
-        // already behind us in the scratch buffer.
-        for field in 0..src_plan.field_count() {
-            let size = src_plan.field_size(field) as usize;
-            let to = dst.offset(dst_plan.offset(field) as u64);
-            self.heap.write(to, &staged.bytes[staged.starts[field]..][..size])?;
+        // already behind us in the scratch buffer. One writer window
+        // spans the field stores, canaries and the metadata mirror, so
+        // a lock-free reader never observes a half-installed copy.
+        let dst_slot = self.heap.slot_gen(dst).map(|(s, _)| s);
+        let win = dst_slot.and_then(|s| self.heap.pub_open(s));
+        let installed = (|| {
+            for field in 0..src_plan.field_count() {
+                let size = src_plan.field_size(field) as usize;
+                let to = dst.offset(dst_plan.offset(field) as u64);
+                self.heap.write(to, &staged.bytes[staged.starts[field]..][..size])?;
+            }
+            self.seed_canaries(dst, &dst_plan)?;
+            self.record_object(dst, info, dst_plan);
+            Ok(())
+        })();
+        if let Some(slot) = dst_slot {
+            self.heap.pub_close(slot, win);
         }
-        self.seed_canaries(dst, &dst_plan)?;
-        self.record_object(dst, info, dst_plan);
-        Ok(())
+        installed
     }
 
     fn plan_fitting(
@@ -895,7 +1033,16 @@ impl ObjectRuntime {
         value: u64,
     ) -> Result<(), RuntimeError> {
         let (addr, width) = self.getptr_core(base, expected, field, None)?;
-        Ok(self.heap.write_uint(addr, value, width)?)
+        // Bump the object's seqlock around the store so a concurrent
+        // lock-free `read_field` retries instead of returning a torn
+        // mix of old and new bytes.
+        let slot = self.heap.slot_gen(base).map(|(s, _)| s);
+        let win = slot.and_then(|s| self.heap.pub_open(s));
+        let wrote = self.heap.write_uint(addr, value, width);
+        if let Some(slot) = slot {
+            self.heap.pub_close(slot, win);
+        }
+        Ok(wrote?)
     }
 
     /// Sweep the object's booby traps, returning every corrupted canary

@@ -24,19 +24,38 @@
 //!   an [`AtomicRuntimeStats`] with relaxed adds;
 //!   [`ShardedRuntime::stats`] combines that snapshot with each shard's
 //!   counters read under the shard lock.
+//! * **Lock-free reads.** Every shard's heap is *published*
+//!   ([`SimHeap::new_published`](polar_simheap::SimHeap::new_published)):
+//!   block identity and object metadata are mirrored into per-slot
+//!   seqlocked publication slots, plans are interned into a shared
+//!   [`PlanRegistry`] resolvable by integer id, and
+//!   [`ShardedRuntime::olr_getptr`], [`ShardedRuntime::olr_getptr_ic`]
+//!   and [`ShardedRuntime::read_field`] first attempt the access with
+//!   **no lock at all**: snapshot the slot, validate
+//!   `(base, live, generation, class)`, resolve the field through the
+//!   registry plan, and — for `read_field` — load the value from the
+//!   shared arena and re-check the sequence. Any condition the fast
+//!   path cannot classify (a miss, a detection, a contended writer
+//!   window after a few retries, an unpublished slot) falls back to the
+//!   shard mutex, whose path does all of its own counting and error
+//!   construction; the fast path therefore only ever *adds* the
+//!   success-shape counters, keeping the two paths' statistics
+//!   semantics identical.
 //!
 //! Handles round-robin their **home shard** (`thread % shards`) for
 //! allocations; accesses to any address still work from any thread
 //! because routing is by address, not by handle.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use polar_classinfo::{ClassHash, ClassInfo};
 use polar_layout::{
-    LayoutEngine, PlanInterner, PlanPools, RandomizationPolicy, STATELESS_MAX_FIELDS,
+    LayoutEngine, PlanHash, PlanInterner, PlanPools, PlanRegistry, RandomizationPolicy,
+    STATELESS_MAX_FIELDS,
 };
 use polar_rng::{BufferedRng, Rng, SeedableRng, SplitMix64, Xoshiro256StarStar};
-use polar_simheap::{Addr, HeapError};
+use polar_simheap::{Addr, HeapError, HeapPublisher, SnapshotOutcome, PUB_STATE_LIVE};
 
 use crate::error::RuntimeError;
 use crate::runtime::{ObjectMeta, ObjectRuntime, RandomizeMode, RuntimeConfig, SiteCache};
@@ -52,6 +71,76 @@ const MIN_SHARD_CAPACITY: usize = 4096;
 /// unsalted root.
 const SHARD_SEED_SALT: u64 = 0x5348_4152; // "SHAR"
 
+/// Optimistic snapshot attempts before an access gives up on the
+/// seqlock and takes the shard mutex. Writer windows are a handful of
+/// relaxed stores, so a couple of spins almost always suffice; the cap
+/// bounds reader latency when a writer is descheduled mid-window.
+const FAST_RETRIES: usize = 8;
+
+// Shape indices for the per-shard lock-free counters: `_COLD` is the
+// object's first counted access since its record was (re)written, the
+// `+ 1` "warm" sibling is every later one (the offset-cache hit).
+const SHAPE_PLAIN_COLD: usize = 0;
+const SHAPE_IC_HIT_COLD: usize = 2;
+const SHAPE_IC_MISS_COLD: usize = 4;
+const SHAPE_FALLBACK: usize = 6;
+
+/// Per-shard success/fallback counters for the lock-free read path, on
+/// their own cache line so hot shards do not false-share. One relaxed
+/// `fetch_add` per fast access; [`FastCounters::fold_into`] expands the
+/// shapes into the ordinary [`RuntimeStats`] columns with exactly the
+/// locked path's semantics.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct FastCounters([AtomicU64; 8]);
+
+impl FastCounters {
+    #[inline]
+    fn bump(&self, shape: usize) {
+        self.0[shape].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a handle's plain pending sheet in (one `fetch_add` per
+    /// non-zero shape, instead of one per operation).
+    fn bump_many(&self, pending: &[u64; 8]) {
+        for (cell, &n) in self.0.iter().zip(pending) {
+            if n != 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn fold_into(&self, total: &mut RuntimeStats) {
+        let c: Vec<u64> = self.0.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let hits: u64 = c[..6].iter().sum();
+        // Every fast success is a member access served from the
+        // (published mirror of the) shadow index; warm shapes are
+        // offset-cache hits and the ic shapes feed the site-cache
+        // columns — the same accounting getptr_core does under the lock.
+        total.member_accesses += hits;
+        total.shadow_hits += hits;
+        total.cache_hits += c[SHAPE_PLAIN_COLD + 1] + c[SHAPE_IC_HIT_COLD + 1] + c[SHAPE_IC_MISS_COLD + 1];
+        total.site_ic_hits += c[SHAPE_IC_HIT_COLD] + c[SHAPE_IC_HIT_COLD + 1];
+        total.site_ic_misses += c[SHAPE_IC_MISS_COLD] + c[SHAPE_IC_MISS_COLD + 1];
+        total.lockfree_reads += hits;
+        total.lockfree_fallbacks += c[SHAPE_FALLBACK];
+    }
+}
+
+/// Outcome of one optimistic snapshot-and-resolve attempt.
+enum FastAttempt {
+    /// Resolved: `addr`/`width` are the access, `(slot, seq)` validate
+    /// any later arena load, `shape` is the cold shape index to count
+    /// (the commit adds the warm bit), `warmed` is the published warm
+    /// flag at snapshot time (a `true` skips the commit's probe-and-set).
+    Hit { addr: Addr, width: usize, slot: u32, seq: u64, shape: usize, warmed: bool },
+    /// A condition the fast path does not classify (miss, detection,
+    /// unpublished slot): take the mutex, which owns those outcomes.
+    Fallback,
+    /// A writer window overlapped the snapshot: worth retrying.
+    Contended,
+}
+
 /// A thread-safe POLaR runtime: N address-partitioned [`ObjectRuntime`]
 /// shards behind striped locks, shared by reference across threads.
 ///
@@ -61,8 +150,21 @@ const SHARD_SEED_SALT: u64 = 0x5348_4152; // "SHAR"
 #[derive(Debug)]
 pub struct ShardedRuntime {
     shards: Vec<Mutex<ObjectRuntime>>,
+    /// Each shard's publication side-table (same index as `shards`),
+    /// readable without the shard's mutex.
+    pubs: Vec<Arc<HeapPublisher>>,
+    /// Shared plan storage for published metadata: readers resolve the
+    /// small ids carried by publication slots here, lock-free.
+    registry: Arc<PlanRegistry>,
+    /// Per-shard lock-free read counters (same index as `shards`).
+    fast: Vec<FastCounters>,
     /// Arena bytes per shard; shard of `addr` = `addr / span`.
     span: u64,
+    /// `log2(span)` when the span is a power of two, letting the
+    /// per-access routing divide be a shift (the common case: capacities
+    /// and shard counts are powers of two in practice, and a 64-bit
+    /// divide is tens of cycles on the read hot path).
+    span_shift: Option<u32>,
     mode: RandomizeMode,
     config: RuntimeConfig,
     /// Handle-side counters (pool hits/refills, interner dedup) folded in
@@ -95,7 +197,9 @@ impl ShardedRuntime {
             config.heap.capacity,
             shards
         );
-        let shards = (0..shards)
+        let registry = Arc::new(PlanRegistry::new());
+        let mut pubs = Vec::with_capacity(shards);
+        let shards: Vec<Mutex<ObjectRuntime>> = (0..shards)
             .map(|i| {
                 let mut shard_config = config;
                 shard_config.heap.capacity = per;
@@ -104,10 +208,26 @@ impl ShardedRuntime {
                 // (plan fitting, unpooled draws, epoch keys) independent.
                 shard_config.seed =
                     SplitMix64::stream(config.seed ^ SHARD_SEED_SALT, i as u64).next_u64();
-                Mutex::new(ObjectRuntime::new(mode, shard_config))
+                let rt =
+                    ObjectRuntime::new_published(mode, shard_config, Arc::clone(&registry));
+                pubs.push(Arc::clone(
+                    rt.heap().publisher().expect("published heaps carry a publisher"),
+                ));
+                Mutex::new(rt)
             })
             .collect();
-        ShardedRuntime { shards, span: per as u64, mode, config, facade: AtomicRuntimeStats::new() }
+        let fast = (0..shards.len()).map(|_| FastCounters::default()).collect();
+        ShardedRuntime {
+            shards,
+            pubs,
+            registry,
+            fast,
+            span: per as u64,
+            span_shift: (per as u64).is_power_of_two().then(|| per.trailing_zeros()),
+            mode,
+            config,
+            facade: AtomicRuntimeStats::new(),
+        }
     }
 
     /// The runtime's mode.
@@ -150,29 +270,251 @@ impl ShardedRuntime {
             rng: thread_rng(self.config.seed, thread),
             flushed_unique: 0,
             flushed_dedup: 0,
+            sheet: vec![[0u64; 8]; self.shards.len()].into_boxed_slice(),
         }
     }
 
     /// The shard owning `addr`, or `None` for null and out-of-window
     /// addresses.
+    #[inline]
     fn shard_of(&self, addr: Addr) -> Option<usize> {
         if addr.is_null() {
             return None;
         }
-        let i = (addr.0 / self.span) as usize;
+        let i = match self.span_shift {
+            Some(shift) => (addr.0 >> shift) as usize,
+            None => (addr.0 / self.span) as usize,
+        };
         (i < self.shards.len()).then_some(i)
     }
 
-    fn shard(&self, i: usize) -> MutexGuard<'_, ObjectRuntime> {
-        self.shards[i].lock().expect("shard lock poisoned by a panicking thread")
+    /// Lock shard `i`, converting a poisoned mutex into
+    /// [`RuntimeError::ShardPoisoned`] instead of panicking: a thread
+    /// that died inside one shard degrades that shard, not the process.
+    fn shard(&self, i: usize) -> Result<MutexGuard<'_, ObjectRuntime>, RuntimeError> {
+        self.shards[i].lock().map_err(|_| RuntimeError::ShardPoisoned { shard: i })
+    }
+
+    /// Lock shard `i` even if poisoned — for observability paths
+    /// (statistics, metadata snapshots) that must stay readable while a
+    /// shard is degraded. Counters are plain integers, so the worst a
+    /// mid-panic state costs is one partially counted operation.
+    fn shard_ignore_poison(&self, i: usize) -> MutexGuard<'_, ObjectRuntime> {
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Route `addr` to its shard's lock, or fail with `err`.
     fn route(&self, addr: Addr, err: RuntimeError) -> Result<MutexGuard<'_, ObjectRuntime>, RuntimeError> {
         match self.shard_of(addr) {
-            Some(i) => Ok(self.shard(i)),
+            Some(i) => self.shard(i),
             None => Err(err),
         }
+    }
+
+    // ----- the lock-free read path -----
+
+    /// One optimistic attempt at resolving `(base, expected, field)` on
+    /// `shard` without its mutex. Success means the published snapshot
+    /// proved a live, generation-current object of the expected class
+    /// and the field resolved through the registry plan; every other
+    /// condition routes to the mutex, which owns miss/detection
+    /// counting and error construction.
+    #[inline]
+    fn fast_attempt(
+        &self,
+        shard: usize,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        mut ic: Option<&mut SiteCache>,
+    ) -> FastAttempt {
+        // Slot hint: a warmed-up inline cache remembers which published
+        // slot its base resolved to, skipping the addr -> slot unit
+        // walk. The hint is *only* a shortcut — the snapshot below is
+        // re-validated against `base` (and the seqlock metadata), so a
+        // stale hint degrades to the full walk, never to a wrong read.
+        let hinted = ic
+            .as_deref()
+            .and_then(|site| site.slot_hint(base.0))
+            .and_then(|slot| match self.pubs[shard].try_snapshot_slot(slot) {
+                SnapshotOutcome::Snap(s) if s.base == base.0 => Some(s),
+                _ => None,
+            });
+        let snap = match hinted {
+            Some(s) => s,
+            None => match self.pubs[shard].try_snapshot(base.0) {
+                SnapshotOutcome::Snap(s) => s,
+                SnapshotOutcome::Untracked => return FastAttempt::Fallback,
+                SnapshotOutcome::Unstable => return FastAttempt::Contended,
+            },
+        };
+        if snap.base != base.0
+            || snap.state != PUB_STATE_LIVE
+            || snap.meta_gen != snap.heap_gen
+            || snap.class_hash != expected.0
+        {
+            // Interior pointer, freed or raw-recycled object, class
+            // mismatch: all of these are misses or detections, and the
+            // locked path is the single place that classifies them.
+            return FastAttempt::Fallback;
+        }
+        if self.config.offset_cache {
+            if let Some(site) = ic.as_deref_mut() {
+                if let Some((offset, width)) = site.lookup(expected, PlanHash(snap.plan_hash)) {
+                    site.note_slot(base.0, snap.slot);
+                    return FastAttempt::Hit {
+                        addr: base.offset(u64::from(offset)),
+                        width: width as usize,
+                        slot: snap.slot,
+                        seq: snap.seq,
+                        shape: SHAPE_IC_HIT_COLD,
+                        warmed: snap.warmed,
+                    };
+                }
+            }
+        }
+        let Some(plan) = snap.plan_id.and_then(|id| self.registry.get(id)) else {
+            return FastAttempt::Fallback; // unregistered plan (registry full)
+        };
+        if plan.plan_hash().0 != snap.plan_hash {
+            return FastAttempt::Fallback; // defensive: ids are permanent, hashes must agree
+        }
+        let Some(access) = plan.access(field) else {
+            return FastAttempt::Fallback; // FieldOutOfBounds: raised under the lock
+        };
+        let shape = if let Some(site) = ic {
+            if self.config.offset_cache {
+                site.pin(expected, PlanHash(snap.plan_hash), access.offset, access.width);
+                site.note_slot(base.0, snap.slot);
+            }
+            SHAPE_IC_MISS_COLD
+        } else {
+            SHAPE_PLAIN_COLD
+        };
+        FastAttempt::Hit {
+            addr: base.offset(u64::from(access.offset)),
+            width: access.width as usize,
+            slot: snap.slot,
+            seq: snap.seq,
+            shape,
+            warmed: snap.warmed,
+        }
+    }
+
+    /// Final counter index of a fast success: probe-and-set the
+    /// published warm flag (the offset-cache accounting shared with the
+    /// locked path) and add the warm bit to the cold shape. A snapshot
+    /// that already saw the flag set skips the probe entirely.
+    #[inline]
+    fn fast_idx(&self, shard: usize, slot: u32, shape: usize, warmed: bool) -> usize {
+        let warm = self.config.offset_cache && (warmed || self.pubs[shard].warm_probe(slot));
+        shape + usize::from(warm)
+    }
+
+    /// Lock-free `olr_getptr`/`olr_getptr_ic` attempt, with counting
+    /// left to the caller: returns the resolved address (`None` = take
+    /// the shard mutex) and the `(shard, counter index)` the attempt
+    /// must be counted under (`None` = unroutable address, nothing to
+    /// count). The split lets the facade count straight into the shared
+    /// atomics while a [`ShardHandle`] counts into its plain per-thread
+    /// sheet — one `fetch_add` per flush instead of per read.
+    #[inline]
+    fn fast_getptr_raw(
+        &self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        mut ic: Option<&mut SiteCache>,
+    ) -> (Option<Addr>, Option<(usize, usize)>) {
+        let Some(shard) = self.shard_of(base) else {
+            return (None, None);
+        };
+        for _ in 0..FAST_RETRIES {
+            match self.fast_attempt(shard, base, expected, field, ic.as_deref_mut()) {
+                FastAttempt::Hit { addr, slot, shape, warmed, .. } => {
+                    return (Some(addr), Some((shard, self.fast_idx(shard, slot, shape, warmed))));
+                }
+                FastAttempt::Fallback => break,
+                FastAttempt::Contended => std::hint::spin_loop(),
+            }
+        }
+        (None, Some((shard, SHAPE_FALLBACK)))
+    }
+
+    /// [`ShardedRuntime::fast_getptr_raw`] with the count folded into
+    /// the shared atomics (the facade path).
+    #[inline]
+    fn fast_getptr(
+        &self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        ic: Option<&mut SiteCache>,
+    ) -> Option<Addr> {
+        let (resolved, count) = self.fast_getptr_raw(base, expected, field, ic);
+        if let Some((shard, idx)) = count {
+            self.fast[shard].bump(idx);
+        }
+        resolved
+    }
+
+    /// Lock-free `read_field` attempt, counter split as in
+    /// [`ShardedRuntime::fast_getptr_raw`]: resolve, load the value
+    /// from the shared arena, then re-check the slot's sequence — an
+    /// unchanged sequence proves no writer window (field store, free,
+    /// reuse) overlapped the byte load, so the value is never torn.
+    #[inline]
+    fn fast_read_field_raw(
+        &self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+    ) -> (Option<u64>, Option<(usize, usize)>) {
+        let Some(shard) = self.shard_of(base) else {
+            return (None, None);
+        };
+        for _ in 0..FAST_RETRIES {
+            match self.fast_attempt(shard, base, expected, field, None) {
+                FastAttempt::Hit { addr, width, slot, seq, shape, warmed } => {
+                    let p = &self.pubs[shard];
+                    let Some(value) = p.read_uint(addr.0, width) else { break };
+                    if !p.recheck(slot, seq) {
+                        std::hint::spin_loop();
+                        continue; // torn load: retry from a fresh snapshot
+                    }
+                    return (Some(value), Some((shard, self.fast_idx(shard, slot, shape, warmed))));
+                }
+                FastAttempt::Fallback => break,
+                FastAttempt::Contended => std::hint::spin_loop(),
+            }
+        }
+        (None, Some((shard, SHAPE_FALLBACK)))
+    }
+
+    /// [`ShardedRuntime::fast_read_field_raw`] with the count folded
+    /// into the shared atomics (the facade path).
+    #[inline]
+    fn fast_read_field(&self, base: Addr, expected: ClassHash, field: usize) -> Option<u64> {
+        let (resolved, count) = self.fast_read_field_raw(base, expected, field);
+        if let Some((shard, idx)) = count {
+            self.fast[shard].bump(idx);
+        }
+        resolved
+    }
+
+    /// Raw publication probe for `addr`'s shard, exposed for the
+    /// concurrency tests (torture and property suites assert snapshot
+    /// self-consistency through this).
+    #[doc(hidden)]
+    pub fn publish_probe(&self, addr: Addr) -> Option<SnapshotOutcome> {
+        Some(self.pubs[self.shard_of(addr)?].try_snapshot(addr.0))
+    }
+
+    /// Resolve a published plan id against the shared registry (test
+    /// hook, paired with [`ShardedRuntime::publish_probe`]).
+    #[doc(hidden)]
+    pub fn registry_plan(&self, id: u32) -> Option<Arc<polar_layout::LayoutPlan>> {
+        self.registry.get(id).cloned()
     }
 
     /// [`ObjectRuntime::olr_free`], routed by address.
@@ -191,12 +533,16 @@ impl ShardedRuntime {
     ///
     /// As for the single-thread call; unroutable addresses report
     /// [`RuntimeError::UnknownObject`].
+    #[inline]
     pub fn olr_getptr(
         &self,
         base: Addr,
         expected: ClassHash,
         field: usize,
     ) -> Result<Addr, RuntimeError> {
+        if let Some(addr) = self.fast_getptr(base, expected, field, None) {
+            return Ok(addr);
+        }
         self.route(base, RuntimeError::UnknownObject(base))?.olr_getptr(base, expected, field)
     }
 
@@ -206,6 +552,7 @@ impl ShardedRuntime {
     /// # Errors
     ///
     /// As for [`ShardedRuntime::olr_getptr`].
+    #[inline]
     pub fn olr_getptr_ic(
         &self,
         base: Addr,
@@ -213,6 +560,9 @@ impl ShardedRuntime {
         field: usize,
         ic: &mut SiteCache,
     ) -> Result<Addr, RuntimeError> {
+        if let Some(addr) = self.fast_getptr(base, expected, field, Some(ic)) {
+            return Ok(addr);
+        }
         self.route(base, RuntimeError::UnknownObject(base))?
             .olr_getptr_ic(base, expected, field, ic)
     }
@@ -222,12 +572,16 @@ impl ShardedRuntime {
     /// # Errors
     ///
     /// As for [`ShardedRuntime::olr_getptr`] plus heap faults.
+    #[inline]
     pub fn read_field(
         &self,
         base: Addr,
         expected: ClassHash,
         field: usize,
     ) -> Result<u64, RuntimeError> {
+        if let Some(value) = self.fast_read_field(base, expected, field) {
+            return Ok(value);
+        }
         self.route(base, RuntimeError::UnknownObject(base))?.read_field(base, expected, field)
     }
 
@@ -270,13 +624,13 @@ impl ShardedRuntime {
             .shard_of(dst)
             .ok_or(RuntimeError::Heap(HeapError::Fault { addr: dst, len }))?;
         if src_i == dst_i {
-            return self.shard(src_i).olr_memcpy(dst, src, site_class);
+            return self.shard(src_i)?.olr_memcpy(dst, src, site_class);
         }
         // Index-ordered locking: every cross-shard copy acquires the
         // lower-numbered shard first.
         let (first, second) = (src_i.min(dst_i), src_i.max(dst_i));
-        let first_guard = self.shard(first);
-        let second_guard = self.shard(second);
+        let first_guard = self.shard(first)?;
+        let second_guard = self.shard(second)?;
         let (mut src_rt, mut dst_rt) = if src_i < dst_i {
             (first_guard, second_guard)
         } else {
@@ -300,7 +654,7 @@ impl ShardedRuntime {
     /// owning shard), if tracked.
     pub fn object_meta(&self, base: Addr) -> Option<ObjectMeta> {
         let i = self.shard_of(base)?;
-        self.shard(i).object_meta(base).cloned()
+        self.shard_ignore_poison(i).object_meta(base).cloned()
     }
 
     /// Combined statistics: every shard's counters (each read under its
@@ -315,21 +669,30 @@ impl ShardedRuntime {
     pub fn stats(&self) -> RuntimeStats {
         let mut total = self.facade.snapshot();
         for i in 0..self.shards.len() {
-            total += self.shard(i).stats();
+            total += self.shard_ignore_poison(i).stats();
+            self.fast[i].fold_into(&mut total);
         }
         total
     }
 
-    /// Estimated POLaR bookkeeping bytes, summed over shards.
+    /// Estimated POLaR bookkeeping bytes, summed over shards, plus the
+    /// publication side-tables and the shared plan registry.
     pub fn estimated_metadata_bytes(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.shard(i).estimated_metadata_bytes()).sum()
+        let shards: usize = (0..self.shards.len())
+            .map(|i| self.shard_ignore_poison(i).estimated_metadata_bytes())
+            .sum();
+        let published: usize = self.pubs.iter().map(|p| p.metadata_bytes()).sum();
+        shards + published + self.registry.metadata_bytes()
     }
 
     /// The shard owning `addr` for a raw heap access, or a wild-access
     /// fault when no shard window contains it.
     fn heap_shard(&self, addr: Addr, len: usize) -> Result<MutexGuard<'_, ObjectRuntime>, HeapError> {
         match self.shard_of(addr) {
-            Some(i) => Ok(self.shard(i)),
+            // A poisoned shard faults its raw accesses (the heap API
+            // speaks `HeapError`); instrumented paths report the richer
+            // `ShardPoisoned` instead.
+            Some(i) => self.shard(i).map_err(|_| HeapError::Fault { addr, len }),
             None => Err(HeapError::Fault { addr, len }),
         }
     }
@@ -342,7 +705,7 @@ impl ShardedRuntime {
     ///
     /// Propagates heap errors.
     pub fn malloc_raw_on(&self, shard: usize, size: usize) -> Result<Addr, RuntimeError> {
-        self.shard(shard % self.shards.len()).malloc_raw(size)
+        self.shard(shard % self.shards.len())?.malloc_raw(size)
     }
 
     /// Instrumented allocation on shard `shard % shard_count()`, using
@@ -358,14 +721,14 @@ impl ShardedRuntime {
         shard: usize,
         info: &Arc<ClassInfo>,
     ) -> Result<Addr, RuntimeError> {
-        self.shard(shard % self.shards.len()).olr_malloc(info)
+        self.shard(shard % self.shards.len())?.olr_malloc(info)
     }
 
     /// [`ObjectRuntime::compile_time_plan`], delegated to shard 0. The
     /// static-OLR table derives from the mode's binary seed, which every
     /// shard shares, so any shard would answer identically.
     pub fn compile_time_plan(&self, info: &Arc<ClassInfo>) -> Arc<polar_layout::LayoutPlan> {
-        self.shard(0).compile_time_plan(info)
+        self.shard_ignore_poison(0).compile_time_plan(info)
     }
 
     /// Raw free, routed by address.
@@ -422,10 +785,10 @@ impl ShardedRuntime {
         let src_i = self.shard_of(src).ok_or(HeapError::Fault { addr: src, len })?;
         let dst_i = self.shard_of(dst).ok_or(HeapError::Fault { addr: dst, len })?;
         if src_i == dst_i {
-            return self.shard(src_i).heap_mut().memmove(dst, src, len);
+            return self.heap_shard(src, len)?.heap_mut().memmove(dst, src, len);
         }
-        let staged = self.shard(src_i).heap().read(src, len)?.to_vec();
-        self.shard(dst_i).heap_mut().write(dst, &staged)
+        let staged = self.heap_shard(src, len)?.heap().read_vec(src, len)?;
+        self.heap_shard(dst, len)?.heap_mut().write(dst, &staged)
     }
 
     /// Block-boundary check ([`SimHeap::read_in_block`]), routed by
@@ -438,13 +801,19 @@ impl ShardedRuntime {
     /// [`HeapError::OutOfBlock`] for accesses crossing a block boundary,
     /// plus routing faults.
     pub fn heap_check_in_block(&self, addr: Addr, len: usize) -> Result<(), HeapError> {
-        self.heap_shard(addr, len)?.heap().read_in_block(addr, len).map(|_| ())
+        self.heap_shard(addr, len)?.heap().check_in_block(addr, len)
     }
 }
 
 /// Seed material for thread `t` comes from SplitMix64 stream `t` of the
 /// root seed: disjoint expansion windows give every thread an
 /// independent, reproducible generator no other stream index can reach.
+impl Drop for ShardHandle<'_> {
+    fn drop(&mut self) {
+        self.flush_stats();
+    }
+}
+
 fn thread_rng(root: u64, thread: u64) -> BufferedRng {
     let mut seeder = SplitMix64::stream(root, thread);
     let mut seed = <Xoshiro256StarStar as SeedableRng>::Seed::default();
@@ -467,6 +836,16 @@ pub struct ShardHandle<'rt> {
     /// (the interner only grows, so flushing sends the delta).
     flushed_unique: u64,
     flushed_dedup: u64,
+    /// Plain per-shard shape counters for this thread's lock-free
+    /// reads. A locked `fetch_add` is a full barrier on most hardware
+    /// and costs as much as the whole optimistic resolution, so the
+    /// handle counts into this unshared sheet and folds it into the
+    /// runtime's atomics in [`ShardHandle::flush_stats`] (called on
+    /// drop): one `fetch_add` per shape per flush, not per read.
+    /// Pending counts become visible to [`ShardedRuntime::stats`] at
+    /// the flush — dropping the handle before joining the thread (the
+    /// natural scoped-thread shape) keeps the global counts exact.
+    sheet: Box<[[u64; 8]]>,
 }
 
 impl ShardHandle<'_> {
@@ -495,7 +874,7 @@ impl ShardHandle<'_> {
             && matches!(self.rt.mode, RandomizeMode::PerAllocation { .. })
             && info.field_count() <= STATELESS_MAX_FIELDS;
         if !matches!(self.rt.mode, RandomizeMode::PerAllocation { .. }) || stateless {
-            return self.rt.shard(self.home).olr_malloc(info);
+            return self.rt.shard(self.home)?.olr_malloc(info);
         }
         let plan = if self.rt.config.pool.enabled() {
             let before = self.pools.stats();
@@ -517,7 +896,7 @@ impl ShardHandle<'_> {
             ..RuntimeStats::default()
         };
         self.flush_interner_delta(interned);
-        self.rt.shard(self.home).olr_malloc_with_plan(info, plan)
+        self.rt.shard(self.home)?.olr_malloc_with_plan(info, plan)
     }
 
     /// Fold the interner counters' growth since the last flush into the
@@ -543,7 +922,7 @@ impl ShardHandle<'_> {
     ///
     /// Propagates heap errors.
     pub fn malloc_raw(&mut self, size: usize) -> Result<Addr, RuntimeError> {
-        self.rt.shard(self.home).malloc_raw(size)
+        self.rt.shard(self.home)?.malloc_raw(size)
     }
 
     /// Raw free, routed by address.
@@ -567,32 +946,99 @@ impl ShardHandle<'_> {
         self.rt.olr_free(addr)
     }
 
-    /// [`ShardedRuntime::olr_getptr`].
+    /// [`ShardedRuntime::olr_getptr`], counted into this handle's
+    /// plain sheet instead of the shared atomics (see
+    /// [`ShardHandle::flush_stats`]).
     ///
     /// # Errors
     ///
     /// As for [`ShardedRuntime::olr_getptr`].
+    #[inline]
     pub fn olr_getptr(
         &mut self,
         base: Addr,
         expected: ClassHash,
         field: usize,
     ) -> Result<Addr, RuntimeError> {
-        self.rt.olr_getptr(base, expected, field)
+        let (resolved, count) = self.rt.fast_getptr_raw(base, expected, field, None);
+        if let Some((shard, idx)) = count {
+            self.sheet[shard][idx] += 1;
+        }
+        match resolved {
+            Some(addr) => Ok(addr),
+            None => self
+                .rt
+                .route(base, RuntimeError::UnknownObject(base))?
+                .olr_getptr(base, expected, field),
+        }
     }
 
-    /// [`ShardedRuntime::read_field`].
+    /// [`ShardedRuntime::olr_getptr_ic`], counted into this handle's
+    /// plain sheet instead of the shared atomics (see
+    /// [`ShardHandle::flush_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::olr_getptr`].
+    #[inline]
+    pub fn olr_getptr_ic(
+        &mut self,
+        base: Addr,
+        expected: ClassHash,
+        field: usize,
+        ic: &mut SiteCache,
+    ) -> Result<Addr, RuntimeError> {
+        let (resolved, count) = self.rt.fast_getptr_raw(base, expected, field, Some(ic));
+        if let Some((shard, idx)) = count {
+            self.sheet[shard][idx] += 1;
+        }
+        match resolved {
+            Some(addr) => Ok(addr),
+            None => self
+                .rt
+                .route(base, RuntimeError::UnknownObject(base))?
+                .olr_getptr_ic(base, expected, field, ic),
+        }
+    }
+
+    /// [`ShardedRuntime::read_field`], counted into this handle's
+    /// plain sheet instead of the shared atomics (see
+    /// [`ShardHandle::flush_stats`]).
     ///
     /// # Errors
     ///
     /// As for [`ShardedRuntime::read_field`].
+    #[inline]
     pub fn read_field(
         &mut self,
         base: Addr,
         expected: ClassHash,
         field: usize,
     ) -> Result<u64, RuntimeError> {
-        self.rt.read_field(base, expected, field)
+        let (resolved, count) = self.rt.fast_read_field_raw(base, expected, field);
+        if let Some((shard, idx)) = count {
+            self.sheet[shard][idx] += 1;
+        }
+        match resolved {
+            Some(value) => Ok(value),
+            None => self
+                .rt
+                .route(base, RuntimeError::UnknownObject(base))?
+                .read_field(base, expected, field),
+        }
+    }
+
+    /// Fold this handle's pending lock-free read counts into the
+    /// runtime's shared counters. Runs on drop; call it explicitly when
+    /// [`ShardedRuntime::stats`] must observe this thread's reads while
+    /// the handle stays alive.
+    pub fn flush_stats(&mut self) {
+        for (shard, pending) in self.sheet.iter_mut().enumerate() {
+            if pending.iter().any(|&n| n != 0) {
+                self.rt.fast[shard].bump_many(pending);
+                *pending = [0; 8];
+            }
+        }
     }
 
     /// [`ShardedRuntime::write_field`].
@@ -941,6 +1387,257 @@ mod tests {
         rt.olr_memcpy(obj, obj, &info).unwrap();
         assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), 7);
         assert_eq!(rt.read_field(obj, info.hash(), 2).unwrap(), 9);
+    }
+
+    /// The lock-free read path serves plain, inline-cached and
+    /// `read_field` accesses without the shard mutex, and its counters
+    /// keep the locked path's semantics.
+    #[test]
+    fn lock_free_reads_resolve_and_count_like_the_locked_path() {
+        let rt = sharded(2);
+        let info = people();
+        let mut h = rt.handle(0);
+        let obj = h.olr_malloc(&info).unwrap();
+        h.write_field(obj, info.hash(), 1, 23).unwrap();
+        h.write_field(obj, info.hash(), 2, 99).unwrap();
+
+        let before = rt.stats();
+        let mut ic = SiteCache::empty();
+        for _ in 0..10 {
+            assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), 23);
+            let via_plain = rt.olr_getptr(obj, info.hash(), 2).unwrap();
+            let via_ic = rt.olr_getptr_ic(obj, info.hash(), 2, &mut ic).unwrap();
+            assert_eq!(via_plain, via_ic, "both paths must resolve the same address");
+        }
+        let delta = {
+            let mut d = rt.stats();
+            d.member_accesses -= before.member_accesses;
+            d.lockfree_reads -= before.lockfree_reads;
+            d.cache_hits -= before.cache_hits;
+            d.site_ic_hits -= before.site_ic_hits;
+            d
+        };
+        assert_eq!(delta.member_accesses, 30, "every facade read is one member access");
+        assert_eq!(
+            delta.lockfree_reads, 30,
+            "an uncontended single thread must never fall back: {delta:?}"
+        );
+        // First ic call misses (cold site), the remaining nine hit.
+        assert_eq!(delta.site_ic_hits, 9);
+        // The object was warmed by the setup writes, so every read here
+        // is an offset-cache hit.
+        assert_eq!(delta.cache_hits, 30);
+
+        // Detections still work (via fallback to the locked path).
+        rt.olr_free(obj).unwrap();
+        assert!(matches!(
+            rt.read_field(obj, info.hash(), 1).unwrap_err(),
+            RuntimeError::UseAfterFree { .. }
+        ));
+        let after = rt.stats();
+        assert_eq!(after.uaf_detected, 1);
+        assert!(after.lockfree_fallbacks > 0, "the freed read must have fallen back");
+    }
+
+    /// Torture phase 1: fixed live objects, writers churning field
+    /// values whose two halves always match, readers asserting every
+    /// lock-free load is untorn (halves equal) and correctly tagged.
+    #[test]
+    fn torture_lock_free_reads_are_never_torn() {
+        const READERS: usize = 2;
+        const WRITER_OPS: usize = 20_000;
+        const OBJECTS: usize = 32;
+        let rt = sharded(2);
+        let info = record();
+        let mut h = rt.handle(0);
+        let objects: Vec<Addr> = (0..OBJECTS).map(|_| h.olr_malloc(&info).unwrap()).collect();
+        for &obj in &objects {
+            for field in 0..info.field_count() {
+                rt.write_field(obj, info.hash(), field, 0).unwrap();
+            }
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let attempts: u64 = std::thread::scope(|scope| {
+            let (rt, info, objects, stop) = (&rt, &info, &objects, &stop);
+            let writer = scope.spawn(move || {
+                let mut h = rt.handle(1);
+                let mut driver = SplitMix64::new(0x70C7);
+                for _ in 0..WRITER_OPS {
+                    let obj = objects[driver.random_range(0..OBJECTS)];
+                    // 64-bit fields only (0 and 1): a value whose halves
+                    // must agree, so a torn read is self-evident.
+                    let field = driver.random_range(0..2usize);
+                    let x = driver.next_u64() & 0xFFFF_FFFF;
+                    h.write_field(obj, info.hash(), field, (x << 32) | x).unwrap();
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            let readers: Vec<_> = (0..READERS)
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut driver = SplitMix64::new(0x4EAD + r as u64);
+                        let mut n = 0u64;
+                        // Floor of 1000 reads per reader: on a single
+                        // core the (fast) writer can run to completion
+                        // before the readers are even scheduled, and a
+                        // stop-flag-only loop would then exit with zero
+                        // reads taken. The post-stop tail is quiescent,
+                        // which also guarantees optimistic hits.
+                        while !stop.load(std::sync::atomic::Ordering::Acquire) || n < 1_000 {
+                            let obj = objects[driver.random_range(0..OBJECTS)];
+                            let field = driver.random_range(0..2usize);
+                            let v = rt.read_field(obj, info.hash(), field).unwrap();
+                            assert_eq!(
+                                v >> 32,
+                                v & 0xFFFF_FFFF,
+                                "torn lock-free read on reader {r}"
+                            );
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            writer.join().unwrap();
+            readers.into_iter().map(|r| r.join().unwrap()).sum()
+        });
+        let stats = rt.stats();
+        assert_eq!(
+            stats.lockfree_reads + stats.lockfree_fallbacks,
+            attempts,
+            "every facade read attempt must be counted exactly once"
+        );
+        assert!(
+            stats.lockfree_reads > 0,
+            "the optimistic path must serve reads under write churn"
+        );
+        assert_eq!(stats.total_detections(), 0);
+    }
+
+    /// Torture phase 2: full lifecycle churn (free / re-malloc / copy)
+    /// against concurrent lock-free readers. Readers must only ever see
+    /// clean outcomes (a value, or a classified detection), and raw
+    /// publication snapshots must be self-consistent.
+    #[test]
+    fn torture_lifecycle_churn_keeps_snapshots_consistent() {
+        const WRITER_OPS: usize = 8_000;
+        let rt = sharded(2);
+        let info = people();
+        let other = record();
+        let mut h = rt.handle(0);
+        let seed_objs: Vec<Addr> = (0..16).map(|_| h.olr_malloc(&info).unwrap()).collect();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (rt, info, other, seed_objs, stop) = (&rt, &info, &other, &seed_objs, &stop);
+            let writer = scope.spawn(move || {
+                let mut h = rt.handle(0);
+                let mut driver = SplitMix64::new(0xC43F);
+                let mut live = seed_objs.clone();
+                for _ in 0..WRITER_OPS {
+                    match driver.random_range(0..3u32) {
+                        0 => {
+                            let class =
+                                if driver.random_range(0..2u32) == 0 { info } else { other };
+                            live.push(h.olr_malloc(class).unwrap());
+                        }
+                        1 if live.len() > 4 => {
+                            let obj = live.swap_remove(driver.random_range(0..live.len()));
+                            h.olr_free(obj).unwrap();
+                        }
+                        _ if !live.is_empty() => {
+                            let obj = live[driver.random_range(0..live.len())];
+                            // In-place rerandomization: the riskiest
+                            // publication window (fields move).
+                            if rt.object_meta(obj).is_some_and(|m| m.class.hash() == info.hash())
+                            {
+                                h.olr_memcpy(obj, obj, info).unwrap();
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            let reader = scope.spawn(move || {
+                let mut driver = SplitMix64::new(0x5EE5);
+                let mut probes = 0u64;
+                // Same 1000-probe floor as the torn-read torture: the
+                // writer can finish before this thread is scheduled.
+                while !stop.load(std::sync::atomic::Ordering::Acquire) || probes < 1_000 {
+                    probes += 1;
+                    let obj = seed_objs[driver.random_range(0..seed_objs.len())];
+                    match rt.read_field(obj, info.hash(), 1) {
+                        Ok(_) => {}
+                        Err(
+                            RuntimeError::UseAfterFree { .. }
+                            | RuntimeError::UnknownObject(_)
+                            | RuntimeError::ClassMismatch { .. }
+                            | RuntimeError::Heap(_),
+                        ) => {}
+                        Err(other) => panic!("unclassified churn outcome: {other}"),
+                    }
+                    // Raw snapshot self-consistency: a stable LIVE,
+                    // generation-current snapshot must carry a
+                    // registered plan whose hash matches.
+                    if let Some(SnapshotOutcome::Snap(s)) = rt.publish_probe(obj) {
+                        if s.state == PUB_STATE_LIVE && s.meta_gen == s.heap_gen {
+                            if let Some(id) = s.plan_id {
+                                let plan = rt
+                                    .registry_plan(id)
+                                    .expect("published plan ids must resolve");
+                                assert_eq!(
+                                    plan.plan_hash().0,
+                                    s.plan_hash,
+                                    "published id and hash must agree"
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+        let stats = rt.stats();
+        assert!(stats.lockfree_reads + stats.lockfree_fallbacks > 0);
+    }
+
+    /// Satellite: a thread dying inside one shard degrades that shard
+    /// into `ShardPoisoned` errors instead of panicking the process —
+    /// and already-published objects stay readable lock-free.
+    #[test]
+    fn poisoned_shard_degrades_instead_of_panicking() {
+        let rt = sharded(2);
+        let info = people();
+        let mut h = rt.handle(0);
+        let obj = h.olr_malloc(&info).unwrap();
+        h.write_field(obj, info.hash(), 1, 77).unwrap();
+        let victim = (obj.0 / rt.shard_span()) as usize;
+
+        // Poison the victim shard's mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = rt.shards[victim].lock().unwrap();
+            panic!("simulated shard death");
+        }));
+
+        // Mutating paths on the poisoned shard report the typed error.
+        assert!(matches!(
+            rt.olr_malloc_on(victim, &info).unwrap_err(),
+            RuntimeError::ShardPoisoned { shard } if shard == victim
+        ));
+        assert!(matches!(
+            rt.olr_free(obj).unwrap_err(),
+            RuntimeError::ShardPoisoned { shard } if shard == victim
+        ));
+        // The other shard keeps working.
+        let alive = (victim + 1) % rt.shard_count();
+        rt.olr_malloc_on(alive, &info).unwrap();
+        // Observability stays available (poison ignored)...
+        assert!(rt.stats().allocations >= 2);
+        assert!(rt.object_meta(obj).is_some());
+        assert!(rt.estimated_metadata_bytes() > 0);
+        // ...and the lock-free read path never touches the mutex at all.
+        assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), 77);
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct RuntimeStats {
     /// Pool refill events: warm-up batch fills plus steady-state churn
     /// regenerations.
     pub pool_refills: u64,
+    /// Member accesses served entirely by the optimistic (seqlock) read
+    /// path: no shard mutex was taken.
+    pub lockfree_reads: u64,
+    /// Optimistic read attempts that fell back to the shard mutex
+    /// (contended seqlock window, unpublished slot, or a condition the
+    /// fast path cannot classify, e.g. a detection).
+    pub lockfree_fallbacks: u64,
 }
 
 impl RuntimeStats {
@@ -101,6 +108,8 @@ impl AddAssign for RuntimeStats {
         self.site_ic_misses += rhs.site_ic_misses;
         self.pool_hits += rhs.pool_hits;
         self.pool_refills += rhs.pool_refills;
+        self.lockfree_reads += rhs.lockfree_reads;
+        self.lockfree_fallbacks += rhs.lockfree_fallbacks;
     }
 }
 
@@ -170,6 +179,8 @@ atomic_stats!(
     site_ic_misses,
     pool_hits,
     pool_refills,
+    lockfree_reads,
+    lockfree_fallbacks,
 );
 
 impl fmt::Display for RuntimeStats {

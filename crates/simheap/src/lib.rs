@@ -38,9 +38,17 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
+mod publish;
+mod shared;
 mod slab;
 
+use shared::SharedArena;
+
+pub use publish::{
+    HeapPublisher, PubSnapshot, SnapshotOutcome, PUB_STATE_FREED, PUB_STATE_LIVE, PUB_STATE_NONE,
+};
 pub use slab::{Slab, SLAB_CHUNK};
 
 /// A heap address: a byte offset into the arena. `0` is reserved as null.
@@ -206,8 +214,95 @@ pub struct HeapStats {
     pub bytes_peak: usize,
 }
 
-const ALIGN: usize = 16;
+pub(crate) const ALIGN: usize = 16;
 const SIZE_CLASSES: [usize; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Backing storage for the arena bytes: a plain `Vec<u8>` for ordinary
+/// single-threaded heaps (zero overhead on the existing hot paths), or
+/// a [`SharedArena`] of atomic words for published heaps whose bytes
+/// lock-free readers may load concurrently.
+#[derive(Debug, Clone)]
+enum ArenaStore {
+    Local(Vec<u8>),
+    Shared(Arc<SharedArena>),
+}
+
+impl ArenaStore {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            ArenaStore::Local(v) => v.len(),
+            ArenaStore::Shared(a) => a.len(),
+        }
+    }
+
+    fn grow_to(&mut self, new_len: usize) {
+        match self {
+            ArenaStore::Local(v) => v.resize(new_len, 0),
+            ArenaStore::Shared(a) => a.grow_to(new_len),
+        }
+    }
+
+    fn fill(&mut self, start: usize, len: usize, value: u8) {
+        match self {
+            ArenaStore::Local(v) => v[start..start + len].fill(value),
+            ArenaStore::Shared(a) => a.fill(start, len, value),
+        }
+    }
+
+    fn write(&mut self, start: usize, bytes: &[u8]) {
+        match self {
+            ArenaStore::Local(v) => v[start..start + bytes.len()].copy_from_slice(bytes),
+            ArenaStore::Shared(a) => a.write(start, bytes),
+        }
+    }
+
+    fn read_into(&self, start: usize, len: usize, out: &mut Vec<u8>) {
+        match self {
+            ArenaStore::Local(v) => out.extend_from_slice(&v[start..start + len]),
+            ArenaStore::Shared(a) => a.read_into(start, len, out),
+        }
+    }
+
+    #[inline]
+    fn read_uint(&self, start: usize, width: usize) -> u64 {
+        match self {
+            ArenaStore::Local(v) => {
+                let mut buf = [0u8; 8];
+                buf[..width].copy_from_slice(&v[start..start + width]);
+                u64::from_le_bytes(buf)
+            }
+            ArenaStore::Shared(a) => {
+                a.read_uint(start, width).expect("access within the committed arena")
+            }
+        }
+    }
+
+    fn write_uint(&mut self, start: usize, value: u64, width: usize) {
+        match self {
+            ArenaStore::Local(v) => {
+                v[start..start + width].copy_from_slice(&value.to_le_bytes()[..width]);
+            }
+            ArenaStore::Shared(a) => a.write_uint(start, value, width),
+        }
+    }
+
+    fn copy_within(&mut self, src: usize, dst: usize, len: usize) {
+        match self {
+            ArenaStore::Local(v) => v.copy_within(src..src + len, dst),
+            ArenaStore::Shared(a) => a.copy_within(src, dst, len),
+        }
+    }
+
+    /// A borrowed byte slice — only the local store can hand one out.
+    #[inline]
+    fn local_slice(&self, start: usize, end: usize) -> Option<&[u8]> {
+        match self {
+            ArenaStore::Local(v) => Some(&v[start..end]),
+            ArenaStore::Shared(_) => None,
+        }
+    }
+}
 
 fn size_class(size: usize) -> Option<usize> {
     SIZE_CLASSES.iter().position(|&c| size <= c)
@@ -226,7 +321,7 @@ fn size_class(size: usize) -> Option<usize> {
 /// ids to index its own object-metadata shadow table.
 #[derive(Debug, Clone)]
 pub struct SimHeap {
-    arena: Vec<u8>,
+    store: ArenaStore,
     config: HeapConfig,
     free_lists: [Vec<u64>; SIZE_CLASSES.len()],
     large_free: Vec<(u64, usize)>,
@@ -240,6 +335,9 @@ pub struct SimHeap {
     /// `addr / ALIGN → slot id + 1` for every unit a block covers.
     index: Vec<u32>,
     stats: HeapStats,
+    /// Publication side-table for lock-free readers; `None` for
+    /// ordinary (local, single-threaded) heaps.
+    publisher: Option<Arc<HeapPublisher>>,
 }
 
 impl SimHeap {
@@ -247,7 +345,7 @@ impl SimHeap {
     /// handed out; the arena starts with one reserved alignment unit.
     pub fn new(config: HeapConfig) -> Self {
         SimHeap {
-            arena: vec![0; ALIGN],
+            store: ArenaStore::Local(vec![0; ALIGN]),
             config,
             free_lists: Default::default(),
             large_free: Vec::new(),
@@ -255,6 +353,55 @@ impl SimHeap {
             slots: Slab::new(),
             index: vec![0],
             stats: HeapStats::default(),
+            publisher: None,
+        }
+    }
+
+    /// Create a **published** heap: arena bytes live in a shared atomic
+    /// store and block metadata is mirrored through a [`HeapPublisher`]
+    /// seqlock table, so other threads can read fields and snapshots
+    /// without this heap's owner lock. Mutation still requires `&mut
+    /// self` (the owner serializes writers); the publisher orders the
+    /// racing readers.
+    ///
+    /// Borrowing reads ([`SimHeap::read`], [`SimHeap::read_in_block`])
+    /// panic on a published heap — use [`SimHeap::read_vec`],
+    /// [`SimHeap::read_into`], [`SimHeap::read_uint`] and
+    /// [`SimHeap::check_in_block`] instead.
+    pub fn new_published(config: HeapConfig) -> Self {
+        let publisher = Arc::new(HeapPublisher::new(config.capacity, config.arena_base));
+        let arena = publisher.arena_handle();
+        arena.grow_to(ALIGN);
+        SimHeap {
+            store: ArenaStore::Shared(arena),
+            config,
+            free_lists: Default::default(),
+            large_free: Vec::new(),
+            quarantine: VecDeque::new(),
+            slots: Slab::new(),
+            index: vec![0],
+            stats: HeapStats::default(),
+            publisher: Some(publisher),
+        }
+    }
+
+    /// The publication side-table, when this heap is published.
+    pub fn publisher(&self) -> Option<&Arc<HeapPublisher>> {
+        self.publisher.as_ref()
+    }
+
+    /// Open a seqlock writer window on `slot` (no-op `None` for
+    /// unpublished heaps or out-of-coverage slots). Callers bracketing
+    /// their own multi-store mutations (the object runtime's metadata
+    /// records) pass the token back to [`SimHeap::pub_close`].
+    pub fn pub_open(&self, slot: u32) -> Option<u64> {
+        self.publisher.as_ref().and_then(|p| p.open(slot))
+    }
+
+    /// Close a window opened by [`SimHeap::pub_open`].
+    pub fn pub_close(&self, slot: u32, token: Option<u64>) {
+        if let (Some(p), Some(token)) = (&self.publisher, token) {
+            p.close(slot, token);
         }
     }
 
@@ -272,7 +419,7 @@ impl SimHeap {
     /// This is the *local* extent: the heap owns addresses
     /// `[arena_base, arena_base + arena_len)`.
     pub fn arena_len(&self) -> usize {
-        self.arena.len()
+        self.store.len()
     }
 
     /// Local arena offset of a global address; `None` below `arena_base`.
@@ -321,13 +468,27 @@ impl SimHeap {
             }
         };
         let addr = Addr(base);
+        let start = (base - self.config.arena_base) as usize;
         match self.slot_of_base(addr) {
             Some(slot) => {
                 // Reused slot: same base, same span — bump the generation.
+                // The generation bump and the zero-fill race concurrent
+                // readers of a published heap, so both sit inside one
+                // seqlock window; the bump also orphans any still-mirrored
+                // object metadata (meta_gen falls behind heap_gen).
+                let win = self.pub_open(slot as u32);
                 let info = &mut self.slots[slot];
                 info.requested = size;
                 info.state = BlockState::Live;
                 info.generation += 1;
+                let generation = info.generation;
+                if let Some(p) = &self.publisher {
+                    p.mirror_heap_gen(slot as u32, generation);
+                }
+                if self.config.zero_on_alloc {
+                    self.store.fill(start, usable, 0);
+                }
+                self.pub_close(slot as u32, win);
             }
             None => {
                 let slot = self.slots.push(BlockInfo {
@@ -337,7 +498,7 @@ impl SimHeap {
                     state: BlockState::Live,
                     generation: 1,
                 });
-                let first = ((base - self.config.arena_base) as usize) / ALIGN;
+                let first = start / ALIGN;
                 let last = first + usable.div_ceil(ALIGN);
                 if self.index.len() < last {
                     self.index.resize(last, 0);
@@ -345,11 +506,18 @@ impl SimHeap {
                 for unit in &mut self.index[first..last] {
                     *unit = slot + 1;
                 }
+                if self.config.zero_on_alloc {
+                    self.store.fill(start, usable, 0);
+                }
+                // Fresh block: initialize the mirror *before* the unit
+                // index points at it — no reader can observe the slot
+                // until the Release unit stores land, so no window is
+                // needed.
+                if let Some(p) = &self.publisher {
+                    p.init_slot(slot, base, 1);
+                    p.publish_units(first, last, slot);
+                }
             }
-        }
-        if self.config.zero_on_alloc {
-            let start = (base - self.config.arena_base) as usize;
-            self.arena[start..start + usable].fill(0);
         }
         self.stats.allocs += 1;
         self.stats.bytes_live += usable;
@@ -358,12 +526,12 @@ impl SimHeap {
     }
 
     fn grow(&mut self, usable: usize) -> Result<u64, HeapError> {
-        let base = self.arena.len();
+        let base = self.store.len();
         let new_len = base + usable + round_up(self.config.redzone, ALIGN);
         if new_len > self.config.capacity {
             return Err(HeapError::OutOfMemory { requested: usable });
         }
-        self.arena.resize(new_len, 0);
+        self.store.grow_to(new_len);
         Ok(self.config.arena_base + base as u64)
     }
 
@@ -377,19 +545,24 @@ impl SimHeap {
     /// [`HeapError::InvalidFree`] for any address that is not a live block
     /// base.
     pub fn free(&mut self, addr: Addr) -> Result<(), HeapError> {
-        let block = match self.slot_of_base(addr) {
-            Some(slot) => &mut self.slots[slot],
+        let slot = match self.slot_of_base(addr) {
+            Some(slot) => slot,
             None => return Err(HeapError::InvalidFree(addr)),
         };
-        match block.state {
+        match self.slots[slot].state {
             BlockState::Freed => return Err(HeapError::DoubleFree(addr)),
-            BlockState::Live => block.state = BlockState::Freed,
+            BlockState::Live => {}
         }
-        let size = block.size;
+        // The state flip and the poison fill are one atomic event to a
+        // racing lock-free reader: window them together.
+        let win = self.pub_open(slot as u32);
+        self.slots[slot].state = BlockState::Freed;
+        let size = self.slots[slot].size;
         if let Some(poison) = self.config.poison {
             let start = (addr.0 - self.config.arena_base) as usize;
-            self.arena[start..start + size].fill(poison);
+            self.store.fill(start, size, poison);
         }
+        self.pub_close(slot as u32, win);
         self.stats.frees += 1;
         self.stats.bytes_live -= size;
         self.quarantine.push_back(addr);
@@ -453,7 +626,9 @@ impl SimHeap {
     /// plus the arena-unit index. Feeds overhead accounting so metadata
     /// tables are not invisibly free.
     pub fn metadata_bytes(&self) -> usize {
-        self.slots.capacity_bytes() + self.index.capacity() * std::mem::size_of::<u32>()
+        self.slots.capacity_bytes()
+            + self.index.capacity() * std::mem::size_of::<u32>()
+            + self.publisher.as_ref().map_or(0, |p| p.metadata_bytes())
     }
 
     /// Block metadata for the block *containing* `addr`, if any. O(1)
@@ -473,7 +648,7 @@ impl SimHeap {
     fn check_range(&self, addr: Addr, len: usize) -> Result<(usize, usize), HeapError> {
         let start = self.local(addr).ok_or(HeapError::Fault { addr, len })? as usize;
         let end = start.checked_add(len).ok_or(HeapError::Fault { addr, len })?;
-        if addr.is_null() || end > self.arena.len() || len == 0 {
+        if addr.is_null() || end > self.store.len() || len == 0 {
             return Err(HeapError::Fault { addr, len });
         }
         Ok((start, end))
@@ -487,9 +662,46 @@ impl SimHeap {
     ///
     /// [`HeapError::Fault`] when the range leaves the arena or `addr` is
     /// null.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a published heap, whose atomic arena cannot hand out
+    /// byte borrows — use [`SimHeap::read_vec`], [`SimHeap::read_into`]
+    /// or [`SimHeap::read_uint`] there.
     pub fn read(&self, addr: Addr, len: usize) -> Result<&[u8], HeapError> {
         let (start, end) = self.check_range(addr, len)?;
-        Ok(&self.arena[start..end])
+        match self.store.local_slice(start, end) {
+            Some(slice) => Ok(slice),
+            None => panic!(
+                "SimHeap::read borrows the local arena; published heaps must use \
+                 read_vec/read_into/read_uint"
+            ),
+        }
+    }
+
+    /// Read `len` bytes at `addr` into a fresh buffer (works on both
+    /// local and published heaps; same bounds policy as
+    /// [`SimHeap::read`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] as for [`SimHeap::read`].
+    pub fn read_vec(&self, addr: Addr, len: usize) -> Result<Vec<u8>, HeapError> {
+        let mut out = Vec::with_capacity(len);
+        self.read_into(addr, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Append `len` bytes at `addr` to `out` (works on both local and
+    /// published heaps; same bounds policy as [`SimHeap::read`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Fault`] as for [`SimHeap::read`].
+    pub fn read_into(&self, addr: Addr, len: usize, out: &mut Vec<u8>) -> Result<(), HeapError> {
+        let (start, _) = self.check_range(addr, len)?;
+        self.store.read_into(start, len, out);
+        Ok(())
     }
 
     /// Write `bytes` at `addr` with the same (arena-only) bounds policy as
@@ -500,8 +712,8 @@ impl SimHeap {
     /// [`HeapError::Fault`] when the range leaves the arena or `addr` is
     /// null.
     pub fn write(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), HeapError> {
-        let (start, end) = self.check_range(addr, bytes.len())?;
-        self.arena[start..end].copy_from_slice(bytes);
+        let (start, _) = self.check_range(addr, bytes.len())?;
+        self.store.write(start, bytes);
         Ok(())
     }
 
@@ -516,10 +728,8 @@ impl SimHeap {
     /// Panics if `width` is not 1, 2, 4 or 8.
     pub fn read_uint(&self, addr: Addr, width: usize) -> Result<u64, HeapError> {
         assert!(matches!(width, 1 | 2 | 4 | 8), "invalid width {width}");
-        let bytes = self.read(addr, width)?;
-        let mut buf = [0u8; 8];
-        buf[..width].copy_from_slice(bytes);
-        Ok(u64::from_le_bytes(buf))
+        let (start, _) = self.check_range(addr, width)?;
+        Ok(self.store.read_uint(start, width))
     }
 
     /// Write the low `width` bytes of `value` little-endian at `addr`.
@@ -533,8 +743,9 @@ impl SimHeap {
     /// Panics if `width` is not 1, 2, 4 or 8.
     pub fn write_uint(&mut self, addr: Addr, value: u64, width: usize) -> Result<(), HeapError> {
         assert!(matches!(width, 1 | 2 | 4 | 8), "invalid width {width}");
-        let bytes = value.to_le_bytes();
-        self.write(addr, &bytes[..width])
+        let (start, _) = self.check_range(addr, width)?;
+        self.store.write_uint(start, value, width);
+        Ok(())
     }
 
     /// Convenience: read a full 8-byte word.
@@ -555,17 +766,21 @@ impl SimHeap {
         self.write_uint(addr, value, 8)
     }
 
-    /// Checked read that must stay inside the block containing `addr`
-    /// (ASan-like precision, used by sanitizer tooling and tests).
+    /// The block-boundary check behind [`SimHeap::read_in_block`] /
+    /// [`SimHeap::write_in_block`], usable on its own (and on published
+    /// heaps, which cannot hand out the borrowing read): the access
+    /// must land in a live block and stay inside it.
     ///
     /// # Errors
     ///
-    /// [`HeapError::OutOfBlock`] when the access crosses its block, plus
-    /// the [`HeapError::Fault`] cases of [`SimHeap::read`].
-    pub fn read_in_block(&self, addr: Addr, len: usize) -> Result<&[u8], HeapError> {
+    /// [`HeapError::OutOfBlock`] when the access crosses its block, is
+    /// in no block, or the block is freed; [`HeapError::Fault`] when
+    /// the range leaves the arena.
+    pub fn check_in_block(&self, addr: Addr, len: usize) -> Result<(), HeapError> {
         let block = self.block_containing(addr).ok_or(
             // Inside the arena but in no block: a redzone/quarantine hit.
-            if self.local(addr).is_some_and(|l| (l as usize) < self.arena.len()) && !addr.is_null()
+            if self.local(addr).is_some_and(|l| (l as usize) < self.store.len())
+                && !addr.is_null()
             {
                 HeapError::OutOfBlock { addr, len }
             } else {
@@ -579,6 +794,23 @@ impl SimHeap {
         if addr.0 + len as u64 > block.base.0 + block.size as u64 {
             return Err(HeapError::OutOfBlock { addr, len });
         }
+        self.check_range(addr, len).map(|_| ())
+    }
+
+    /// Checked read that must stay inside the block containing `addr`
+    /// (ASan-like precision, used by sanitizer tooling and tests).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfBlock`] when the access crosses its block, plus
+    /// the [`HeapError::Fault`] cases of [`SimHeap::read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a published heap (see [`SimHeap::read`]); use
+    /// [`SimHeap::check_in_block`] + [`SimHeap::read_vec`] there.
+    pub fn read_in_block(&self, addr: Addr, len: usize) -> Result<&[u8], HeapError> {
+        self.check_in_block(addr, len)?;
         self.read(addr, len)
     }
 
@@ -588,21 +820,7 @@ impl SimHeap {
     ///
     /// As for [`SimHeap::read_in_block`].
     pub fn write_in_block(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), HeapError> {
-        let len = bytes.len();
-        let block = self.block_containing(addr).ok_or(
-            if self.local(addr).is_some_and(|l| (l as usize) < self.arena.len()) && !addr.is_null()
-            {
-                HeapError::OutOfBlock { addr, len }
-            } else {
-                HeapError::Fault { addr, len }
-            },
-        )?;
-        if block.state == BlockState::Freed {
-            return Err(HeapError::OutOfBlock { addr, len });
-        }
-        if addr.0 + bytes.len() as u64 > block.base.0 + block.size as u64 {
-            return Err(HeapError::OutOfBlock { addr, len: bytes.len() });
-        }
+        self.check_in_block(addr, bytes.len())?;
         self.write(addr, bytes)
     }
 
@@ -615,7 +833,7 @@ impl SimHeap {
     pub fn memmove(&mut self, dst: Addr, src: Addr, len: usize) -> Result<(), HeapError> {
         let (s_start, _) = self.check_range(src, len)?;
         let (d_start, _) = self.check_range(dst, len)?;
-        self.arena.copy_within(s_start..s_start + len, d_start);
+        self.store.copy_within(s_start, d_start, len);
         Ok(())
     }
 
@@ -625,8 +843,8 @@ impl SimHeap {
     ///
     /// [`HeapError::Fault`] when the range leaves the arena.
     pub fn memset(&mut self, addr: Addr, value: u8, len: usize) -> Result<(), HeapError> {
-        let (start, end) = self.check_range(addr, len)?;
-        self.arena[start..end].fill(value);
+        let (start, _) = self.check_range(addr, len)?;
+        self.store.fill(start, len, value);
         Ok(())
     }
 
@@ -960,6 +1178,71 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn published_heap_mirrors_blocks_for_lock_free_readers() {
+        let mut h = SimHeap::new_published(HeapConfig::default());
+        let a = h.malloc(32).unwrap();
+        h.write_u64(a, 0xFACE_FEED).unwrap();
+        assert_eq!(h.read_u64(a).unwrap(), 0xFACE_FEED);
+        assert_eq!(h.read_vec(a, 8).unwrap(), 0xFACE_FEEDu64.to_le_bytes());
+        let p = Arc::clone(h.publisher().unwrap());
+        match p.try_snapshot(a.0) {
+            SnapshotOutcome::Snap(s) => {
+                assert_eq!(s.base, a.0);
+                assert_eq!(s.heap_gen, 1);
+                assert_eq!(s.state, PUB_STATE_NONE, "no runtime metadata recorded yet");
+                assert_eq!(p.read_uint(a.0, 8), Some(0xFACE_FEED));
+                assert!(p.recheck(s.slot, s.seq));
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        // Reuse bumps the mirrored generation and invalidates rechecks.
+        let snap = match p.try_snapshot(a.0) {
+            SnapshotOutcome::Snap(s) => s,
+            other => panic!("expected snapshot, got {other:?}"),
+        };
+        h.free(a).unwrap();
+        let b = h.malloc(32).unwrap();
+        assert_eq!(a, b, "immediate reuse expected");
+        match p.try_snapshot(a.0) {
+            SnapshotOutcome::Snap(s) => assert_eq!(s.heap_gen, 2),
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        assert!(!p.recheck(snap.slot, snap.seq), "reuse must invalidate old snapshots");
+        assert!(h.check_in_block(b, 32).is_ok());
+        assert!(matches!(
+            h.check_in_block(b, 33).unwrap_err(),
+            HeapError::OutOfBlock { .. }
+        ));
+    }
+
+    #[test]
+    fn published_heap_matches_local_semantics() {
+        // The same op sequence on a local and a published heap must
+        // produce identical addresses, stats and visible bytes.
+        let cfg = HeapConfig { poison: Some(0xDD), zero_on_alloc: true, ..HeapConfig::default() };
+        let mut local = SimHeap::new(cfg);
+        let mut published = SimHeap::new_published(cfg);
+        for h in [&mut local, &mut published] {
+            let a = h.malloc(40).unwrap();
+            h.write_uint(a.offset(3), 0xAABB_CCDD, 4).unwrap();
+            let b = h.malloc(100).unwrap();
+            h.memset(b, 0x11, 64).unwrap();
+            h.memmove(b.offset(8), b, 16).unwrap();
+            h.free(a).unwrap();
+            let c = h.malloc(50).unwrap(); // same size class as `a`
+            assert_eq!(a, c);
+        }
+        assert_eq!(local.stats(), published.stats());
+        let probe = Addr(local.config().arena_base + ALIGN as u64);
+        let len = local.arena_len() - ALIGN;
+        assert_eq!(local.arena_len(), published.arena_len());
+        assert_eq!(
+            local.read_vec(probe, len).unwrap(),
+            published.read_vec(probe, len).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! A shared, atomically-addressable byte arena.
+//!
+//! The local arena (`Vec<u8>`) cannot be touched from two threads at
+//! once, so a published heap stores its bytes in a [`SharedArena`]
+//! instead: a chunked table of `AtomicU64` words the owning shard
+//! writes under its mutex (plain relaxed stores — the seqlock in
+//! [`publish`](crate::publish) provides the ordering) and lock-free
+//! readers load without any lock at all.
+//!
+//! Chunks are committed on demand through `OnceLock`, so the arena
+//! never reallocates: a word's address is stable for the heap's whole
+//! lifetime, which is what makes unsynchronized reader loads sound
+//! (there is no `Vec` growth to race with). Byte-granular accesses are
+//! decomposed into word load/merge/store sequences; tearing between
+//! words is resolved by the seqlock retry protocol one layer up.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Bytes per on-demand committed chunk.
+const CHUNK_BYTES: usize = 1 << 20;
+const WORDS_PER_CHUNK: usize = CHUNK_BYTES / 8;
+
+/// A growable byte arena over atomic words, shared between one writer
+/// (the shard that owns the heap, serialized by the shard mutex) and
+/// any number of lock-free readers.
+pub(crate) struct SharedArena {
+    /// On-demand committed chunks; a chunk, once committed, never moves.
+    chunks: Box<[OnceLock<Box<[AtomicU64]>>]>,
+    /// Committed byte length (the writer's `arena_len`). Readers never
+    /// consult this — they gate on chunk presence plus the seqlock.
+    len: AtomicUsize,
+}
+
+impl std::fmt::Debug for SharedArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedArena")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .field("chunk_slots", &self.chunks.len())
+            .finish()
+    }
+}
+
+impl SharedArena {
+    /// An arena able to commit up to `capacity` bytes.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let chunk_slots = capacity.div_ceil(CHUNK_BYTES).max(1);
+        SharedArena {
+            chunks: (0..chunk_slots).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Committed byte length.
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Commit chunks so that bytes `[0, new_len)` are addressable.
+    /// Writer-only; newly committed bytes read as zero.
+    pub(crate) fn grow_to(&self, new_len: usize) {
+        for chunk in 0..new_len.div_ceil(CHUNK_BYTES) {
+            self.chunks[chunk]
+                .get_or_init(|| (0..WORDS_PER_CHUNK).map(|_| AtomicU64::new(0)).collect());
+        }
+        if new_len > self.len.load(Ordering::Relaxed) {
+            self.len.store(new_len, Ordering::Release);
+        }
+    }
+
+    /// The word holding byte `8 * wi`, if its chunk is committed.
+    #[inline]
+    fn word(&self, wi: usize) -> Option<&AtomicU64> {
+        self.chunks.get(wi / WORDS_PER_CHUNK)?.get()?.get(wi % WORDS_PER_CHUNK)
+    }
+
+    #[inline]
+    fn word_committed(&self, wi: usize) -> &AtomicU64 {
+        self.word(wi).expect("access within the committed arena")
+    }
+
+    /// Lock-free little-endian integer load of `width` ∈ {1,2,4,8}
+    /// bytes at byte offset `start`; `None` when the range touches an
+    /// uncommitted chunk. Relaxed — callers order it with the seqlock.
+    #[inline]
+    pub(crate) fn read_uint(&self, start: usize, width: usize) -> Option<u64> {
+        debug_assert!(matches!(width, 1 | 2 | 4 | 8));
+        let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+        let shift = (start % 8) * 8;
+        let lo = self.word(start / 8)?.load(Ordering::Relaxed);
+        if start % 8 + width <= 8 {
+            Some((lo >> shift) & mask)
+        } else {
+            let hi = self.word(start / 8 + 1)?.load(Ordering::Relaxed);
+            Some(((lo >> shift) | (hi << (64 - shift))) & mask)
+        }
+    }
+
+    /// Writer-side integer store (load-merge-store; the shard mutex
+    /// excludes other writers, the seqlock orders racing readers).
+    pub(crate) fn write_uint(&self, start: usize, value: u64, width: usize) {
+        self.write(start, &value.to_le_bytes()[..width]);
+    }
+
+    /// Writer-side byte store.
+    pub(crate) fn write(&self, start: usize, bytes: &[u8]) {
+        let mut i = 0;
+        while i < bytes.len() {
+            let pos = start + i;
+            let (wi, off) = (pos / 8, pos % 8);
+            let n = (8 - off).min(bytes.len() - i);
+            let word = self.word_committed(wi);
+            let mut cur = word.load(Ordering::Relaxed).to_le_bytes();
+            cur[off..off + n].copy_from_slice(&bytes[i..i + n]);
+            word.store(u64::from_le_bytes(cur), Ordering::Relaxed);
+            i += n;
+        }
+    }
+
+    /// Writer-side fill.
+    pub(crate) fn fill(&self, start: usize, len: usize, value: u8) {
+        let mut i = 0;
+        while i < len {
+            let pos = start + i;
+            let (wi, off) = (pos / 8, pos % 8);
+            let n = (8 - off).min(len - i);
+            let word = self.word_committed(wi);
+            if n == 8 {
+                word.store(u64::from_le_bytes([value; 8]), Ordering::Relaxed);
+            } else {
+                let mut cur = word.load(Ordering::Relaxed).to_le_bytes();
+                cur[off..off + n].fill(value);
+                word.store(u64::from_le_bytes(cur), Ordering::Relaxed);
+            }
+            i += n;
+        }
+    }
+
+    /// Append bytes `[start, start + len)` to `out`.
+    pub(crate) fn read_into(&self, start: usize, len: usize, out: &mut Vec<u8>) {
+        out.reserve(len);
+        let mut i = 0;
+        while i < len {
+            let pos = start + i;
+            let (wi, off) = (pos / 8, pos % 8);
+            let n = (8 - off).min(len - i);
+            let cur = self.word_committed(wi).load(Ordering::Relaxed).to_le_bytes();
+            out.extend_from_slice(&cur[off..off + n]);
+            i += n;
+        }
+    }
+
+    /// Writer-side memmove (stages through a buffer, so overlap is
+    /// handled like `copy_within`).
+    pub(crate) fn copy_within(&self, src: usize, dst: usize, len: usize) {
+        let mut staged = Vec::with_capacity(len);
+        self.read_into(src, len, &mut staged);
+        self.write(dst, &staged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes_and_uints_across_word_boundaries() {
+        let a = SharedArena::new(1 << 16);
+        a.grow_to(256);
+        a.write(3, b"hello shared arena");
+        let mut out = Vec::new();
+        a.read_into(3, 18, &mut out);
+        assert_eq!(out, b"hello shared arena");
+        // Unaligned width-8 load spanning two words.
+        a.write_uint(13, 0xDEAD_BEEF_CAFE_F00D, 8);
+        assert_eq!(a.read_uint(13, 8), Some(0xDEAD_BEEF_CAFE_F00D));
+        assert_eq!(a.read_uint(13, 4), Some(0xCAFE_F00D));
+        assert_eq!(a.read_uint(13, 1), Some(0x0D));
+    }
+
+    #[test]
+    fn fill_and_copy_within_handle_partial_words() {
+        let a = SharedArena::new(1 << 16);
+        a.grow_to(128);
+        a.fill(5, 21, 0x5A);
+        let mut out = Vec::new();
+        a.read_into(4, 23, &mut out);
+        assert_eq!(out[0], 0);
+        assert!(out[1..22].iter().all(|&b| b == 0x5A));
+        assert_eq!(out[22], 0);
+        a.write(40, b"abcdefgh");
+        a.copy_within(40, 44, 8); // overlapping forward copy
+        let mut moved = Vec::new();
+        a.read_into(40, 12, &mut moved);
+        assert_eq!(moved, b"abcdabcdefgh");
+    }
+
+    #[test]
+    fn uncommitted_reads_are_none_and_growth_is_idempotent() {
+        let a = SharedArena::new(4 << 20);
+        assert_eq!(a.read_uint(0, 8), None);
+        a.grow_to(64);
+        a.grow_to(32); // shrink request: no-op
+        assert_eq!(a.len(), 64);
+        assert_eq!(a.read_uint(0, 8), Some(0));
+        // Within the committed chunk but past len: still addressable.
+        assert_eq!(a.read_uint(CHUNK_BYTES - 8, 8), Some(0));
+        // Next chunk is uncommitted.
+        assert_eq!(a.read_uint(CHUNK_BYTES, 8), None);
+    }
+}

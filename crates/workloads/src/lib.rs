@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod contend;
 pub mod gc;
 pub mod js;
 pub mod minijpeg;

@@ -72,6 +72,15 @@ cargo test -q --offline --release -p polar-runtime sharded
 cargo test -q --offline --release -p polar-workloads churn
 echo "ok: threaded stress green"
 
+echo "== lock-free stress smoke (release) =="
+# Read-dominated contention over one shared object set (the contend
+# mix): readers race writer seqlock windows with a torn-read oracle on
+# every load, thread count clamped to the detected parallelism. Checks
+# the counting partition (every read = one lock-free hit XOR one mutex
+# fallback) and that pure readers never leave the optimistic path.
+./target/release/stress_lockfree
+echo "ok: lock-free stress green"
+
 echo "== bench smoke (1 iteration) =="
 # A single-iteration pass through every benchmark: catches hot-path
 # regressions that only the bench harness exercises (e.g. the JSON
@@ -80,9 +89,11 @@ scripts/bench.sh --quick --snapshot smoke
 echo "ok: bench smoke green"
 
 echo "== bench gate (reduced-iteration, >25% regression fails) =="
-# Short timed measurement of the two gated hot paths compared against
-# the pinned shadow-index numbers; keeps the allocation fast path from
-# silently regressing without paying for a full bench run.
+# Short timed measurement of the gated hot paths (allocation, cached
+# getptr, and the 4-thread lock-free getptr curve row) against their
+# pins. Scaling pins recorded on a wider machine than this one
+# (pinned parallelism > detected) are skipped with a notice instead of
+# green-washing an incomparable measurement.
 ./target/release/bench_json --gate scripts/bench_baseline_seed.json
 echo "ok: bench gate green"
 
