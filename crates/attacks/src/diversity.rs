@@ -11,7 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
-use polar_layout::PlanHash;
+use polar_layout::{PlanHash, StatelessPolicy};
 use polar_runtime::{ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig};
 
 use crate::harness::Defense;
@@ -67,12 +67,18 @@ fn layouts_of_run(defense: &Defense, run: u64, instances: usize) -> Vec<PlanHash
             (RandomizeMode::static_olr(*binary_seed), RuntimeConfig::default())
         }
         Defense::Polar { process_seed, .. }
-        | Defense::PolarStateless { process_seed }
+        | Defense::PolarStateless { process_seed, .. }
         | Defense::Sharded { process_seed, .. } => {
             let mut c = RuntimeConfig::default();
             // Fresh process entropy per execution.
             c.seed = process_seed ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
-            c.stateless_small = matches!(defense, Defense::PolarStateless { .. });
+            // Mirror the harness configs: stateful plans for polar and
+            // sharded, derived plans (traps per variant) for stateless.
+            c.stateless = match defense {
+                Defense::PolarStateless { traps: true, .. } => StatelessPolicy::on(),
+                Defense::PolarStateless { traps: false, .. } => StatelessPolicy::permute_only(),
+                _ => StatelessPolicy::off(),
+            };
             (RandomizeMode::per_allocation(), c)
         }
     };
@@ -128,6 +134,9 @@ pub fn consecutive_share_rate(seed: u64, pool: PoolPolicy, pairs: usize) -> f64 
     let mut config = RuntimeConfig::default();
     config.seed = seed;
     config.pool = pool;
+    // This estimator characterizes the *stored-plan pool*; the stateless
+    // derived path never consults it, so pin it off.
+    config.stateless = StatelessPolicy::off();
     config.heap.capacity = 256 << 20;
     let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
     for _ in 0..2 * pool.size.max(1) {

@@ -36,13 +36,18 @@ pub enum Defense {
         /// purely probabilistic layout defense).
         detect: bool,
     },
-    /// POLaR with the stateless small-class path enabled: classes at or
-    /// under the stateless field bound get keyed-permutation layouts with
-    /// no dummies or traps (the SPAM-style space/detection trade-off);
-    /// metadata checks stay armed.
+    /// POLaR with the stateless small-class path: classes at or under
+    /// the stateless field bound get keyed-permutation layouts derived
+    /// from heap identity (SPAM-style). With `traps` on — the runtime's
+    /// default — the derived plans interleave virtual booby-trap slots
+    /// whose geometry rederives from the same identity; with `traps`
+    /// off this is the original permute-only space/detection trade-off,
+    /// kept as a measured ablation. Metadata checks stay armed.
     PolarStateless {
         /// The process's runtime entropy (fresh per execution).
         process_seed: u64,
+        /// Whether derived plans carry virtual booby traps.
+        traps: bool,
     },
     /// POLaR on the concurrent sharded runtime facade (single-context
     /// embedding: allocations from shard 0, accesses routed by address).
@@ -64,9 +69,15 @@ impl Defense {
         Defense::Polar { process_seed, detect: true }
     }
 
-    /// POLaR with the stateless small-class path on.
+    /// POLaR with the stateless small-class path on, virtual traps
+    /// included (the runtime's default posture for small classes).
     pub fn polar_stateless(process_seed: u64) -> Self {
-        Defense::PolarStateless { process_seed }
+        Defense::PolarStateless { process_seed, traps: true }
+    }
+
+    /// The permute-only stateless ablation: no virtual traps.
+    pub fn polar_stateless_notraps(process_seed: u64) -> Self {
+        Defense::PolarStateless { process_seed, traps: false }
     }
 
     /// POLaR on the sharded facade (four shards).
@@ -81,7 +92,8 @@ impl Defense {
             Defense::StaticOlr { .. } => "static-olr",
             Defense::Polar { detect: true, .. } => "polar",
             Defense::Polar { detect: false, .. } => "polar(no-detect)",
-            Defense::PolarStateless { .. } => "polar-stateless",
+            Defense::PolarStateless { traps: true, .. } => "polar-stateless",
+            Defense::PolarStateless { traps: false, .. } => "stateless-notraps",
             Defense::Sharded { .. } => "sharded",
             Defense::Redzone => "redzone",
         }
@@ -105,13 +117,25 @@ impl Defense {
                 config.detect_class_mismatch = *detect;
                 config.detect_use_after_free = *detect;
                 config.check_traps_on_free = *detect;
+                config.detect_probe_traps = *detect;
+                // The "polar" scorecard row measures the *stateful*
+                // engine path (stored plans, engine-drawn dummies);
+                // keep it pinned there even though the runtime default
+                // flipped small classes to stateless.
+                config.stateless = polar_layout::StatelessPolicy::off();
             }
-            Defense::PolarStateless { process_seed } => {
+            Defense::PolarStateless { process_seed, traps } => {
                 config.seed = *process_seed;
-                config.stateless_small = true;
+                config.stateless = if *traps {
+                    polar_layout::StatelessPolicy::on()
+                } else {
+                    polar_layout::StatelessPolicy::permute_only()
+                };
             }
             Defense::Sharded { process_seed, .. } => {
                 config.seed = *process_seed;
+                // Stateful plans on every shard, as for `polar`.
+                config.stateless = polar_layout::StatelessPolicy::off();
                 // The scenarios touch a few hundred bytes; a small total
                 // arena keeps per-trial facade construction cheap.
                 config.heap.capacity = 4 << 20;

@@ -52,19 +52,24 @@ pub enum SecMode {
     StaticOlr,
     /// POLaR with detections armed.
     Polar,
-    /// POLaR with the stateless small-class path.
+    /// POLaR with the stateless small-class path (virtual traps on —
+    /// the runtime's small-class default).
     PolarStateless,
+    /// The stateless permute-only ablation: derived layouts, no virtual
+    /// traps (the original SPAM-style space/detection trade-off).
+    StatelessNoTraps,
     /// POLaR on the sharded concurrent runtime facade.
     Sharded,
 }
 
 impl SecMode {
     /// Every mode, in scorecard order.
-    pub const ALL: [SecMode; 5] = [
+    pub const ALL: [SecMode; 6] = [
         SecMode::Native,
         SecMode::StaticOlr,
         SecMode::Polar,
         SecMode::PolarStateless,
+        SecMode::StatelessNoTraps,
         SecMode::Sharded,
     ];
 
@@ -80,6 +85,7 @@ impl SecMode {
             SecMode::StaticOlr => Defense::StaticOlr { binary_seed: STATIC_BINARY_SEED },
             SecMode::Polar => Defense::polar(trial_seed),
             SecMode::PolarStateless => Defense::polar_stateless(trial_seed),
+            SecMode::StatelessNoTraps => Defense::polar_stateless_notraps(trial_seed),
             SecMode::Sharded => Defense::sharded(trial_seed),
         }
     }
@@ -507,7 +513,11 @@ impl AdaptiveScenario for MisalignedProbe {
                             probes += 1;
                             let off = u64::from(arg) % PROBE_WINDOW;
                             tokens.push(TOK_PROBE | off);
-                            match rt.heap_read_uint(Addr(v.0 + off), 8) {
+                            // Probe reads go through the trap-screened
+                            // path: a read overlapping a booby-trap slot
+                            // (stored or stateless-derived) is a
+                            // detection, not a silent leak.
+                            match rt.probe_read_uint(Addr(v.0 + off), 8) {
                                 Ok(value) => {
                                     if value == secret {
                                         recovered = true;
@@ -517,8 +527,8 @@ impl AdaptiveScenario for MisalignedProbe {
                                         score += 5;
                                     }
                                 }
-                                Err(_) => {
-                                    early = Some(AttackOutcome::Crashed);
+                                Err(err) => {
+                                    early = Some(classify_runtime_err(&err));
                                     break 'vm;
                                 }
                             }

@@ -20,10 +20,14 @@
 //! smoke-test that the benches still execute without paying for a full
 //! measurement (`scripts/check.sh` uses this).
 //!
-//! `--gate FILE` runs a reduced-iteration timed measurement of the two
-//! gated benches (`olr_getptr_cached` and `olr_malloc_free` in polar
-//! mode), compares each against the fastest pinned entry for that bench
-//! in FILE, and exits non-zero on a >25% regression. This keeps the
+//! `--gate FILE` runs a reduced-iteration timed measurement of the
+//! gated `(bench, mode)` rows (`olr_malloc_free` and
+//! `olr_getptr_cached`, each in stateful `polar` and derived
+//! `polar-stateless` mode, plus the lock-free `olr_getptr_mt4`),
+//! compares each against the fastest pinned entry for that row in
+//! FILE, and exits non-zero on a >25% regression. It also re-measures
+//! the pooled/stateless `metadata_bytes` ratio (the Table III claim)
+//! and fails if it shrinks >25% below the pinned ratio. This keeps the
 //! allocation fast path honest without paying for a full bench run.
 //!
 //! The `_mtN` rows drive a [`ShardedRuntime`] with N threads; their
@@ -47,6 +51,7 @@ use polar_ir::trace::NopTracer;
 use polar_ir::Inst;
 use polar_runtime::{
     ObjectRuntime, PoolPolicy, RandomizeMode, RuntimeConfig, ShardedRuntime, SiteCache,
+    StatelessPolicy,
 };
 use polar_workloads::contend::{run_contend, ContendConfig};
 
@@ -67,9 +72,19 @@ fn probe() -> Arc<ClassInfo> {
     ))
 }
 
+/// Default-policy config (stateless derivation on for small classes).
 fn big_config() -> RuntimeConfig {
     let mut c = RuntimeConfig::default();
     c.heap.capacity = 1 << 30;
+    c
+}
+
+/// Stateful pooled config: the pre-stateless "polar" rows. Pinned
+/// snapshots label these `mode: "polar"`, so the ablation rows that
+/// measure the derived path must not leak into them.
+fn pooled_config() -> RuntimeConfig {
+    let mut c = big_config();
+    c.stateless = StatelessPolicy::off();
     c
 }
 
@@ -161,12 +176,13 @@ fn run_benches(quick: bool) -> Vec<Entry> {
     let mut out = Vec::new();
     let samples = 5;
 
-    // alloc + free pair, per-allocation and static OLR.
+    // alloc + free pair, per-allocation (stateful pooled) and static
+    // OLR.
     for (mode, label) in [
         (RandomizeMode::per_allocation(), "polar"),
         (RandomizeMode::static_olr(7), "static-olr"),
     ] {
-        let mut rt = ObjectRuntime::new(mode, big_config());
+        let mut rt = ObjectRuntime::new(mode, pooled_config());
         let ns = time_loop(quick, 200_000, samples, || {
             let a = rt.olr_malloc(&info).expect("alloc");
             rt.olr_free(a).expect("free");
@@ -175,17 +191,23 @@ fn run_benches(quick: bool) -> Vec<Entry> {
     }
 
     // Ablations of the allocation fast path: pool disabled (every
-    // allocation regenerates its plan) and the stateless small-class
-    // permutation (no per-object plan storage at all).
+    // allocation regenerates its stored plan), the derived stateless
+    // path with virtual traps (the small-class default), and the
+    // permute-only variant (no traps, pure Feistel layout).
     for (label, cfg) in [
         ("polar-unpooled", {
-            let mut c = big_config();
+            let mut c = pooled_config();
             c.pool = PoolPolicy::disabled();
             c
         }),
         ("polar-stateless", {
             let mut c = big_config();
-            c.stateless_small = true;
+            c.stateless = StatelessPolicy::on();
+            c
+        }),
+        ("stateless-notraps", {
+            let mut c = big_config();
+            c.stateless = StatelessPolicy::permute_only();
             c
         }),
     ] {
@@ -197,21 +219,27 @@ fn run_benches(quick: bool) -> Vec<Entry> {
         out.push(entry("olr_malloc_free", label, ns, &rt));
     }
 
-    // The headline: cache-warm member access on a single hot object.
-    {
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+    // The headline: cache-warm member access on a single hot object —
+    // stateful pooled plans, then the derived stateless plan (same op,
+    // plan cached in the SiteCache/PubSlot mirror after the first
+    // access, so warm cost must land within a few percent).
+    for (label, cfg) in [
+        ("polar", pooled_config()),
+        ("polar-stateless", big_config()),
+    ] {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), cfg);
         let obj = rt.olr_malloc(&info).expect("alloc");
         rt.olr_getptr(obj, info.hash(), 1).expect("warm");
         let hash = info.hash();
         let ns = time_loop(quick, 2_000_000, samples, || {
             rt.olr_getptr(obj, hash, 1).expect("access");
         });
-        out.push(entry("olr_getptr_cached", "polar", ns, &rt));
+        out.push(entry("olr_getptr_cached", label, ns, &rt));
     }
 
     // Offset cache disabled (the paper's Section V-B ablation).
     {
-        let mut config = big_config();
+        let mut config = pooled_config();
         config.offset_cache = false;
         let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
         let obj = rt.olr_malloc(&info).expect("alloc");
@@ -225,7 +253,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
     // Member access round-robin over many live objects: stresses the
     // metadata *lookup* structure rather than one hot entry.
     {
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), pooled_config());
         let objs: Vec<_> = (0..256)
             .map(|_| rt.olr_malloc(&info).expect("alloc"))
             .collect();
@@ -244,7 +272,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
 
     // read_field: getptr + metadata width lookup + heap load.
     {
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), pooled_config());
         let obj = rt.olr_malloc(&info).expect("alloc");
         rt.write_field(obj, info.hash(), 1, 42).expect("write");
         let hash = info.hash();
@@ -256,7 +284,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
 
     // Object copy with re-randomization.
     {
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), pooled_config());
         let src = rt.olr_malloc(&info).expect("alloc");
         let dst = rt.malloc_raw(128).expect("alloc");
         let ns = time_loop(quick, 200_000, samples, || {
@@ -269,7 +297,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
     // machine — exercises the per-GEP-site inline caches.
     {
         let (module, inner_iters) = interp_loop_module();
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), pooled_config());
         let quick_iters = if quick { 1 } else { 20 };
         let mut best = f64::INFINITY;
         for _ in 0..quick_iters {
@@ -293,7 +321,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
     for threads in [2u64, 4, 8] {
         let rt = ShardedRuntime::new(
             RandomizeMode::per_allocation(),
-            big_config(),
+            pooled_config(),
             threads as usize,
         );
         let ns = time_mt(quick, threads, 50_000, samples, &|t, n| {
@@ -320,7 +348,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
     for threads in [1u64, 2, 4, 8] {
         let rt = ShardedRuntime::new(
             RandomizeMode::per_allocation(),
-            big_config(),
+            pooled_config(),
             threads.max(2) as usize,
         );
         let objs: Vec<_> = (0..threads)
@@ -348,7 +376,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
         let threads = 4u64;
         let rt = ShardedRuntime::new(
             RandomizeMode::per_allocation(),
-            big_config(),
+            pooled_config(),
             threads as usize,
         );
         let objs: Vec<_> = (0..threads)
@@ -411,30 +439,34 @@ fn run_benches(quick: bool) -> Vec<Entry> {
 /// Cheaper than `run_benches` (seconds, not minutes) but still real
 /// measurements, unlike `--quick`. Each closure is only invoked when
 /// the gate decides the pin is comparable on this machine.
-fn gate_measurements() -> Vec<(&'static str, Box<dyn FnOnce() -> f64>)> {
+fn gate_measurements() -> Vec<(&'static str, &'static str, Box<dyn FnOnce() -> f64>)> {
     // Best-of-8 over short loops: cheap (tens of ms total) but stable
     // enough that scheduler noise doesn't trip the 25% tolerance.
     let samples = 8;
 
-    let malloc_free = Box::new(move || {
-        let info = probe();
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
-        time_loop(false, 40_000, samples, || {
-            let a = rt.olr_malloc(&info).expect("alloc");
-            rt.olr_free(a).expect("free");
+    let malloc_free = |cfg: RuntimeConfig| {
+        Box::new(move || {
+            let info = probe();
+            let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), cfg);
+            time_loop(false, 40_000, samples, || {
+                let a = rt.olr_malloc(&info).expect("alloc");
+                rt.olr_free(a).expect("free");
+            })
         })
-    });
+    };
 
-    let getptr_cached = Box::new(move || {
-        let info = probe();
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), big_config());
-        let obj = rt.olr_malloc(&info).expect("alloc");
-        let hash = info.hash();
-        rt.olr_getptr(obj, hash, 1).expect("warm");
-        time_loop(false, 500_000, samples, || {
-            rt.olr_getptr(obj, hash, 1).expect("access");
+    let getptr_cached = |cfg: RuntimeConfig| {
+        Box::new(move || {
+            let info = probe();
+            let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), cfg);
+            let obj = rt.olr_malloc(&info).expect("alloc");
+            let hash = info.hash();
+            rt.olr_getptr(obj, hash, 1).expect("warm");
+            time_loop(false, 500_000, samples, || {
+                rt.olr_getptr(obj, hash, 1).expect("access");
+            })
         })
-    });
+    };
 
     // The lock-free read path, same shape as the olr_getptr_mt4 bench
     // row but with reduced iterations.
@@ -443,7 +475,7 @@ fn gate_measurements() -> Vec<(&'static str, Box<dyn FnOnce() -> f64>)> {
         let threads = 4u64;
         let rt = ShardedRuntime::new(
             RandomizeMode::per_allocation(),
-            big_config(),
+            pooled_config(),
             threads as usize,
         );
         let objs: Vec<_> = (0..threads)
@@ -470,11 +502,48 @@ fn gate_measurements() -> Vec<(&'static str, Box<dyn FnOnce() -> f64>)> {
         })
     });
 
+    let stateless_cfg = || {
+        let mut c = big_config();
+        c.stateless = StatelessPolicy::on();
+        c
+    };
     vec![
-        ("olr_malloc_free", malloc_free as Box<dyn FnOnce() -> f64>),
-        ("olr_getptr_cached", getptr_cached),
-        ("olr_getptr_mt4", getptr_mt4),
+        (
+            "olr_malloc_free",
+            "polar",
+            malloc_free(pooled_config()) as Box<dyn FnOnce() -> f64>,
+        ),
+        ("olr_malloc_free", "polar-stateless", malloc_free(stateless_cfg())),
+        ("olr_getptr_cached", "polar", getptr_cached(pooled_config())),
+        ("olr_getptr_cached", "polar-stateless", getptr_cached(stateless_cfg())),
+        ("olr_getptr_mt4", "polar", getptr_mt4),
     ]
+}
+
+/// The Table III claim, measured: metadata bytes under the stateful
+/// pooled config vs the derived stateless config, after the *same*
+/// malloc/free churn the pinned `olr_malloc_free` rows ran (the
+/// `time_loop(.., 200_000, 5, ..)` shape: warmup plus 5 samples —
+/// 1,020,001 alloc/free pairs). Methodology matters here: under churn
+/// the pooled interner keeps absorbing fresh pool plans while the
+/// stateless interner is capped at the class's `n!` derived layouts, so
+/// the pinned ratio is only reproducible by churning the same amount —
+/// a live-population measurement would be dominated by the shadow slab
+/// both modes share and gate nothing. Returns (pooled, stateless).
+fn gate_metadata_bytes() -> (usize, usize) {
+    const CHURN: usize = 200_000 / 10 + 1 + 5 * 200_000;
+    let info = probe();
+    let run = |cfg: RuntimeConfig| -> usize {
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), cfg);
+        for _ in 0..CHURN {
+            let a = rt.olr_malloc(&info).expect("alloc");
+            rt.olr_free(a).expect("free");
+        }
+        rt.estimated_metadata_bytes()
+    };
+    let mut stateless = big_config();
+    stateless.stateless = StatelessPolicy::on();
+    (run(pooled_config()), run(stateless))
 }
 
 /// `--gate FILE`: fail (exit 1) if any gated bench regresses >25%
@@ -494,18 +563,18 @@ fn run_gate(pin_path: &str) -> i32 {
     let pins = parse_entries(&text, "pinned");
     let here = detected_parallelism();
     let mut failed = false;
-    for (bench, measure) in gate_measurements() {
+    for (bench, mode, measure) in gate_measurements() {
         let pinned = pins
             .iter()
-            .filter(|e| e.bench == bench && e.mode == "polar" && e.ns_per_op > 0.0)
+            .filter(|e| e.bench == bench && e.mode == mode && e.ns_per_op > 0.0)
             .min_by(|a, b| a.ns_per_op.total_cmp(&b.ns_per_op));
         let Some(pin) = pinned else {
-            eprintln!("gate: no pinned polar entry for {bench} in {pin_path}, skipping");
+            eprintln!("gate: no pinned {mode} entry for {bench} in {pin_path}, skipping");
             continue;
         };
         if pin.parallelism > here {
             eprintln!(
-                "gate: {bench}: pin measured with parallelism {}, this machine \
+                "gate: {bench}/{mode}: pin measured with parallelism {}, this machine \
                  detects {here} — skipping (scaling claim not comparable)",
                 pin.parallelism
             );
@@ -515,12 +584,41 @@ fn run_gate(pin_path: &str) -> i32 {
         let limit = pin.ns_per_op * TOLERANCE;
         let verdict = if measured > limit { "FAIL" } else { "ok" };
         eprintln!(
-            "gate: {bench}: {measured:.2} ns/op (pinned {:.2}, limit {limit:.2}) {verdict}",
+            "gate: {bench}/{mode}: {measured:.2} ns/op (pinned {:.2}, limit {limit:.2}) {verdict}",
             pin.ns_per_op
         );
         if measured > limit {
             failed = true;
         }
+    }
+    // Metadata gate: the stateless path's raison d'être is the Table III
+    // metadata reduction. Re-measure the pooled/stateless byte ratio
+    // under the pinned rows' own churn workload and require it to stay
+    // within TOLERANCE of the ratio those rows recorded.
+    let pin_meta = |mode: &str| {
+        pins.iter()
+            .find(|e| e.bench == "olr_malloc_free" && e.mode == mode && e.metadata_bytes > 0)
+            .map(|e| e.metadata_bytes as f64)
+    };
+    match (pin_meta("polar"), pin_meta("polar-stateless")) {
+        (Some(pool_pin), Some(sl_pin)) => {
+            let pinned_ratio = pool_pin / sl_pin;
+            let (pool_now, sl_now) = gate_metadata_bytes();
+            let ratio = pool_now as f64 / sl_now.max(1) as f64;
+            let floor = pinned_ratio / TOLERANCE;
+            let verdict = if ratio < floor { "FAIL" } else { "ok" };
+            eprintln!(
+                "gate: metadata_bytes ratio pooled/stateless: {ratio:.1}x \
+                 ({pool_now}/{sl_now} B; pinned {pinned_ratio:.1}x, floor {floor:.1}x) {verdict}"
+            );
+            if ratio < floor {
+                failed = true;
+            }
+        }
+        _ => eprintln!(
+            "gate: no pinned metadata_bytes for olr_malloc_free polar+polar-stateless, \
+             skipping metadata ratio check"
+        ),
     }
     if failed {
         eprintln!("gate: perf regression >25% vs {pin_path}");

@@ -1,0 +1,104 @@
+//! Scratch profiler (not wired into CI).
+use std::sync::Arc;
+use std::time::Instant;
+
+use polar_classinfo::{ClassDecl, ClassInfo, FieldKind};
+use polar_layout::{EpochKey, PermBlock, RoundKeys, StatelessPolicy};
+use polar_runtime::{ObjectRuntime, RandomizeMode, RuntimeConfig};
+
+fn probe() -> Arc<ClassInfo> {
+    Arc::new(ClassInfo::from_decl(
+        ClassDecl::builder("Probe")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("a", FieldKind::I64)
+            .field("b", FieldKind::I32)
+            .field("c", FieldKind::I32)
+            .build(),
+    ))
+}
+
+fn time(label: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    println!("{label:<32} {best:>8.2} ns/op");
+}
+
+fn main() {
+    let info = probe();
+    let mk = |st: StatelessPolicy| {
+        let mut c = RuntimeConfig::default();
+        c.heap.capacity = 1 << 30;
+        c.stateless = st;
+        ObjectRuntime::new(RandomizeMode::per_allocation(), c)
+    };
+
+    {
+        let mut rt = mk(StatelessPolicy::off());
+        time("pooled malloc+free", 200_000, || {
+            let a = rt.olr_malloc(&info).unwrap();
+            rt.olr_free(a).unwrap();
+        });
+    }
+    {
+        let mut rt = mk(StatelessPolicy::on());
+        time("stateless+traps malloc+free", 200_000, || {
+            let a = rt.olr_malloc(&info).unwrap();
+            rt.olr_free(a).unwrap();
+        });
+    }
+    {
+        let mut rt = mk(StatelessPolicy::permute_only());
+        time("stateless-notraps malloc+free", 200_000, || {
+            let a = rt.olr_malloc(&info).unwrap();
+            rt.olr_free(a).unwrap();
+        });
+    }
+    {
+        let mut rt = mk(StatelessPolicy::off());
+        time("raw malloc+free (no olr)", 200_000, || {
+            let a = rt.malloc_raw(48).unwrap();
+            rt.free_raw(a).unwrap();
+        });
+    }
+    {
+        let keys = RoundKeys::new(EpochKey(0x1234_5678));
+        let mut block = PermBlock::empty();
+        let mut gen = 0u64;
+        let mut acc = 0u32;
+        time("code_for same slot, gen++", 200_000, || {
+            gen += 1;
+            acc ^= block.code_for(&keys, 7, gen, 4);
+        });
+        std::hint::black_box(acc);
+    }
+    {
+        let keys = RoundKeys::new(EpochKey(0x1234_5678));
+        let mut gen = 0u64;
+        let mut acc = 0u32;
+        time("perm_code unbuffered", 200_000, || {
+            gen += 1;
+            acc ^= keys.perm_code(gen, 7, 4);
+        });
+        std::hint::black_box(acc);
+    }
+
+    {
+        let keys = RoundKeys::new(EpochKey(0x1234_5678));
+        let mut gen = 0u64;
+        let mut acc = 0u8;
+        time("mapping alone", 200_000, || {
+            gen += 1;
+            acc ^= keys.mapping(gen, 7)[3];
+        });
+        std::hint::black_box(acc);
+    }
+}

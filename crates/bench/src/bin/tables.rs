@@ -237,6 +237,11 @@ fn security() {
                 Box::new(|t| Defense::polar_stateless(0xB000 + t)),
                 Attacker::BinaryAware,
             ),
+            (
+                "stateless-notraps",
+                Box::new(|t| Defense::polar_stateless_notraps(0xB800 + t)),
+                Attacker::BinaryAware,
+            ),
             ("sharded", Box::new(|t| Defense::sharded(0xC000 + t)), Attacker::BinaryAware),
             ("redzone", Box::new(|_| Defense::Redzone), Attacker::BinaryAware),
         ];
@@ -430,18 +435,29 @@ fn metadata() {
 }
 
 fn ablation(reps: u32) {
-    heading("Ablation — layout policy vs entropy and per-operation cost");
+    heading("Ablation — layout policy vs entropy, per-op cost, and metadata footprint");
     println!(
-        "{:<24} {:>14} {:>16} {:>14}",
-        "policy", "entropy (bits)", "alloc+free (ns)", "getptr (ns)"
+        "{:<24} {:>14} {:>16} {:>12} {:>11} {:>10}",
+        "policy", "entropy (bits)", "alloc+free (ns)", "getptr (ns)", "meta bytes", "traps/obj"
     );
-    println!("{}", "-".repeat(72));
+    println!("{}", "-".repeat(92));
     for row in ablation_rows(reps) {
         println!(
-            "{:<24} {:>14.2} {:>16.0} {:>14.1}",
-            row.label, row.entropy_bits, row.alloc_ns, row.access_ns
+            "{:<24} {:>14.2} {:>16.0} {:>12.1} {:>11} {:>10.2}",
+            row.label,
+            row.entropy_bits,
+            row.alloc_ns,
+            row.access_ns,
+            row.metadata_bytes,
+            row.trap_slots
         );
     }
+    println!(
+        "\n(meta bytes with {} objects live; traps/obj = armed booby-trap slots",
+        polar_bench::ABLATION_LIVE
+    );
+    println!(" per object — stored canaried dummies, or derived virtual trap slots");
+    println!(" for the stateless rows, which store no per-object plan at all)");
 }
 
 fn main() {

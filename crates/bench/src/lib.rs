@@ -331,19 +331,28 @@ pub fn sites_rows() -> Vec<SitesRow> {
         .collect()
 }
 
-/// Ablation row: a layout policy's entropy and per-operation runtime cost.
+/// Ablation row: a layout policy's entropy and per-operation runtime
+/// cost, plus the metadata and trap footprint the mode actually pays
+/// (per-mode — stored plans vs derived stateless state).
 #[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Policy label.
     pub label: String,
-    /// Analytic entropy (bits) on a 16-field probe class (large enough
-    /// that cache-line-aware mode splits it into multiple groups).
+    /// Analytic entropy (bits) on the row's probe class.
     pub entropy_bits: f64,
     /// Mean `olr_malloc` + `olr_free` cost (nanoseconds).
     pub alloc_ns: f64,
     /// Mean cached `olr_getptr` cost (nanoseconds).
     pub access_ns: f64,
+    /// Metadata bytes retained with [`ABLATION_LIVE`] objects live.
+    pub metadata_bytes: usize,
+    /// Mean armed booby-trap slots per live object (canaried dummies
+    /// for stored plans, derived virtual traps for stateless plans).
+    pub trap_slots: f64,
 }
+
+/// Live objects held when an ablation row samples `metadata_bytes`.
+pub const ABLATION_LIVE: u32 = 512;
 
 fn ablation_probe() -> Arc<polar_classinfo::ClassInfo> {
     use polar_classinfo::{ClassDecl, FieldKind};
@@ -387,27 +396,59 @@ pub fn ablation_rows(_reps: u32) -> Vec<AblationRow> {
 
     const ALLOCS: u32 = 30_000;
     const ACCESSES: u32 = 300_000;
+
+    // One measurement body for every row: time the churn and access
+    // loops, then hold ABLATION_LIVE objects and sample what the mode
+    // actually stores (metadata bytes + armed trap slots per object).
+    let measure = |label: String, entropy_bits: f64, probe: &Arc<polar_classinfo::ClassInfo>,
+                   mode: RandomizeMode, mut config: RuntimeConfig| {
+        config.heap.capacity = 1 << 30;
+        let fields = probe.field_count();
+        let mut rt = ObjectRuntime::new(mode, config);
+        let start = Instant::now();
+        for _ in 0..ALLOCS {
+            let a = rt.olr_malloc(probe).expect("alloc");
+            rt.olr_free(a).expect("free");
+        }
+        let alloc_ns = start.elapsed().as_nanos() as f64 / f64::from(ALLOCS);
+        let obj = rt.olr_malloc(probe).expect("alloc");
+        let start = Instant::now();
+        for i in 0..ACCESSES {
+            rt.olr_getptr(obj, probe.hash(), (i as usize) % fields).expect("access");
+        }
+        let access_ns = start.elapsed().as_nanos() as f64 / f64::from(ACCESSES);
+        let mut live = vec![obj];
+        for _ in 1..ABLATION_LIVE {
+            live.push(rt.olr_malloc(probe).expect("alloc"));
+        }
+        let armed: usize = live
+            .iter()
+            .map(|&o| {
+                rt.object_meta(o).map_or(0, |m| {
+                    m.plan.dummies().iter().filter(|d| d.canary.is_some()).count()
+                })
+            })
+            .sum();
+        AblationRow {
+            label,
+            entropy_bits,
+            alloc_ns,
+            access_ns,
+            metadata_bytes: rt.estimated_metadata_bytes(),
+            trap_slots: armed as f64 / f64::from(ABLATION_LIVE),
+        }
+    };
+
     let mut rows: Vec<AblationRow> = policies
         .into_iter()
         .map(|(label, policy)| {
             let entropy_bits = polar_layout::entropy::layout_entropy_bits(&probe, &policy);
             let mut config = RuntimeConfig::default();
-            config.heap.capacity = 1 << 30;
-            let mut rt =
-                ObjectRuntime::new(RandomizeMode::PerAllocation { policy }, config);
-            let start = Instant::now();
-            for _ in 0..ALLOCS {
-                let a = rt.olr_malloc(&probe).expect("alloc");
-                rt.olr_free(a).expect("free");
-            }
-            let alloc_ns = start.elapsed().as_nanos() as f64 / f64::from(ALLOCS);
-            let obj = rt.olr_malloc(&probe).expect("alloc");
-            let start = Instant::now();
-            for i in 0..ACCESSES {
-                rt.olr_getptr(obj, probe.hash(), (i % 16) as usize).expect("access");
-            }
-            let access_ns = start.elapsed().as_nanos() as f64 / f64::from(ACCESSES);
-            AblationRow { label, entropy_bits, alloc_ns, access_ns }
+            // Stored-plan rows: the stateless path would shadow the
+            // policy under test for small classes (and skips the large
+            // probe anyway), so pin it off.
+            config.stateless = polar_runtime::StatelessPolicy::off();
+            measure(label, entropy_bits, &probe, RandomizeMode::PerAllocation { policy }, config)
         })
         .collect();
 
@@ -417,29 +458,65 @@ pub fn ablation_rows(_reps: u32) -> Vec<AblationRow> {
         let policy = polar_layout::RandomizationPolicy::default();
         let entropy_bits = polar_layout::entropy::layout_entropy_bits(&probe, &policy);
         let mut config = RuntimeConfig::default();
-        config.heap.capacity = 1 << 30;
+        config.stateless = polar_runtime::StatelessPolicy::off();
         config.offset_cache = false;
-        let mut rt = ObjectRuntime::new(RandomizeMode::PerAllocation { policy }, config);
-        let start = Instant::now();
-        for _ in 0..ALLOCS {
-            let a = rt.olr_malloc(&probe).expect("alloc");
-            rt.olr_free(a).expect("free");
-        }
-        let alloc_ns = start.elapsed().as_nanos() as f64 / f64::from(ALLOCS);
-        let obj = rt.olr_malloc(&probe).expect("alloc");
-        let start = Instant::now();
-        for i in 0..ACCESSES {
-            rt.olr_getptr(obj, probe.hash(), (i % 16) as usize).expect("access");
-        }
-        let access_ns = start.elapsed().as_nanos() as f64 / f64::from(ACCESSES);
-        rows.push(AblationRow {
-            label: "default, cache OFF".into(),
+        rows.push(measure(
+            "default, cache OFF".into(),
             entropy_bits,
-            alloc_ns,
-            access_ns,
-        });
+            &probe,
+            RandomizeMode::PerAllocation { policy },
+            config,
+        ));
+    }
+
+    // The stateless derived path (small classes only): pooled stored
+    // plans vs derived-with-traps vs derived permute-only, all on the
+    // same ≤8-field probe so metadata_bytes and trap columns compare
+    // like for like.
+    {
+        let small = ablation_small_probe();
+        let perm_bits = polar_layout::entropy::layout_entropy_bits(
+            &small,
+            &polar_layout::RandomizationPolicy::permute_only(),
+        );
+        let stored_bits = polar_layout::entropy::layout_entropy_bits(
+            &small,
+            &polar_layout::RandomizationPolicy::default(),
+        );
+        for (label, bits, stateless) in [
+            ("small: pooled stored", stored_bits, polar_runtime::StatelessPolicy::off()),
+            ("small: stateless+traps", perm_bits, polar_runtime::StatelessPolicy::on()),
+            (
+                "small: stateless-notraps",
+                perm_bits,
+                polar_runtime::StatelessPolicy::permute_only(),
+            ),
+        ] {
+            let mut config = RuntimeConfig::default();
+            config.stateless = stateless;
+            rows.push(measure(
+                label.into(),
+                bits,
+                &small,
+                RandomizeMode::per_allocation(),
+                config,
+            ));
+        }
     }
     rows
+}
+
+/// A ≤8-field probe the stateless path applies to.
+fn ablation_small_probe() -> Arc<polar_classinfo::ClassInfo> {
+    use polar_classinfo::{ClassDecl, FieldKind};
+    Arc::new(polar_classinfo::ClassInfo::from_decl(
+        ClassDecl::builder("AblationSmall")
+            .field("vtable", FieldKind::VtablePtr)
+            .field("a", FieldKind::I64)
+            .field("b", FieldKind::I32)
+            .field("c", FieldKind::I32)
+            .build(),
+    ))
 }
 
 #[cfg(test)]

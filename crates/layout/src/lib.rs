@@ -64,6 +64,9 @@ pub use policy::{DummyPolicy, PermuteMode, RandomizationPolicy};
 pub use pool::{DrawMode, PlanPools, PoolPolicy, PoolStats};
 pub use static_olr::StaticOlrTable;
 pub use stateless::{
-    permute_index, stateless_perm, stateless_plan, stateless_size_bound, EpochKey,
-    STATELESS_MAX_FIELDS,
+    code_position, code_rank, code_space, pack_perm, permute_index, stateless_bound,
+    stateless_perm, stateless_plan,
+    stateless_plan_from_code, stateless_size_bound, stateless_trapped_plan, EpochKey, PermBlock,
+    PermCode, RoundKeys, StatelessPolicy, PERM_BLOCK_RUN, STATELESS_MAX_FIELDS,
+    STATELESS_TRAP_MAX, TRAP_SLOT_BYTES,
 };

@@ -17,15 +17,45 @@
 //! permutation; cycle-walking preserves bijectivity because it walks the
 //! orbit of a permutation until it re-enters the target domain.
 //!
-//! Derived plans are permute-only: no dummy members and no booby traps.
-//! That is the metadata trade the paper's §V-B discussion allows for
-//! small objects, and it is why the runtime keeps this path **opt-in**
-//! (`RuntimeConfig::stateless_small`, default off) — enabling it trades
-//! trap coverage on small classes for metadata and speed.
+//! # The fast path
+//!
+//! [`permute_index`]/[`stateless_plan`] are the *reference* derivation —
+//! kept byte-for-byte as introduced with the stateless mode, and what
+//! the property tests compare against. The allocation hot path never
+//! calls them:
+//!
+//! * [`RoundKeys`] interns the per-epoch-key round-key schedule once per
+//!   runtime. Per (generation, slot) there are only `ROUNDS × 2^HALF_BITS
+//!   = 16` distinct round-function outputs, so one batch of 16
+//!   independent `mix64` calls (instruction-level parallel — no serial
+//!   Feistel dependency) yields a lookup table that turns the whole
+//!   16-point Feistel mapping into table walks.
+//! * [`PermBlock`] buffers derived permutation codes for a run of
+//!   consecutive generations of one slot, `BufferedRng`-style: block
+//!   reuse (malloc/free churn on one slot) pays one batched refill per
+//!   [`PERM_BLOCK_RUN`] allocations.
+//! * A permutation is summarized as a packed [`PermCode`] (4 bits per
+//!   position), which the runtime uses as the key of a tiny per-class
+//!   plan cache — repeated codes reuse one interned [`LayoutPlan`] `Arc`
+//!   with no plan construction, hashing, or interner probe.
+//!
+//! # Virtual booby traps
+//!
+//! Derived plans optionally interleave *virtual trap slots* between the
+//! permuted fields: 8-byte canary-carrying dummies whose count,
+//! interleave positions, and canary values are all pure functions of
+//! (epoch key, permutation code) — and therefore of the same
+//! (generation, slot, epoch) identity the permutation derives from. No
+//! per-object trap state is stored; a misaligned probe that overlaps a
+//! trap slot is detectable by rederiving the geometry from the identity
+//! alone. This closes the trade the original permute-only mode made
+//! (metadata savings at the price of zero trap coverage), which is why
+//! the stateless path is now the runtime's *default* for small classes
+//! ([`StatelessPolicy`]).
 
 use polar_classinfo::ClassInfo;
 
-use crate::plan::LayoutPlan;
+use crate::plan::{DummySlot, LayoutPlan};
 
 /// Largest field count served by the stateless path.
 pub const STATELESS_MAX_FIELDS: usize = 8;
@@ -36,11 +66,116 @@ const HALF_BITS: u32 = 2;
 const HALF_MASK: u32 = (1 << HALF_BITS) - 1;
 const ROUNDS: u32 = 4;
 
+/// Maximum virtual trap slots interleaved into a trapped stateless plan
+/// (the derived count is 1..=this, mirroring the stateful dummy policy).
+pub const STATELESS_TRAP_MAX: u32 = 3;
+
+/// Size (and alignment) of one virtual trap slot, in bytes.
+pub const TRAP_SLOT_BYTES: u32 = 8;
+
+/// Generations covered by one derivation block (a cache line of codes).
+pub const PERM_BLOCK_RUN: usize = 8;
+
 /// The per-process secret keying every stateless permutation. Derived
 /// from the runtime seed; leaking a single object's layout does not
 /// reveal the key (the round function is a one-way mix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochKey(pub u64);
+
+/// A derived permutation packed 4 bits per position (`perm[p]` in bits
+/// `4p..4p+4`): the identity of a stateless layout, used as the plan
+/// cache key. Fits `u32` because `STATELESS_MAX_FIELDS ≤ 8`.
+pub type PermCode = u32;
+
+/// Which classes the runtime serves statelessly — the config switch the
+/// allocation path consults next to [`PoolPolicy`](crate::PoolPolicy).
+///
+/// The default is **on** with virtual traps for classes at or under
+/// [`STATELESS_MAX_FIELDS`] fields: small classes get keyed-permutation
+/// layouts with derived trap slots and near-zero stored metadata, while
+/// larger classes keep the pooled stateful path. [`StatelessPolicy::off`]
+/// restores pooled plans for every class; [`StatelessPolicy::permute_only`]
+/// is the original trap-free ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatelessPolicy {
+    /// Master switch for the stateless path.
+    pub enabled: bool,
+    /// Classes with at most this many fields derive their layouts
+    /// (clamped to [`STATELESS_MAX_FIELDS`]).
+    pub max_fields: usize,
+    /// Interleave derived virtual trap slots between the permuted
+    /// fields. Off = the original permute-only SPAM trade.
+    pub virtual_traps: bool,
+}
+
+impl StatelessPolicy {
+    /// Stateless-by-default with virtual traps (the runtime default).
+    pub fn on() -> Self {
+        StatelessPolicy {
+            enabled: true,
+            max_fields: STATELESS_MAX_FIELDS,
+            virtual_traps: true,
+        }
+    }
+
+    /// Every class takes the stateful (pooled) path.
+    pub fn off() -> Self {
+        StatelessPolicy { enabled: false, ..Self::on() }
+    }
+
+    /// Stateless without traps: the original space/detection trade-off,
+    /// kept as a measured ablation.
+    pub fn permute_only() -> Self {
+        StatelessPolicy { virtual_traps: false, ..Self::on() }
+    }
+
+    /// Whether a class with `field_count` fields is served statelessly.
+    #[inline]
+    pub fn applies_to(&self, field_count: usize) -> bool {
+        self.enabled && field_count <= self.max_fields.min(STATELESS_MAX_FIELDS)
+    }
+}
+
+impl Default for StatelessPolicy {
+    fn default() -> Self {
+        Self::on()
+    }
+}
+
+/// The nibble-SWAR start state: lane `i` of the `u64` holds `i`.
+const SWAR_IDENTITY: u64 = 0xFEDC_BA98_7654_3210;
+
+/// One Feistel round advanced across all 16 domain points at once.
+///
+/// `state` carries `(left << 2) | right` for every point in 4-bit
+/// lanes. The round function — a 2-bit lookup `f[right]` — becomes a
+/// branch-free 4-way mux in XOR form over broadcast constants
+/// (`f[r] = c0 ^ (r0 & c1) ^ (r1 & c2) ^ (r0 & r1 & c3)`), so a round
+/// costs 4 independent `mix64` calls plus ~15 register ops with zero
+/// loads. Byte-identity with the reference Feistel is property-tested.
+#[inline]
+fn swar_round(rk_row: &[u64; (HALF_MASK + 1) as usize], rot: u64, state: u64) -> u64 {
+    /// Bit 0 of every nibble lane.
+    const LANES: u64 = 0x1111_1111_1111_1111;
+    /// Bits 0-1 of every nibble lane (the `right` half).
+    const TWO: u64 = 0x3333_3333_3333_3333;
+    let f0 = mix64(rk_row[0] ^ rot) & HALF_MASK as u64;
+    let f1 = mix64(rk_row[1] ^ rot) & HALF_MASK as u64;
+    let f2 = mix64(rk_row[2] ^ rot) & HALF_MASK as u64;
+    let f3 = mix64(rk_row[3] ^ rot) & HALF_MASK as u64;
+    let c0 = f0.wrapping_mul(LANES);
+    let c1 = (f0 ^ f1).wrapping_mul(LANES);
+    let c2 = (f0 ^ f2).wrapping_mul(LANES);
+    let c3 = (f0 ^ f1 ^ f2 ^ f3).wrapping_mul(LANES);
+    let right = state & TWO;
+    let left = (state >> HALF_BITS) & TWO;
+    // Widen each index bit to a 2-bit lane mask (×3).
+    let m0 = (right & LANES).wrapping_mul(3);
+    let m1 = ((right >> 1) & LANES).wrapping_mul(3);
+    let fval = c0 ^ (m0 & c1) ^ (m1 & c2) ^ (m0 & m1 & c3);
+    // (left', right') = (right, left ^ f[right]) in every lane.
+    (right << HALF_BITS) | (left ^ fval)
+}
 
 /// SplitMix64's finalizer: a cheap 64-bit avalanche mix.
 #[inline]
@@ -55,7 +190,14 @@ fn mix64(mut x: u64) -> u64 {
 /// the combined value anyway.
 #[inline]
 fn tweak(generation: u64, slot: u32) -> u64 {
-    mix64((generation << 32) ^ generation >> 32).wrapping_add(mix64(slot as u64 ^ 0xA076_1D64_78BD_642F))
+    mix64((generation << 32) ^ generation >> 32).wrapping_add(slot_mix(slot))
+}
+
+/// The slot half of the tweak, separable so a generation-run refill
+/// computes it once.
+#[inline]
+fn slot_mix(slot: u32) -> u64 {
+    mix64(slot as u64 ^ 0xA076_1D64_78BD_642F)
 }
 
 /// The Feistel round function: 2 bits of keyed mix.
@@ -89,6 +231,9 @@ fn feistel16(key: u64, tweak: u64, index: u32) -> u32 {
 /// its start), and distinct starts land on distinct results, so the
 /// restriction is itself a bijection on `[0, n)`.
 ///
+/// This is the reference derivation; [`RoundKeys::perm_code`] is the
+/// batched equivalent the hot path uses, tested byte-identical.
+///
 /// # Panics
 ///
 /// Debug-asserts `n ≤ 16` and `index < n`.
@@ -111,12 +256,271 @@ pub fn stateless_perm(key: EpochKey, generation: u64, slot: u32, n: usize) -> Ve
     (0..n).map(|p| permute_index(key, generation, slot, n, p)).collect()
 }
 
+// ---------------------------------------------------------------------
+// Round-key interning + batched derivation (the hot path).
+// ---------------------------------------------------------------------
+
+/// The interned per-epoch-key Feistel round-key schedule.
+///
+/// `round_f` xors the key with per-(round, half) constants before the
+/// mix; those combined constants are fixed for the life of an epoch key,
+/// so they are hoisted here — one table per runtime, no key derivation
+/// per allocation. Deriving one (generation, slot) identity then costs a
+/// single 16-entry table of *independent* `mix64` calls (full ILP)
+/// instead of 4 serially-dependent rounds per domain point.
+#[derive(Debug, Clone)]
+pub struct RoundKeys {
+    key: EpochKey,
+    /// `rk[round][half] = key ^ (round << 32) ^ half·φ` — the full
+    /// `round_f` input minus the tweak.
+    rk: [[u64; (HALF_MASK + 1) as usize]; ROUNDS as usize],
+}
+
+impl RoundKeys {
+    /// Precompute the schedule for `key`.
+    pub fn new(key: EpochKey) -> Self {
+        let mut rk = [[0u64; (HALF_MASK + 1) as usize]; ROUNDS as usize];
+        for (round, row) in rk.iter_mut().enumerate() {
+            for (half, cell) in row.iter_mut().enumerate() {
+                *cell = key.0
+                    ^ ((round as u64) << 32)
+                    ^ (half as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        RoundKeys { key, rk }
+    }
+
+    /// The epoch key this schedule was built from.
+    pub fn key(&self) -> EpochKey {
+        self.key
+    }
+
+    /// The complete 16-point Feistel mapping for one (generation, slot)
+    /// identity: `map[i] = feistel16(key, tweak, i)`, byte-identical to
+    /// the reference, from 16 independent `mix64` calls plus table walks.
+    #[inline]
+    pub fn mapping(&self, generation: u64, slot: u32) -> [u8; DOMAIN as usize] {
+        let packed = self.mapping_for_tweak(tweak(generation, slot));
+        let mut map = [0u8; DOMAIN as usize];
+        for (i, out) in map.iter_mut().enumerate() {
+            *out = ((packed >> (4 * i)) & 0xF) as u8;
+        }
+        map
+    }
+
+    /// The 16-point mapping packed 4 bits per domain point (`map[i]` in
+    /// bits `4i..4i+4`), evaluated nibble-SWAR: one `u64` carries the
+    /// `(left << 2) | right` state of all 16 domain points, and each
+    /// round advances every lane at once. The round function — a 2-bit
+    /// lookup `f[right]` — becomes a branch-free 4-way mux in XOR form
+    /// over broadcast constants, so a round costs 4 `mix64` plus ~15
+    /// register ops with zero loads. This is what turns a ~90 ns
+    /// derivation into a ~35 ns one; byte-identity with the reference
+    /// Feistel is property-tested.
+    #[inline]
+    fn mapping_for_tweak(&self, t: u64) -> u64 {
+        // Identity start state: lane i holds i.
+        let mut state: u64 = SWAR_IDENTITY;
+        for round in 0..ROUNDS as usize {
+            state = swar_round(&self.rk[round], t.rotate_left(round as u32 * 8), state);
+        }
+        state
+    }
+
+    /// Packed permutation code for an `n`-field class at one identity:
+    /// cycle-walk the precomputed mapping exactly as [`permute_index`]
+    /// walks `feistel16`.
+    #[inline]
+    pub fn perm_code(&self, generation: u64, slot: u32, n: usize) -> PermCode {
+        Self::code_from_mapping(self.mapping_for_tweak(tweak(generation, slot)), n)
+    }
+
+    #[inline]
+    fn code_from_mapping(map: u64, n: usize) -> PermCode {
+        debug_assert!(n >= 1 && n <= STATELESS_MAX_FIELDS);
+        // Branch-free cycle walk. A walk from any start re-enters
+        // `[0, n)` within `16 - n` steps (the orbit visits each of the
+        // `16 - n` out-of-domain points at most once), and an in-domain
+        // value is a fixed point of the conditional step — so a fixed
+        // number of select-steps replaces the data-dependent `while`
+        // whose random trip count cost a mispredict per field.
+        let nn = n as u64;
+        // Step-major, field-minor: the per-field walks are independent
+        // chains, and running one select-step of every field per
+        // iteration lets them pipeline instead of serializing each
+        // field's full walk behind the previous one's. In-domain values
+        // are fixed points of the conditional step, so a fixed unroll of
+        // branch-free steps is correct for however far it gets; 9 steps
+        // resolve >90% of identities, and one well-predicted branch
+        // routes the rare long orbit to a cleanup loop instead of paying
+        // the full worst-case 15-step chain latency every time.
+        const FAST_STEPS: usize = 9;
+        let mut xs = [0u64; STATELESS_MAX_FIELDS];
+        for (p, x) in xs.iter_mut().enumerate().take(n) {
+            *x = (map >> (4 * p)) & 0xF;
+        }
+        for _ in 0..FAST_STEPS {
+            for x in xs.iter_mut().take(n) {
+                let y = (map >> (4 * *x)) & 0xF;
+                *x = if *x < nn { *x } else { y };
+            }
+        }
+        if xs.iter().take(n).any(|&x| x >= nn) {
+            for x in xs.iter_mut().take(n) {
+                while *x >= nn {
+                    *x = (map >> (4 * *x)) & 0xF;
+                }
+            }
+        }
+        let mut code: PermCode = 0;
+        for (p, &x) in xs.iter().enumerate().take(n) {
+            code |= (x as PermCode) << (4 * p);
+        }
+        code
+    }
+}
+
+/// Extract `perm[p]` from a packed code.
+#[inline]
+pub fn code_position(code: PermCode, p: usize) -> usize {
+    ((code >> (4 * p)) & 0xF) as usize
+}
+
+/// `n!` for `n ≤ STATELESS_MAX_FIELDS`: the number of distinct
+/// permutation codes an `n`-field class can produce. Derived-plan caches
+/// size themselves with this (a 4-field class needs 24 entries, ever).
+#[inline]
+pub fn code_space(n: usize) -> usize {
+    const FACT: [usize; STATELESS_MAX_FIELDS + 1] =
+        [1, 1, 2, 6, 24, 120, 720, 5040, 40320];
+    FACT[n.min(STATELESS_MAX_FIELDS)]
+}
+
+/// Lehmer rank of the permutation packed in `code`: a perfect (bijective)
+/// index in `[0, n!)`. Lets small-codomain plan caches index without
+/// collisions — the hot-path property that makes the derived-plan cache
+/// miss exactly `n!` times per class lifetime, not per hash conflict.
+#[inline]
+pub fn code_rank(code: PermCode, n: usize) -> usize {
+    debug_assert!(n >= 1 && n <= STATELESS_MAX_FIELDS);
+    let mut rank = 0usize;
+    for i in 0..n {
+        let a_i = code_position(code, i);
+        let mut smaller_after = 0usize;
+        for j in i + 1..n {
+            smaller_after += usize::from(code_position(code, j) < a_i);
+        }
+        rank = rank * (n - i) + smaller_after;
+    }
+    rank
+}
+
+/// Pack a permutation produced by [`stateless_perm`] into a [`PermCode`]
+/// (the reference-side counterpart of [`RoundKeys::perm_code`]).
+pub fn pack_perm(perm: &[usize]) -> PermCode {
+    let mut code: PermCode = 0;
+    for (p, &idx) in perm.iter().enumerate() {
+        code |= (idx as PermCode) << (4 * p);
+    }
+    code
+}
+
+/// A cache-line block of derived permutation codes for one slot's run of
+/// consecutive generations — the `BufferedRng` of the stateless path.
+///
+/// Heap slots are reused generation-by-generation (malloc/free churn
+/// hands the same slot back with `generation + 1`), so the allocation
+/// path sees long (slot, generation-run) streaks. The first reuse of a
+/// slot triggers a batched refill deriving [`PERM_BLOCK_RUN`] codes with
+/// one shared slot-mix; subsequent reuses are an array index. A
+/// first-sighting of a *different* slot derives a single code instead —
+/// batching only pays where runs actually happen.
+#[derive(Debug, Clone)]
+pub struct PermBlock {
+    slot: u32,
+    n: u8,
+    len: u8,
+    gen_base: u64,
+    codes: [PermCode; PERM_BLOCK_RUN],
+}
+
+impl PermBlock {
+    /// An empty block that matches nothing.
+    pub fn empty() -> Self {
+        PermBlock { slot: u32::MAX, n: 0, len: 0, gen_base: 0, codes: [0; PERM_BLOCK_RUN] }
+    }
+
+    /// The code for `(slot, generation)` under an `n`-field class:
+    /// buffered when covered, otherwise derived (batching the refill
+    /// when this extends a run on the block's current slot).
+    #[inline]
+    pub fn code_for(
+        &mut self,
+        keys: &RoundKeys,
+        slot: u32,
+        generation: u64,
+        n: usize,
+    ) -> PermCode {
+        if self.slot == slot && usize::from(self.n) == n {
+            let at = generation.wrapping_sub(self.gen_base);
+            if at < u64::from(self.len) {
+                return self.codes[at as usize];
+            }
+            // Same slot, generation past the buffer: a reuse run is in
+            // progress — batch the next stretch.
+            self.refill(keys, slot, generation, n, PERM_BLOCK_RUN);
+            return self.codes[0];
+        }
+        // New slot: derive just this identity; a run, if one develops,
+        // announces itself on the next reuse.
+        self.refill(keys, slot, generation, n, 1);
+        self.codes[0]
+    }
+
+    fn refill(&mut self, keys: &RoundKeys, slot: u32, gen_base: u64, n: usize, count: usize) {
+        let sm = slot_mix(slot);
+        self.slot = slot;
+        self.n = n as u8;
+        self.len = count as u8;
+        self.gen_base = gen_base;
+        // Round-major across the batch: each code's Feistel rounds form
+        // a serial dependency chain, but the chains of different
+        // generations are independent — advancing all of them one round
+        // at a time keeps `count` chains (and their 4·count mix64 calls
+        // per round) in flight at once, which is where the batched
+        // refill actually beats deriving the codes one by one.
+        let mut tweaks = [0u64; PERM_BLOCK_RUN];
+        for (i, t) in tweaks.iter_mut().enumerate().take(count) {
+            let generation = gen_base.wrapping_add(i as u64);
+            *t = mix64((generation << 32) ^ generation >> 32).wrapping_add(sm);
+        }
+        let mut states = [SWAR_IDENTITY; PERM_BLOCK_RUN];
+        for round in 0..ROUNDS as usize {
+            let rk_row = &keys.rk[round];
+            for (state, t) in states.iter_mut().zip(&tweaks).take(count) {
+                *state = swar_round(rk_row, t.rotate_left(round as u32 * 8), *state);
+            }
+        }
+        for (code, &state) in self.codes.iter_mut().zip(&states).take(count) {
+            *code = RoundKeys::code_from_mapping(state, n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan derivation (permute-only and trapped).
+// ---------------------------------------------------------------------
+
 /// Derive the layout plan for `info` at heap identity (generation, slot).
 ///
 /// Permute-only (no dummies, no traps): fields are laid out sequentially
 /// in derived order with natural alignment. The result is a plain
 /// [`LayoutPlan`], so every downstream consumer — access tables, the
 /// shadow index, `olr_memcpy` translation — works unchanged.
+///
+/// This is the reference derivation kept for the ablation and the
+/// byte-identity property tests; the runtime builds plans through
+/// [`stateless_plan_from_code`].
 ///
 /// # Panics
 ///
@@ -127,6 +531,71 @@ pub fn stateless_plan(
     generation: u64,
     slot: u32,
 ) -> LayoutPlan {
+    let n = info.fields().len();
+    assert!(
+        n <= STATELESS_MAX_FIELDS,
+        "stateless path is limited to {STATELESS_MAX_FIELDS} fields, got {n}"
+    );
+    stateless_plan_from_code(info, key, pack_perm(&stateless_perm(key, generation, slot, n)), false)
+}
+
+/// Derive the trapped layout plan for `info` at (generation, slot):
+/// the permuted fields with virtual trap slots interleaved.
+///
+/// # Panics
+///
+/// Panics if `info` has more than [`STATELESS_MAX_FIELDS`] fields.
+pub fn stateless_trapped_plan(
+    info: &ClassInfo,
+    key: EpochKey,
+    generation: u64,
+    slot: u32,
+) -> LayoutPlan {
+    let n = info.fields().len();
+    assert!(
+        n <= STATELESS_MAX_FIELDS,
+        "stateless path is limited to {STATELESS_MAX_FIELDS} fields, got {n}"
+    );
+    stateless_plan_from_code(info, key, pack_perm(&stateless_perm(key, generation, slot, n)), true)
+}
+
+/// Virtual trap geometry for one (key, permutation) pair: the trap
+/// count, each trap's interleave position among the `n + t` layout
+/// slots, and its canary value — all from one keyed mix of the packed
+/// code, so the geometry is rederivable from the allocation identity
+/// with zero stored state.
+fn trap_spec(key: EpochKey, code: PermCode, n: usize) -> (usize, [usize; STATELESS_TRAP_MAX as usize], u64) {
+    let h = mix64(
+        key.0 ^ u64::from(code).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x7452_6150, // "PaRt"
+    );
+    let t = 1 + (h % u64::from(STATELESS_TRAP_MAX)) as usize;
+    let mut at = [0usize; STATELESS_TRAP_MAX as usize];
+    for (j, slot) in at.iter_mut().enumerate().take(t) {
+        // Insertion position into the growing memory-order sequence of
+        // n fields + j earlier traps.
+        *slot = ((h >> (8 + 6 * j)) as usize) % (n + j + 1);
+    }
+    (t, at, h)
+}
+
+/// Build the [`LayoutPlan`] for a packed permutation code, optionally
+/// interleaving virtual trap slots.
+///
+/// Fields are laid out sequentially in the code's derived order with
+/// natural alignment; with `traps` on, 1..=[`STATELESS_TRAP_MAX`]
+/// 8-byte canary dummies (geometry from [`trap_spec`]) are inserted
+/// between them. Sequential assignment makes trap slots and fields
+/// disjoint by construction.
+///
+/// # Panics
+///
+/// Panics if `info` has more than [`STATELESS_MAX_FIELDS`] fields.
+pub fn stateless_plan_from_code(
+    info: &ClassInfo,
+    key: EpochKey,
+    code: PermCode,
+    traps: bool,
+) -> LayoutPlan {
     let fields = info.fields();
     let n = fields.len();
     assert!(
@@ -136,18 +605,48 @@ pub fn stateless_plan(
     let mut offsets = vec![0u32; n];
     let sizes: Vec<u32> = fields.iter().map(|f| f.kind().size()).collect();
     let aligns: Vec<u32> = fields.iter().map(|f| f.kind().align()).collect();
+
+    // Memory order: the permuted fields, with trap slots (encoded as
+    // `usize::MAX - j`) inserted at their derived positions.
+    let mut order: [usize; STATELESS_MAX_FIELDS + STATELESS_TRAP_MAX as usize] =
+        [0; STATELESS_MAX_FIELDS + STATELESS_TRAP_MAX as usize];
+    for p in 0..n {
+        order[p] = code_position(code, p);
+    }
+    let mut len = n;
+    let mut dummies = Vec::new();
+    let mut canary_seed = 0u64;
+    if traps {
+        let (t, at, h) = trap_spec(key, code, n);
+        canary_seed = h;
+        for j in 0..t {
+            let pos = at[j];
+            order.copy_within(pos..len, pos + 1);
+            order[pos] = usize::MAX - j;
+            len += 1;
+        }
+    }
+
     let mut cursor = 0u32;
     let mut max_align = 1u32;
-    for p in 0..n {
-        let idx = permute_index(key, generation, slot, n, p);
-        let align = aligns[idx];
-        max_align = max_align.max(align);
-        cursor = round_up(cursor, align);
-        offsets[idx] = cursor;
-        cursor += sizes[idx];
+    for &entry in order.iter().take(len) {
+        if entry >= usize::MAX - STATELESS_TRAP_MAX as usize {
+            let j = (usize::MAX - entry) as u64;
+            cursor = round_up(cursor, TRAP_SLOT_BYTES);
+            max_align = max_align.max(TRAP_SLOT_BYTES);
+            let canary = mix64(canary_seed ^ (j + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)) | 1;
+            dummies.push(DummySlot { offset: cursor, size: TRAP_SLOT_BYTES, canary: Some(canary) });
+            cursor += TRAP_SLOT_BYTES;
+        } else {
+            let align = aligns[entry];
+            max_align = max_align.max(align);
+            cursor = round_up(cursor, align);
+            offsets[entry] = cursor;
+            cursor += sizes[entry];
+        }
     }
     let size = round_up(cursor.max(1), max_align);
-    LayoutPlan::with_aligns(info.hash(), offsets, sizes, aligns, Vec::new(), size, false)
+    LayoutPlan::with_aligns(info.hash(), offsets, sizes, aligns, dummies, size, false)
 }
 
 /// An upper bound on the size of *any* stateless plan for `info`,
@@ -158,8 +657,9 @@ pub fn stateless_plan(
 /// breaks the cycle. Sequential natural-alignment layout wastes at most
 /// `align - 1` padding bytes ahead of each field, so
 /// `Σ (size_i + align_i − 1)`, rounded up to the max alignment, dominates
-/// every permutation's footprint.
-pub fn stateless_size_bound(info: &ClassInfo) -> u32 {
+/// every permutation's footprint. With `traps` on, each of the up-to-
+/// [`STATELESS_TRAP_MAX`] trap slots adds at most `8 + 7` bytes.
+pub fn stateless_bound(info: &ClassInfo, traps: bool) -> u32 {
     let mut bound = 0u32;
     let mut max_align = 1u32;
     for f in info.fields() {
@@ -167,7 +667,17 @@ pub fn stateless_size_bound(info: &ClassInfo) -> u32 {
         max_align = max_align.max(kind.align());
         bound += kind.size() + (kind.align() - 1);
     }
+    if traps {
+        max_align = max_align.max(TRAP_SLOT_BYTES);
+        bound += STATELESS_TRAP_MAX * (TRAP_SLOT_BYTES + TRAP_SLOT_BYTES - 1);
+    }
     round_up(bound.max(1), max_align)
+}
+
+/// [`stateless_bound`] without traps (the original bound, kept for the
+/// permute-only ablation and callers predating trap support).
+pub fn stateless_size_bound(info: &ClassInfo) -> u32 {
+    stateless_bound(info, false)
 }
 
 fn round_up(value: u32, to: u32) -> u32 {
@@ -179,6 +689,7 @@ fn round_up(value: u32, to: u32) -> u32 {
 mod tests {
     use super::*;
     use polar_classinfo::{ClassDecl, FieldKind};
+    use polar_rng::{Rng, SplitMix64};
 
     fn small_class(n: usize) -> ClassInfo {
         let kinds = [
@@ -225,6 +736,61 @@ mod tests {
     }
 
     #[test]
+    fn round_key_interning_matches_the_reference_derivation() {
+        // The hot path (RoundKeys table + cycle walk over the cached
+        // mapping) must be byte-identical to the reference Feistel for
+        // every identity: same key schedule, same tweak, same walk.
+        let mut rng = SplitMix64::new(0x0BAD_5EED);
+        for _ in 0..200 {
+            let key = EpochKey(rng.next_u64());
+            let keys = RoundKeys::new(key);
+            for _ in 0..20 {
+                let generation = rng.next_u64() >> 20;
+                let slot = (rng.next_u64() & 0xFFFF) as u32;
+                let map = keys.mapping(generation, slot);
+                for i in 0..DOMAIN {
+                    assert_eq!(
+                        u32::from(map[i as usize]),
+                        feistel16(key.0, tweak(generation, slot), i),
+                        "mapping diverges at point {i}"
+                    );
+                }
+                for n in 1..=STATELESS_MAX_FIELDS {
+                    assert_eq!(
+                        keys.perm_code(generation, slot, n),
+                        pack_perm(&stateless_perm(key, generation, slot, n)),
+                        "code diverges for n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perm_block_buffers_generation_runs_exactly() {
+        let key = EpochKey(0xB10C);
+        let keys = RoundKeys::new(key);
+        let mut block = PermBlock::empty();
+        // A slot-reuse run: consecutive generations on one slot.
+        for generation in 5..5 + 3 * PERM_BLOCK_RUN as u64 {
+            assert_eq!(
+                block.code_for(&keys, 9, generation, 5),
+                pack_perm(&stateless_perm(key, generation, 9, 5)),
+                "run diverges at generation {generation}"
+            );
+        }
+        // Interleaved slots: every switch re-derives correctly.
+        for i in 0..32u64 {
+            let slot = (i % 3) as u32 * 11;
+            assert_eq!(
+                block.code_for(&keys, slot, i, 4),
+                pack_perm(&stateless_perm(key, i, slot, 4)),
+                "slot switch diverges at {i}"
+            );
+        }
+    }
+
+    #[test]
     fn different_identities_usually_differ() {
         let info = small_class(6);
         let key = EpochKey(0xA11CE);
@@ -248,13 +814,55 @@ mod tests {
     fn derived_plans_validate_and_fit_the_bound() {
         for n in 1..=STATELESS_MAX_FIELDS {
             let info = small_class(n);
-            let bound = stateless_size_bound(&info);
+            let bound = stateless_bound(&info, false);
             for ident in 0..50u32 {
                 let plan = stateless_plan(&info, EpochKey(99), (ident / 10) as u64, ident % 10);
                 plan.validate().expect("derived plan must validate");
                 assert!(plan.size() <= bound, "n={n} size {} > bound {bound}", plan.size());
                 assert_eq!(plan.dummies().len(), 0);
             }
+        }
+    }
+
+    #[test]
+    fn trapped_plans_validate_fit_and_carry_canaries() {
+        for n in 1..=STATELESS_MAX_FIELDS {
+            let info = small_class(n);
+            let bound = stateless_bound(&info, true);
+            for ident in 0..60u32 {
+                let plan =
+                    stateless_trapped_plan(&info, EpochKey(7), (ident / 12) as u64, ident % 12);
+                plan.validate().expect("trapped plan must validate");
+                assert!(plan.size() <= bound, "n={n} size {} > bound {bound}", plan.size());
+                let t = plan.dummies().len();
+                assert!(
+                    (1..=STATELESS_TRAP_MAX as usize).contains(&t),
+                    "n={n}: {t} traps"
+                );
+                for d in plan.dummies() {
+                    assert_eq!(d.size, TRAP_SLOT_BYTES);
+                    assert!(d.canary.expect("virtual traps carry canaries") != 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trapped_plans_keep_the_reference_field_order() {
+        // Interleaving traps must not disturb the *relative* memory
+        // order of the fields, which stays the reference permutation.
+        let info = small_class(6);
+        let key = EpochKey(0x0DD5);
+        for ident in 0..40u32 {
+            let (generation, slot) = ((ident / 8) as u64, ident % 8);
+            let plain = stateless_plan(&info, key, generation, slot);
+            let trapped = stateless_trapped_plan(&info, key, generation, slot);
+            let rank = |plan: &LayoutPlan| {
+                let mut idx: Vec<usize> = (0..6).collect();
+                idx.sort_by_key(|&k| plan.offset(k));
+                idx
+            };
+            assert_eq!(rank(&plain), rank(&trapped), "ident {ident}");
         }
     }
 
@@ -266,6 +874,9 @@ mod tests {
         let b = stateless_plan(&info, key, 41, 12);
         assert_eq!(a, b);
         assert_eq!(a.plan_hash(), b.plan_hash());
+        let ta = stateless_trapped_plan(&info, key, 41, 12);
+        let tb = stateless_trapped_plan(&info, key, 41, 12);
+        assert_eq!(ta, tb);
     }
 
     #[test]
@@ -279,5 +890,59 @@ mod tests {
             }
         }
         assert!(distinct > 12, "only {distinct} of 18 keys differed");
+    }
+
+    #[test]
+    fn policy_selects_by_field_count() {
+        let on = StatelessPolicy::default();
+        assert!(on.enabled && on.virtual_traps);
+        assert!(on.applies_to(1) && on.applies_to(STATELESS_MAX_FIELDS));
+        assert!(!on.applies_to(STATELESS_MAX_FIELDS + 1));
+        assert!(!StatelessPolicy::off().applies_to(2));
+        let ablation = StatelessPolicy::permute_only();
+        assert!(ablation.applies_to(4) && !ablation.virtual_traps);
+        // max_fields above the Feistel domain bound stays clamped.
+        let wide = StatelessPolicy { max_fields: 32, ..StatelessPolicy::on() };
+        assert!(!wide.applies_to(9));
+    }
+
+    #[test]
+    fn code_rank_is_a_bijection_onto_the_code_space() {
+        // Enumerate every permutation of 1..=5 elements (Heap's
+        // algorithm), pack it, and check the Lehmer rank hits each value
+        // in [0, n!) exactly once — the property the perfect derived-plan
+        // cache index rests on.
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            let mut out = Vec::new();
+            let mut a: Vec<usize> = (0..n).collect();
+            fn heap(k: usize, a: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+                if k <= 1 {
+                    out.push(a.clone());
+                    return;
+                }
+                for i in 0..k {
+                    heap(k - 1, a, out);
+                    if k % 2 == 0 {
+                        a.swap(i, k - 1);
+                    } else {
+                        a.swap(0, k - 1);
+                    }
+                }
+            }
+            heap(n, &mut a, &mut out);
+            out
+        }
+        for n in 1..=5usize {
+            let mut seen = vec![false; code_space(n)];
+            for perm in permutations(n) {
+                let rank = code_rank(pack_perm(&perm), n);
+                assert!(rank < code_space(n), "rank {rank} out of range for n={n}");
+                assert!(!seen[rank], "rank {rank} collides for n={n} perm {perm:?}");
+                seen[rank] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "ranks not surjective for n={n}");
+        }
+        assert_eq!(code_space(4), 24);
+        assert_eq!(code_space(8), 40320);
     }
 }

@@ -140,6 +140,19 @@ pub trait PolarRuntime {
     /// Faults outside the arena.
     fn heap_read_uint(&self, addr: Addr, width: usize) -> Result<u64, HeapError>;
 
+    /// A raw *probe* read: [`PolarRuntime::heap_read_uint`] plus
+    /// booby-trap screening. A probe overlapping a live object's
+    /// canary-carrying dummy — stored or stateless-derived — raises
+    /// [`RuntimeError::TrapTriggered`] when the runtime's
+    /// `detect_probe_traps` is on, modeling trap slots that fault on
+    /// access instead of leaking bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TrapTriggered`] on trap overlap; arena faults as
+    /// [`RuntimeError::Heap`].
+    fn probe_read_uint(&mut self, addr: Addr, width: usize) -> Result<u64, RuntimeError>;
+
     /// Arena-bounded raw integer write.
     ///
     /// # Errors
@@ -247,6 +260,10 @@ impl PolarRuntime for ObjectRuntime {
 
     fn heap_read_uint(&self, addr: Addr, width: usize) -> Result<u64, HeapError> {
         self.heap().read_uint(addr, width)
+    }
+
+    fn probe_read_uint(&mut self, addr: Addr, width: usize) -> Result<u64, RuntimeError> {
+        ObjectRuntime::probe_read_uint(self, addr, width)
     }
 
     fn heap_write_uint(
@@ -362,6 +379,10 @@ impl PolarRuntime for ShardedRuntime {
         ShardedRuntime::heap_read_uint(self, addr, width)
     }
 
+    fn probe_read_uint(&mut self, addr: Addr, width: usize) -> Result<u64, RuntimeError> {
+        ShardedRuntime::probe_read_uint(self, addr, width)
+    }
+
     fn heap_write_uint(
         &mut self,
         addr: Addr,
@@ -461,6 +482,10 @@ impl<P: PolarRuntime + ?Sized> PolarRuntime for Box<P> {
 
     fn heap_read_uint(&self, addr: Addr, width: usize) -> Result<u64, HeapError> {
         (**self).heap_read_uint(addr, width)
+    }
+
+    fn probe_read_uint(&mut self, addr: Addr, width: usize) -> Result<u64, RuntimeError> {
+        (**self).probe_read_uint(addr, width)
     }
 
     fn heap_write_uint(

@@ -67,7 +67,7 @@ pub use api::PolarRuntime;
 pub use error::{RuntimeError, TrapReport};
 // Re-exported so runtime configurators can name the pool policy without
 // a direct polar-layout dependency.
-pub use polar_layout::{DrawMode, PoolPolicy};
+pub use polar_layout::{DrawMode, PoolPolicy, StatelessPolicy};
 // Re-exported because every runtime entry point takes or returns heap
 // addresses; callers shouldn't need a polar-simheap dependency for that.
 pub use polar_simheap::Addr;

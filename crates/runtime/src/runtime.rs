@@ -6,9 +6,10 @@ use std::sync::Arc;
 
 use polar_classinfo::{ClassHash, ClassInfo};
 use polar_layout::{
-    stateless_plan, stateless_size_bound, EpochKey, FieldAccess, LayoutEngine, LayoutPlan,
-    PlanHash, PlanInterner, PlanPools, PlanRegistry, PoolPolicy, RandomizationPolicy,
-    StaticOlrTable, STATELESS_MAX_FIELDS,
+    code_rank, code_space, stateless_bound, stateless_plan_from_code, EpochKey, FieldAccess,
+    LayoutEngine, LayoutPlan,
+    PermBlock, PermCode, PlanHash, PlanInterner, PlanPools, PlanRegistry, PoolPolicy,
+    RandomizationPolicy, RoundKeys, StatelessPolicy, StaticOlrTable,
 };
 use polar_rng::{BufferedRng, Rng, SeedableRng, SplitMix64};
 use polar_simheap::{Addr, HeapConfig, SimHeap, Slab};
@@ -90,14 +91,24 @@ pub struct RuntimeConfig {
     /// per allocation. [`PoolPolicy::disabled`] restores one fresh
     /// generation per allocation. Only affects `PerAllocation` mode.
     pub pool: PoolPolicy,
-    /// Derive permutations for classes with ≤ 8 fields statelessly from
-    /// (block generation, slot id, epoch key) via a keyed Feistel
-    /// network, SPAM-style, instead of storing engine-generated plans.
-    /// Off by default: derived plans are permute-only (no dummies, no
-    /// booby traps), so enabling this trades trap coverage on small
-    /// classes for metadata and speed — a measured ablation, not the
-    /// paper's default defense posture.
-    pub stateless_small: bool,
+    /// The stateless small-class policy: derive permutations for small
+    /// classes from (block generation, slot id, epoch key) via a keyed
+    /// Feistel network, SPAM-style, instead of storing engine-generated
+    /// plans. **On by default** with virtual booby traps
+    /// ([`StatelessPolicy::on`]): the derived plans now interleave
+    /// identity-keyed trap slots, so small classes keep trap coverage
+    /// while paying ~zero per-object metadata. Set
+    /// [`StatelessPolicy::off`] to route every class through the pooled
+    /// stateful path, or [`StatelessPolicy::permute_only`] for the
+    /// original trap-free ablation. Only affects `PerAllocation` mode.
+    pub stateless: StatelessPolicy,
+    /// Check raw probe reads (`probe_read_uint`) against the target
+    /// object's booby-trap slots: a read overlapping a canary-carrying
+    /// dummy — stored (stateful plans) or derived (stateless virtual
+    /// traps) — trips [`RuntimeError::TrapTriggered`] instead of leaking
+    /// bytes. Models trap slots being mapped-unreadable in a real
+    /// deployment (Section IV-A3's traps, extended to reads).
+    pub detect_probe_traps: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -112,7 +123,8 @@ impl Default for RuntimeConfig {
             memcpy_rerandomize: true,
             redzone_checks: false,
             pool: PoolPolicy::default(),
-            stateless_small: false,
+            stateless: StatelessPolicy::on(),
+            detect_probe_traps: true,
         }
     }
 }
@@ -192,6 +204,111 @@ impl Default for ShadowSlot {
 struct MetaPublisher {
     registry: Arc<PlanRegistry>,
     ids: HashMap<PlanHash, u32>,
+}
+
+/// One cached derived plan: the packed permutation code it was built
+/// from, the interned plan, and its published registry id (if any).
+#[derive(Debug, Clone)]
+struct StatelessEntry {
+    code: PermCode,
+    plan: Arc<LayoutPlan>,
+    plan_id: Option<u32>,
+}
+
+/// Number of direct-mapped entries in one class's derived-plan cache.
+/// Slot-reuse churn cycles through few generations, so a small table
+/// captures the working set; conflict misses just re-derive.
+const STATELESS_CACHE_WAYS: usize = 64;
+
+/// Per-class cache of derived stateless plans, keyed by permutation
+/// code. A hit turns an allocation's plan work into one array index and
+/// an `Arc` clone — no Feistel walk, no plan construction, no interner
+/// probe.
+///
+/// Classes whose whole code space fits ([`code_space`]`(n) ≤ 64`, i.e.
+/// ≤4 fields) get a *perfect* cache indexed by the permutation's Lehmer
+/// rank: exactly `n!` misses per class lifetime and then never again.
+/// Larger classes fall back to a direct-mapped Fibonacci spread, where
+/// conflicting codes evict each other (bounded memory beats a perfect
+/// hit rate there — an 8-field class has 40 320 codes).
+#[derive(Debug)]
+struct StatelessClassCache {
+    class: ClassHash,
+    /// Identity-independent block size bound (traps included per
+    /// config), computed once per class.
+    bound: u32,
+    fields: u8,
+    /// Whole code space fits: index by Lehmer rank, collision-free.
+    perfect: bool,
+    entries: Vec<Option<StatelessEntry>>,
+}
+
+impl StatelessClassCache {
+    fn new(class: ClassHash, bound: u32, fields: u8) -> Self {
+        let ways = code_space(usize::from(fields)).min(STATELESS_CACHE_WAYS);
+        StatelessClassCache {
+            class,
+            bound,
+            fields,
+            perfect: code_space(usize::from(fields)) <= STATELESS_CACHE_WAYS,
+            entries: vec![None; ways],
+        }
+    }
+
+    /// Cache slot for a code: the Lehmer rank when the class's code
+    /// space fits entirely (bijective — no conflicts), else a
+    /// direct-mapped Fibonacci spread of the packed permutation bits.
+    #[inline]
+    fn way(&self, code: PermCode) -> usize {
+        if self.perfect {
+            code_rank(code, usize::from(self.fields))
+        } else {
+            ((u64::from(code).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize)
+                % STATELESS_CACHE_WAYS
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.capacity() * std::mem::size_of::<Option<StatelessEntry>>()
+    }
+}
+
+/// Everything the stateless allocation fast path owns: the interned
+/// round-key schedule for the runtime's epoch key, the buffered
+/// permutation-code block, and the per-class derived-plan caches.
+#[derive(Debug)]
+struct StatelessState {
+    keys: RoundKeys,
+    block: PermBlock,
+    caches: Vec<StatelessClassCache>,
+    /// Index of the cache the last allocation used (monomorphic hint:
+    /// the common case is a run of one class, resolved by one compare).
+    last: usize,
+    /// Allocations served from the derived-plan cache: each is a plan
+    /// record the runtime did not have to build — the stateless path's
+    /// contribution to the dedup counter.
+    hits: u64,
+}
+
+impl StatelessState {
+    fn new(key: EpochKey) -> Self {
+        StatelessState {
+            keys: RoundKeys::new(key),
+            block: PermBlock::empty(),
+            caches: Vec::new(),
+            last: 0,
+            hits: 0,
+        }
+    }
+
+    /// Bytes of bookkeeping the stateless path itself costs (cached
+    /// plans are interner-owned and counted there).
+    fn metadata_bytes(&self) -> usize {
+        std::mem::size_of::<RoundKeys>()
+            + std::mem::size_of::<PermBlock>()
+            + self.caches.iter().map(StatelessClassCache::bytes).sum::<usize>()
+    }
 }
 
 /// Source field bytes staged for an object copy: the packed contents of
@@ -319,6 +436,9 @@ pub struct ObjectRuntime {
     pools: PlanPools,
     /// Key for the stateless small-class permutation derivation.
     epoch_key: EpochKey,
+    /// Round-key schedule, code buffer and per-class plan caches for the
+    /// stateless allocation fast path.
+    stateless: StatelessState,
     rng: BufferedRng,
     stats: RuntimeStats,
     config: RuntimeConfig,
@@ -340,6 +460,10 @@ impl ObjectRuntime {
             ),
             RandomizeMode::PerAllocation { policy } => (LayoutEngine::new(policy), None),
         };
+        // A distinct stream from the plan RNG: knowing layouts drawn
+        // from `rng` must not reveal the stateless permutation key.
+        let epoch_key =
+            EpochKey(SplitMix64::new(config.seed ^ 0x5350_414d /* "SPAM" */).next_u64());
         ObjectRuntime {
             heap: SimHeap::new(config.heap),
             mode,
@@ -349,9 +473,8 @@ impl ObjectRuntime {
             shadow: Slab::new(),
             meta_count: 0,
             pools: PlanPools::new(config.pool),
-            // A distinct stream from the plan RNG: knowing layouts drawn
-            // from `rng` must not reveal the stateless permutation key.
-            epoch_key: EpochKey(SplitMix64::new(config.seed ^ 0x5350_414d /* "SPAM" */).next_u64()),
+            epoch_key,
+            stateless: StatelessState::new(epoch_key),
             rng: BufferedRng::seed_from_u64(config.seed),
             stats: RuntimeStats::default(),
             config,
@@ -398,7 +521,9 @@ impl ObjectRuntime {
     pub fn stats(&self) -> RuntimeStats {
         let mut s = self.stats;
         s.unique_plans = self.interner.unique_plans() as u64;
-        s.dedup_saved = self.interner.dedup_hits();
+        // Derived-plan cache hits are dedup saves too: an allocation that
+        // reused a cached stateless plan stored no new metadata record.
+        s.dedup_saved = self.interner.dedup_hits() + self.stateless.hits;
         let pool = self.pools.stats();
         s.pool_hits = pool.hits;
         s.pool_refills = pool.refills;
@@ -475,7 +600,11 @@ impl ObjectRuntime {
         // Pool bookkeeping (ring slots + class index; pooled plans are
         // interner-owned and already counted above).
         let pool_bytes = self.pools.metadata_bytes();
-        shadow_bytes + plan_bytes + static_bytes + pool_bytes
+        // Stateless-path bookkeeping: the round-key schedule, the code
+        // block, and the per-class derived-plan caches (their plans are
+        // interner-owned and counted above).
+        let stateless_bytes = self.stateless.metadata_bytes();
+        shadow_bytes + plan_bytes + static_bytes + pool_bytes + stateless_bytes
     }
 
     fn interner_plans(&self) -> impl Iterator<Item = &Arc<LayoutPlan>> {
@@ -519,9 +648,8 @@ impl ObjectRuntime {
 
     /// Whether `info` is served by the stateless small-class path.
     pub(crate) fn stateless_applicable(&self, info: &ClassInfo) -> bool {
-        self.config.stateless_small
-            && matches!(self.mode, RandomizeMode::PerAllocation { .. })
-            && info.field_count() <= STATELESS_MAX_FIELDS
+        matches!(self.mode, RandomizeMode::PerAllocation { .. })
+            && self.config.stateless.applies_to(info.field_count())
     }
 
     /// Instrumented allocation: draw a layout plan, allocate, seed booby
@@ -554,7 +682,7 @@ impl ObjectRuntime {
         plan: Arc<LayoutPlan>,
     ) -> Result<Addr, RuntimeError> {
         let base = self.heap.malloc(plan.size().max(1) as usize)?;
-        let (slot, _) =
+        let (slot, generation) =
             self.heap.slot_gen(base).expect("base is a block the heap just returned");
         // One writer window spans canary seeding and the metadata
         // mirror: a lock-free reader either sees the slot's previous
@@ -563,7 +691,8 @@ impl ObjectRuntime {
         let win = self.heap.pub_open(slot);
         let seeded = self.seed_canaries(base, &plan);
         if seeded.is_ok() {
-            self.record_object(base, Arc::clone(info), plan);
+            let plan_id = Self::publish_id(&mut self.publish, &plan);
+            self.record_object_at(slot, generation, Arc::clone(info), plan, plan_id);
         }
         self.heap.pub_close(slot, win);
         seeded?;
@@ -573,24 +702,84 @@ impl ObjectRuntime {
 
     /// The SPAM-style allocation: malloc first (the size bound is
     /// identity-independent), then derive the permutation from the heap
-    /// identity the malloc just produced. The derived plan is interned —
-    /// the distinct-plan space is bounded by the small permutation count
-    /// — and is re-derivable from (epoch key, generation, slot) alone,
-    /// which is what makes the path "stateless": the stored `Arc` is a
-    /// cache, not the source of truth.
+    /// identity the malloc just produced. The derived plan — and, when
+    /// traps are on, its virtual trap geometry — is re-derivable from
+    /// (epoch key, generation, slot) alone, which is what makes the path
+    /// "stateless": the stored `Arc` is a cache, not the source of truth.
+    ///
+    /// The hot path touches no key derivation (the round-key schedule is
+    /// interned per runtime), batches Feistel walks through the code
+    /// block on slot-reuse runs, and resolves repeated permutation codes
+    /// through the per-class plan cache — an array index plus an `Arc`
+    /// clone in steady state.
     fn olr_malloc_stateless(&mut self, info: &Arc<ClassInfo>) -> Result<Addr, RuntimeError> {
-        let bound = stateless_size_bound(info).max(1) as usize;
+        let ci = self.stateless_cache_idx(info);
+        let cache = &self.stateless.caches[ci];
+        let (bound, n) = (cache.bound.max(1) as usize, usize::from(cache.fields));
         let base = self.heap.malloc(bound)?;
         let (slot, generation) =
             self.heap.slot_gen(base).expect("base is a block the heap just returned");
-        let plan = stateless_plan(info, self.epoch_key, generation, slot);
-        let plan = self.interner.intern(plan);
-        // Derived plans are permute-only: no canaries to seed.
+        let st = &mut self.stateless;
+        let code = st.block.code_for(&st.keys, slot, generation, n);
+        let way = st.caches[ci].way(code);
+        let (plan, plan_id) = match &st.caches[ci].entries[way] {
+            Some(e) if e.code == code => {
+                st.hits += 1;
+                (Arc::clone(&e.plan), e.plan_id)
+            }
+            _ => {
+                let built = stateless_plan_from_code(
+                    info,
+                    self.epoch_key,
+                    code,
+                    self.config.stateless.virtual_traps,
+                );
+                let plan = self.interner.intern(built);
+                let plan_id = Self::publish_id(&mut self.publish, &plan);
+                self.stateless.caches[ci].entries[way] =
+                    Some(StatelessEntry { code, plan: Arc::clone(&plan), plan_id });
+                (plan, plan_id)
+            }
+        };
+        // One writer window spans canary seeding (virtual traps carry
+        // canaries like any stored dummy) and the metadata mirror.
         let win = self.heap.pub_open(slot);
-        self.record_object(base, Arc::clone(info), plan);
+        let seeded = self.seed_canaries(base, &plan);
+        if seeded.is_ok() {
+            self.record_object_at(slot, generation, Arc::clone(info), plan, plan_id);
+        }
         self.heap.pub_close(slot, win);
+        seeded?;
         self.stats.allocations += 1;
+        self.stats.stateless_allocs += 1;
         Ok(base)
+    }
+
+    /// Index of (creating on first sight) the derived-plan cache for
+    /// `info`, with a monomorphic last-class hint in front.
+    #[inline]
+    fn stateless_cache_idx(&mut self, info: &ClassInfo) -> usize {
+        let class = info.hash();
+        let st = &mut self.stateless;
+        if let Some(c) = st.caches.get(st.last) {
+            if c.class == class {
+                return st.last;
+            }
+        }
+        let idx = match st.caches.iter().position(|c| c.class == class) {
+            Some(i) => i,
+            None => {
+                let bound = stateless_bound(info, self.config.stateless.virtual_traps);
+                st.caches.push(StatelessClassCache::new(
+                    class,
+                    bound,
+                    info.field_count() as u8,
+                ));
+                st.caches.len() - 1
+            }
+        };
+        st.last = idx;
+        idx
     }
 
     /// Write (or overwrite) the shadow record for the block at `base`.
@@ -598,9 +787,37 @@ impl ObjectRuntime {
     /// clears the offset-cache flag, so anything cached for a previous
     /// occupant of the slot is dead on arrival.
     fn record_object(&mut self, base: Addr, class: Arc<ClassInfo>, plan: Arc<LayoutPlan>) {
+        let plan_id = Self::publish_id(&mut self.publish, &plan);
+        self.record_object_with_id(base, class, plan, plan_id);
+    }
+
+    /// [`ObjectRuntime::record_object`] with the registry id already
+    /// resolved (the stateless fast path caches ids next to plans, so
+    /// its steady state skips even the per-runtime id map).
+    fn record_object_with_id(
+        &mut self,
+        base: Addr,
+        class: Arc<ClassInfo>,
+        plan: Arc<LayoutPlan>,
+        plan_id: Option<u32>,
+    ) {
         let (slot, block_gen) =
             self.heap.slot_gen(base).expect("base is a block the heap just returned");
-        let plan_id = self.publish_plan_id(&plan);
+        self.record_object_at(slot, block_gen, class, plan, plan_id);
+    }
+
+    /// [`ObjectRuntime::record_object_with_id`] with the heap identity
+    /// already resolved: allocation paths looked (slot, generation) up
+    /// to derive or publish the plan, so they pass it through instead of
+    /// paying a second `slot_gen`.
+    fn record_object_at(
+        &mut self,
+        slot: u32,
+        block_gen: u64,
+        class: Arc<ClassInfo>,
+        plan: Arc<LayoutPlan>,
+        plan_id: Option<u32>,
+    ) {
         let (class_hash, plan_hash) = (class.hash(), plan.plan_hash());
         let entry = self.shadow.ensure(slot as usize);
         if entry.meta.is_none() {
@@ -621,8 +838,10 @@ impl ObjectRuntime {
     /// Registry id for `plan` on a published runtime (interning it on
     /// first sight and caching per runtime); `None` when unpublished or
     /// the registry is full — readers then fall back to the lock.
-    fn publish_plan_id(&mut self, plan: &Arc<LayoutPlan>) -> Option<u32> {
-        let publish = self.publish.as_mut()?;
+    /// Associated (not a method) so callers holding field borrows of
+    /// `self` can still resolve ids.
+    fn publish_id(publish: &mut Option<MetaPublisher>, plan: &Arc<LayoutPlan>) -> Option<u32> {
+        let publish = publish.as_mut()?;
         if let Some(&id) = publish.ids.get(&plan.plan_hash()) {
             return Some(id);
         }
@@ -672,7 +891,7 @@ impl ObjectRuntime {
         }
         if self.config.check_traps_on_free {
             self.stats.trap_scans += 1;
-            let reports = self.scan_traps(base)?;
+            let reports = self.scan_traps_at(idx, base);
             if let Some(report) = reports.first() {
                 self.stats.traps_triggered += reports.len() as u64;
                 self.stats.dummy_touches += reports.len() as u64;
@@ -1064,6 +1283,12 @@ impl ObjectRuntime {
             Probe::Hit(i) => i,
             Probe::Miss => return Err(RuntimeError::UnknownObject(base)),
         };
+        Ok(self.scan_traps_at(idx, base))
+    }
+
+    /// [`ObjectRuntime::scan_traps`] for an already-probed shadow index
+    /// (the free path resolved it moments earlier — no second probe).
+    fn scan_traps_at(&self, idx: usize, base: Addr) -> Vec<TrapReport> {
         let meta = self.shadow[idx].meta.as_ref().expect("probe hit carries metadata");
         let mut reports = Vec::new();
         for dummy in meta.plan.dummies() {
@@ -1084,7 +1309,66 @@ impl ObjectRuntime {
                 }
             }
         }
-        Ok(reports)
+        reports
+    }
+
+    /// A raw *probe* read: `heap_read_uint` plus booby-trap screening.
+    ///
+    /// Attack probes read heap bytes at attacker-chosen (often
+    /// misaligned) offsets. When `detect_probe_traps` is on and the read
+    /// lands inside a tracked live object, the accessed byte range is
+    /// checked against the object's plan: overlapping a canary-carrying
+    /// dummy — a stored trap slot, or a stateless plan's *virtual* trap
+    /// rederivable from the allocation identity — raises
+    /// [`RuntimeError::TrapTriggered`] instead of returning the bytes,
+    /// modeling traps that fault on access. Reads outside tracked
+    /// objects, or with detection off, behave exactly like
+    /// [`SimHeap::read_uint`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TrapTriggered`] on trap overlap; heap faults
+    /// propagate as [`RuntimeError::Heap`].
+    pub fn probe_read_uint(&mut self, addr: Addr, width: usize) -> Result<u64, RuntimeError> {
+        if self.config.detect_probe_traps {
+            if let Some(report) = self.probe_trap_overlap(addr, width) {
+                self.stats.probe_traps += 1;
+                self.stats.traps_triggered += 1;
+                self.stats.dummy_touches += 1;
+                return Err(RuntimeError::TrapTriggered(report));
+            }
+        }
+        Ok(self.heap.read_uint(addr, width)?)
+    }
+
+    /// The trap report for a probe of `[addr, addr+width)` overlapping a
+    /// live tracked object's canary-carrying dummy, if any.
+    fn probe_trap_overlap(&self, addr: Addr, width: usize) -> Option<TrapReport> {
+        let block = self.heap.block_containing(addr)?;
+        let idx = match Self::probe(&self.heap, &self.shadow, block.base) {
+            Probe::Hit(i) => i,
+            Probe::Miss => return None,
+        };
+        let meta = self.shadow[idx].meta.as_ref().expect("probe hit carries metadata");
+        if meta.state != ObjectState::Live {
+            return None;
+        }
+        let rel = addr.0 - block.base.0;
+        let end = rel + width as u64;
+        for dummy in meta.plan.dummies() {
+            let Some(canary) = dummy.canary else { continue };
+            let (lo, hi) = (u64::from(dummy.offset), u64::from(dummy.offset + dummy.size));
+            if rel < hi && lo < end {
+                let cw = canary_width(dummy.size);
+                return Some(TrapReport {
+                    base: block.base,
+                    offset: dummy.offset,
+                    expected: truncate(canary, cw),
+                    found: self.heap.read_uint(addr, width).unwrap_or(0),
+                });
+            }
+        }
+        None
     }
 
     /// Allocate a raw (non-object) buffer: not randomized, not tracked.
@@ -1572,7 +1856,9 @@ mod tests {
         let mut rt = polar_rt();
         let info = people();
         let obj = rt.olr_malloc(&info).unwrap();
-        let size = rt.object_meta(obj).unwrap().plan.size() as usize;
+        // Re-request the block's own size: the stateless path mallocs
+        // the identity-independent bound, which can exceed plan.size().
+        let size = rt.heap().block_at(obj).unwrap().requested;
         rt.free_raw(obj).unwrap();
         let buf = rt.malloc_raw(size).unwrap();
         assert_eq!(obj, buf, "allocator should reuse the slot");
@@ -1708,7 +1994,11 @@ mod tests {
 
     #[test]
     fn pool_counters_populate_under_the_default_policy() {
-        let mut rt = polar_rt();
+        // The pooled path now serves classes the stateless default does
+        // not claim; route the small test class to it explicitly.
+        let mut config = RuntimeConfig::default();
+        config.stateless = StatelessPolicy::off();
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
         let info = people();
         for _ in 0..200 {
             let obj = rt.olr_malloc(&info).unwrap();
@@ -1752,29 +2042,66 @@ mod tests {
 
     #[test]
     fn stateless_path_roundtrips_and_rederives() {
-        let mut config = RuntimeConfig::default();
-        config.stateless_small = true;
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        // Stateless is the default for small classes now.
+        let mut rt = polar_rt();
         let info = people();
         let obj = rt.olr_malloc(&info).unwrap();
+        assert_eq!(rt.stats().stateless_allocs, 1);
         rt.write_field(obj, info.hash(), 1, 28).unwrap();
         rt.write_field(obj, info.hash(), 2, 175).unwrap();
         assert_eq!(rt.read_field(obj, info.hash(), 1).unwrap(), 28);
         assert_eq!(rt.read_field(obj, info.hash(), 2).unwrap(), 175);
         // The stored plan is a cache over a pure derivation: recomputing
-        // from (epoch key, generation, slot) reproduces it exactly.
+        // from (epoch key, generation, slot) reproduces it exactly —
+        // virtual trap geometry included.
         let (slot, generation) = rt.heap().slot_gen(obj).unwrap();
         let meta = rt.object_meta(obj).unwrap();
-        assert_eq!(meta.plan.dummies().len(), 0, "derived plans are permute-only");
-        let rederived = stateless_plan(&info, rt.epoch_key, generation, slot);
+        let traps = meta.plan.dummies().len();
+        assert!((1..=3).contains(&traps), "virtual traps derived: {traps}");
+        let rederived = polar_layout::stateless_trapped_plan(&info, rt.epoch_key, generation, slot);
+        assert_eq!(meta.plan.plan_hash(), rederived.plan_hash());
+        // And with traps off, the permute-only reference matches.
+        let mut config = RuntimeConfig::default();
+        config.stateless = StatelessPolicy::permute_only();
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let obj = rt.olr_malloc(&info).unwrap();
+        let (slot, generation) = rt.heap().slot_gen(obj).unwrap();
+        let meta = rt.object_meta(obj).unwrap();
+        assert_eq!(meta.plan.dummies().len(), 0, "permute-only ablation has no traps");
+        let rederived = polar_layout::stateless_plan(&info, rt.epoch_key, generation, slot);
         assert_eq!(meta.plan.plan_hash(), rederived.plan_hash());
     }
 
     #[test]
-    fn stateless_slot_reuse_rerandomizes_via_generation() {
+    fn stateless_probe_trap_detects_overlap() {
+        let mut rt = polar_rt();
+        let info = people();
+        let obj = rt.olr_malloc(&info).unwrap();
+        let plan = Arc::clone(&rt.object_meta(obj).unwrap().plan);
+        // A probe overlapping a virtual trap slot trips detection...
+        let dummy = plan.dummies()[0];
+        let err = rt.probe_read_uint(obj.offset(u64::from(dummy.offset)), 8).unwrap_err();
+        assert!(matches!(err, RuntimeError::TrapTriggered(_)), "got {err:?}");
+        assert_eq!(rt.stats().probe_traps, 1);
+        // ...while probing a real field's exact bytes does not.
+        rt.write_field(obj, info.hash(), 1, 77).unwrap();
+        let off = u64::from(plan.offset(1));
+        let w = plan.field_size(1) as usize;
+        assert_eq!(rt.probe_read_uint(obj.offset(off), w).unwrap(), 77);
+        // With detection off the same probe reads the canary bytes raw.
         let mut config = RuntimeConfig::default();
-        config.stateless_small = true;
+        config.detect_probe_traps = false;
         let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let obj = rt.olr_malloc(&info).unwrap();
+        let plan = Arc::clone(&rt.object_meta(obj).unwrap().plan);
+        let dummy = plan.dummies()[0];
+        assert!(rt.probe_read_uint(obj.offset(u64::from(dummy.offset)), 8).is_ok());
+        assert_eq!(rt.stats().probe_traps, 0);
+    }
+
+    #[test]
+    fn stateless_slot_reuse_rerandomizes_via_generation() {
+        let mut rt = polar_rt();
         let info = people();
         // free + remalloc reuses the slot with a bumped generation, so
         // the derived permutation changes without any stored state.
@@ -1792,9 +2119,7 @@ mod tests {
 
     #[test]
     fn stateless_path_skips_large_classes() {
-        let mut config = RuntimeConfig::default();
-        config.stateless_small = true;
-        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
+        let mut rt = polar_rt();
         let mut b = ClassDecl::builder("Big");
         for i in 0..12 {
             b = b.field(format!("f{i}"), FieldKind::I64);
@@ -1819,9 +2144,17 @@ mod tests {
             with_plan > baseline + plan_payload_bytes(&st.compile_time_plan(&info)) - 1,
             "static table plans must be counted: {baseline} -> {with_plan}"
         );
-        let mut rt = polar_rt();
+        let mut config = RuntimeConfig::default();
+        config.stateless = StatelessPolicy::off();
+        let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
         rt.olr_malloc(&info).unwrap();
         assert!(rt.pools.metadata_bytes() > 0);
         assert!(rt.estimated_metadata_bytes() > rt.pools.metadata_bytes());
+        // The stateless default's own bookkeeping is counted too.
+        let mut rt = polar_rt();
+        let before = rt.estimated_metadata_bytes();
+        rt.olr_malloc(&info).unwrap();
+        assert!(rt.stateless.metadata_bytes() > 0);
+        assert!(rt.estimated_metadata_bytes() > before);
     }
 }

@@ -52,7 +52,6 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use polar_classinfo::{ClassHash, ClassInfo};
 use polar_layout::{
     LayoutEngine, PlanHash, PlanInterner, PlanPools, PlanRegistry, RandomizationPolicy,
-    STATELESS_MAX_FIELDS,
 };
 use polar_rng::{BufferedRng, Rng, SeedableRng, SplitMix64, Xoshiro256StarStar};
 use polar_simheap::{Addr, HeapError, HeapPublisher, SnapshotOutcome, PUB_STATE_LIVE};
@@ -754,6 +753,18 @@ impl ShardedRuntime {
         self.heap_shard(addr, width)?.heap().read_uint(addr, width)
     }
 
+    /// A raw probe read with booby-trap screening, routed by address to
+    /// the owning shard (see [`ObjectRuntime::probe_read_uint`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TrapTriggered`] when the probed range overlaps a
+    /// live object's canary-carrying dummy; faults as
+    /// [`RuntimeError::Heap`].
+    pub fn probe_read_uint(&self, addr: Addr, width: usize) -> Result<u64, RuntimeError> {
+        self.heap_shard(addr, width)?.probe_read_uint(addr, width)
+    }
+
     /// Arena-bounded raw write, routed by address (the attack-model
     /// corruption primitive; see [`ShardedRuntime::heap_read_uint`]).
     ///
@@ -870,9 +881,8 @@ impl ShardHandle<'_> {
     ///
     /// As for [`ObjectRuntime::olr_malloc`].
     pub fn olr_malloc(&mut self, info: &Arc<ClassInfo>) -> Result<Addr, RuntimeError> {
-        let stateless = self.rt.config.stateless_small
-            && matches!(self.rt.mode, RandomizeMode::PerAllocation { .. })
-            && info.field_count() <= STATELESS_MAX_FIELDS;
+        let stateless = matches!(self.rt.mode, RandomizeMode::PerAllocation { .. })
+            && self.rt.config.stateless.applies_to(info.field_count());
         if !matches!(self.rt.mode, RandomizeMode::PerAllocation { .. }) || stateless {
             return self.rt.shard(self.home)?.olr_malloc(info);
         }
@@ -1258,10 +1268,14 @@ mod tests {
             "every allocation was drained, so the quiescent snapshot must balance"
         );
         assert_eq!(stats.total_detections(), 0);
+        // Small classes take the stateless default; anything else must
+        // still be served by the thread-local pools. Between them every
+        // PerAllocation draw avoids a fresh engine generation.
         assert!(
-            stats.pool_hits > stats.allocations / 2,
-            "thread-local pools should serve most draws: {} hits / {} allocs",
+            stats.pool_hits + stats.stateless_allocs > stats.allocations / 2,
+            "fast paths should serve most draws: {} pool + {} stateless / {} allocs",
             stats.pool_hits,
+            stats.stateless_allocs,
             stats.allocations
         );
     }

@@ -55,6 +55,15 @@ pub struct RuntimeStats {
     pub site_ic_hits: u64,
     /// Inline-cache probes that fell back to the full metadata path.
     pub site_ic_misses: u64,
+    /// Allocations served by the stateless small-class path: the layout
+    /// (and any virtual traps) derived from (generation, slot, epoch
+    /// key) instead of drawn from a pool or the engine.
+    pub stateless_allocs: u64,
+    /// Probe reads (`probe_read_uint`) that overlapped a live object's
+    /// booby-trap slot and were refused. Also counted into
+    /// `traps_triggered`/`dummy_touches`; this counter separates
+    /// probe-time trips from free-time sweep findings.
+    pub probe_traps: u64,
     /// Allocations whose plan came out of a per-class pool without an
     /// inline generation (the §V-B fast path's steady-state case).
     pub pool_hits: u64,
@@ -106,6 +115,8 @@ impl AddAssign for RuntimeStats {
         self.shadow_misses += rhs.shadow_misses;
         self.site_ic_hits += rhs.site_ic_hits;
         self.site_ic_misses += rhs.site_ic_misses;
+        self.stateless_allocs += rhs.stateless_allocs;
+        self.probe_traps += rhs.probe_traps;
         self.pool_hits += rhs.pool_hits;
         self.pool_refills += rhs.pool_refills;
         self.lockfree_reads += rhs.lockfree_reads;
@@ -177,6 +188,8 @@ atomic_stats!(
     shadow_misses,
     site_ic_hits,
     site_ic_misses,
+    stateless_allocs,
+    probe_traps,
     pool_hits,
     pool_refills,
     lockfree_reads,

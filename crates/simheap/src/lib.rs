@@ -565,20 +565,33 @@ impl SimHeap {
         self.pub_close(slot as u32, win);
         self.stats.frees += 1;
         self.stats.bytes_live -= size;
+        if self.config.quarantine == 0 {
+            // Immediate reuse (the default): the block just freed is the
+            // one released — skip the deque round-trip and the second
+            // slot lookup it would cost on every free.
+            self.release_to_free_list(addr, size);
+            return Ok(());
+        }
         self.quarantine.push_back(addr);
         while self.quarantine.len() > self.config.quarantine {
             let released = self.quarantine.pop_front().expect("non-empty");
             let released_size = self.slots
                 [self.slot_of_base(released).expect("quarantined block has a slot")]
             .size;
-            match size_class(released_size) {
-                Some(class) if SIZE_CLASSES[class] == released_size => {
-                    self.free_lists[class].push(released.0);
-                }
-                _ => self.large_free.push((released.0, released_size)),
-            }
+            self.release_to_free_list(released, released_size);
         }
         Ok(())
+    }
+
+    /// Hand a (no longer quarantined) block back to its free list.
+    #[inline]
+    fn release_to_free_list(&mut self, released: Addr, released_size: usize) {
+        match size_class(released_size) {
+            Some(class) if SIZE_CLASSES[class] == released_size => {
+                self.free_lists[class].push(released.0);
+            }
+            _ => self.large_free.push((released.0, released_size)),
+        }
     }
 
     /// Slot id covering `addr` (any interior byte), if a block owns it.

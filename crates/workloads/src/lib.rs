@@ -110,8 +110,11 @@ mod tests {
         let w = spec::by_name("458.sjeng").unwrap();
         let (hardened, _) = instrument(&w.module, &InstrumentOptions::default());
 
+        // Pin the stored-plan path: this test characterizes the *pool*,
+        // which the stateless small-class default bypasses entirely.
         let mut config = RuntimeConfig::default();
         config.heap.capacity = 512 << 20;
+        config.stateless = polar_runtime::StatelessPolicy::off();
         let pooled = run_with_mode(
             &hardened,
             RandomizeMode::per_allocation(),
@@ -130,6 +133,7 @@ mod tests {
 
         let mut config = RuntimeConfig::default();
         config.heap.capacity = 512 << 20;
+        config.stateless = polar_runtime::StatelessPolicy::off();
         config.pool = PoolPolicy::disabled();
         let unpooled = run_with_mode(
             &hardened,

@@ -81,6 +81,13 @@ echo "== lock-free stress smoke (release) =="
 ./target/release/stress_lockfree
 echo "ok: lock-free stress green"
 
+echo "== stateless default smoke =="
+# Boots the stock config (stateless derived plans are the small-class
+# default), verifies pooled vs stateless selection per class size, and
+# asserts exact seeded replay of a mixed-mode allocation run.
+./target/release/smoke_stateless
+echo "ok: stateless default smoke green"
+
 echo "== bench smoke (1 iteration) =="
 # A single-iteration pass through every benchmark: catches hot-path
 # regressions that only the bench harness exercises (e.g. the JSON

@@ -6,8 +6,9 @@
 use polar::instrument::{instrument, InstrumentOptions};
 use polar::ir::interp::{run_native, run_with_mode, ExecLimits};
 use polar::layout::{
-    stateless_perm, stateless_plan, stateless_size_bound, DummyPolicy, EpochKey, LayoutEngine,
-    PermuteMode, PoolPolicy, RandomizationPolicy,
+    code_position, stateless_perm, stateless_plan, stateless_size_bound,
+    stateless_trapped_plan, stateless_bound, DummyPolicy, EpochKey, LayoutEngine, PermBlock,
+    PermuteMode, PoolPolicy, RandomizationPolicy, RoundKeys,
 };
 use polar::fuzz::{Campaign, CampaignOptions, CampaignTarget, Feedback, Mutator};
 use polar::prelude::*;
@@ -456,6 +457,90 @@ fn stateless_permutations_are_bijective_and_match_plans() {
     );
 }
 
+/// Virtual trap slots derived by the stateless+traps path never collide
+/// with real field storage: across 64 cases × 160 identities (≈10k
+/// distinct (generation, slot, epoch) triples — the epoch key advances
+/// per identity) every derived trap interval is disjoint from every
+/// field interval, armed with a canary, and inside the allocation
+/// bound.
+#[test]
+fn stateless_virtual_traps_never_collide_with_fields() {
+    let strategy = (vec_of(arbitrary_field_kind(), 1..9), any::<u64>(), any::<u64>());
+    check_with(
+        cfg(),
+        "stateless_virtual_traps_never_collide_with_fields",
+        &strategy,
+        |(kinds, key, salt)| {
+            let mut b = ClassDecl::builder("SmallTrapped");
+            for (i, kind) in kinds.iter().enumerate() {
+                b = b.field(format!("f{i}"), *kind);
+            }
+            let info = ClassInfo::from_decl(b.build());
+            let n = info.field_count();
+            for i in 0..160u64 {
+                let epoch = EpochKey(key.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                let generation = salt.wrapping_add(i * 31) % 97;
+                let slot = ((salt >> 32).wrapping_add(i * 7) % 1024) as u32;
+                let plan = stateless_trapped_plan(&info, epoch, generation, slot);
+                ensure!(plan.validate().is_ok(), "{plan}");
+                ensure!(
+                    plan.size() <= stateless_bound(&info, true),
+                    "plan exceeds the trapped allocation bound: {plan}"
+                );
+                ensure!(!plan.dummies().is_empty(), "trapped plan derived zero traps: {plan}");
+                for d in plan.dummies() {
+                    ensure!(d.canary.is_some(), "stateless trap slots are always armed");
+                    let (lo, hi) = (d.offset, d.offset + d.size);
+                    for idx in 0..n {
+                        let f_lo = plan.offset(idx);
+                        let f_hi = f_lo + info.fields()[idx].kind().size();
+                        ensure!(
+                            hi <= f_lo || f_hi <= lo,
+                            "trap [{lo},{hi}) overlaps field {idx} [{f_lo},{f_hi}): {plan}"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The interned round-key fast path (RoundKeys + PermBlock batching) is
+/// byte-identical to the unmemoized per-allocation Feistel derivation
+/// from PR 3, for any epoch key and any (generation, slot) identity —
+/// including identities served out of a buffered generation run.
+#[test]
+fn round_key_interning_matches_unmemoized_stateless_perm() {
+    let strategy = (any::<u64>(), any::<u64>(), 1usize..9);
+    check_with(
+        cfg(),
+        "round_key_interning_matches_unmemoized_stateless_perm",
+        &strategy,
+        |(key, salt, n)| {
+            let key = EpochKey(*key);
+            let keys = RoundKeys::new(key);
+            let mut block = PermBlock::empty();
+            let n = *n;
+            for i in 0..96u64 {
+                let generation = salt.wrapping_add(i * 13) % 1031;
+                let slot = ((salt >> 29).wrapping_add(i * 3) % 4096) as u32;
+                let reference = stateless_perm(key, generation, slot, n);
+                let interned = keys.perm_code(generation, slot, n);
+                let buffered = block.code_for(&keys, slot, generation, n);
+                ensure_eq!(interned, buffered, "buffered code diverges at gen={generation}");
+                let got: Vec<usize> =
+                    (0..n).map(|p| code_position(interned, p)).collect();
+                ensure_eq!(
+                    got, reference,
+                    "interned derivation diverges at gen={generation} slot={slot} n={n}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Offset-cache coherence across free + re-malloc: warm every cache in
 /// front of the metadata (per-object flag and a per-site inline cache),
 /// recycle the address, and check that each field resolves through the
@@ -508,7 +593,10 @@ fn raw_reuse_never_serves_a_stale_plan() {
         config.seed = *seed;
         let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), config);
         let obj = rt.olr_malloc(&info).unwrap();
-        let size = rt.object_meta(obj).unwrap().plan.size().max(1) as usize;
+        // The block's actual requested size, not plan.size(): the
+        // stateless default reserves derived virtual-trap room beyond
+        // the plan footprint for small classes.
+        let size = (rt.heap().block_at(obj).unwrap().requested as usize).max(1);
         rt.free_raw(obj).unwrap();
         let buf = rt.malloc_raw(size).unwrap();
         ensure_eq!(obj, buf, "LIFO allocator should hand the block back");
