@@ -62,11 +62,14 @@ pub fn probe_class() -> Arc<ClassInfo> {
 fn layouts_of_run(defense: &Defense, run: u64, instances: usize) -> Vec<PlanHash> {
     let info = probe_class();
     let (mode, mut config) = match defense {
-        Defense::Native | Defense::Redzone => (RandomizeMode::Native, RuntimeConfig::default()),
+        Defense::Native | Defense::Redzone | Defense::PlacementOnly { .. } => {
+            (RandomizeMode::Native, RuntimeConfig::default())
+        }
         Defense::StaticOlr { binary_seed } => {
             (RandomizeMode::static_olr(*binary_seed), RuntimeConfig::default())
         }
         Defense::Polar { process_seed, .. }
+        | Defense::PolarPlacement { process_seed }
         | Defense::PolarStateless { process_seed, .. }
         | Defense::Sharded { process_seed, .. } => {
             let mut c = RuntimeConfig::default();
@@ -87,11 +90,13 @@ fn layouts_of_run(defense: &Defense, run: u64, instances: usize) -> Vec<PlanHash
     (0..instances)
         .map(|_| match defense {
             // Compile-time layouts: what the binary bakes in.
-            Defense::Native | Defense::Redzone | Defense::StaticOlr { .. } => {
-                rt.compile_time_plan(&info).plan_hash()
-            }
+            Defense::Native
+            | Defense::Redzone
+            | Defense::PlacementOnly { .. }
+            | Defense::StaticOlr { .. } => rt.compile_time_plan(&info).plan_hash(),
             // POLaR: one metadata record per allocation.
             Defense::Polar { .. }
+            | Defense::PolarPlacement { .. }
             | Defense::PolarStateless { .. }
             | Defense::Sharded { .. } => {
                 let base = rt.olr_malloc(&info).expect("alloc");

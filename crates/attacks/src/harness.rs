@@ -36,6 +36,24 @@ pub enum Defense {
         /// purely probabilistic layout defense).
         detect: bool,
     },
+    /// POLaR plus placement randomization: the same per-allocation
+    /// layout engine as [`Defense::Polar`], with the sim heap's
+    /// [`PlacementPolicy`](polar_simheap::PlacementPolicy) armed —
+    /// shuffle buffers, guard gaps, and arena offset entropy — so the
+    /// *addresses* the groomer relies on are randomized too.
+    PolarPlacement {
+        /// The process's runtime entropy (fresh per execution).
+        process_seed: u64,
+    },
+    /// Placement randomization *alone*: natural (native) layouts on a
+    /// heap with the same [`PlacementPolicy`](polar_simheap::PlacementPolicy)
+    /// as [`Defense::PolarPlacement`]. The isolating ablation for the
+    /// layout-only / placement-only / both comparison (`tables --
+    /// placement`); deliberately not part of the gated scorecard.
+    PlacementOnly {
+        /// Seed for the heap's placement stream.
+        process_seed: u64,
+    },
     /// POLaR with the stateless small-class path: classes at or under
     /// the stateless field bound get keyed-permutation layouts derived
     /// from heap identity (SPAM-style). With `traps` on — the runtime's
@@ -69,6 +87,16 @@ impl Defense {
         Defense::Polar { process_seed, detect: true }
     }
 
+    /// POLaR with placement randomization on top (layout + addresses).
+    pub fn polar_placement(process_seed: u64) -> Self {
+        Defense::PolarPlacement { process_seed }
+    }
+
+    /// Placement randomization alone (native layouts; the ablation row).
+    pub fn placement_only(process_seed: u64) -> Self {
+        Defense::PlacementOnly { process_seed }
+    }
+
     /// POLaR with the stateless small-class path on, virtual traps
     /// included (the runtime's default posture for small classes).
     pub fn polar_stateless(process_seed: u64) -> Self {
@@ -92,6 +120,8 @@ impl Defense {
             Defense::StaticOlr { .. } => "static-olr",
             Defense::Polar { detect: true, .. } => "polar",
             Defense::Polar { detect: false, .. } => "polar(no-detect)",
+            Defense::PolarPlacement { .. } => "polar+placement",
+            Defense::PlacementOnly { .. } => "placement-only",
             Defense::PolarStateless { traps: true, .. } => "polar-stateless",
             Defense::PolarStateless { traps: false, .. } => "stateless-notraps",
             Defense::Sharded { .. } => "sharded",
@@ -101,11 +131,14 @@ impl Defense {
 
     pub(crate) fn mode(&self) -> RandomizeMode {
         match self {
-            Defense::Native | Defense::Redzone => RandomizeMode::Native,
-            Defense::StaticOlr { binary_seed } => RandomizeMode::static_olr(*binary_seed),
-            Defense::Polar { .. } | Defense::PolarStateless { .. } | Defense::Sharded { .. } => {
-                RandomizeMode::per_allocation()
+            Defense::Native | Defense::Redzone | Defense::PlacementOnly { .. } => {
+                RandomizeMode::Native
             }
+            Defense::StaticOlr { binary_seed } => RandomizeMode::static_olr(*binary_seed),
+            Defense::Polar { .. }
+            | Defense::PolarPlacement { .. }
+            | Defense::PolarStateless { .. }
+            | Defense::Sharded { .. } => RandomizeMode::per_allocation(),
         }
     }
 
@@ -123,6 +156,36 @@ impl Defense {
                 // keep it pinned there even though the runtime default
                 // flipped small classes to stateless.
                 config.stateless = polar_layout::StatelessPolicy::off();
+            }
+            Defense::PolarPlacement { process_seed } => {
+                config.seed = *process_seed;
+                config.detect_class_mismatch = true;
+                config.detect_use_after_free = true;
+                config.check_traps_on_free = true;
+                config.detect_probe_traps = true;
+                config.stateless = polar_layout::StatelessPolicy::off();
+                // The placement column: layout engine identical to
+                // `polar`, plus address randomization. Seed 0 means the
+                // runtime derives the placement stream from its own seed,
+                // so one `process_seed` still replays the whole trial.
+                config.heap.placement = polar_simheap::PlacementPolicy {
+                    shuffle_depth: 16,
+                    offset_entropy_bits: 8,
+                    guard_gap_bits: 6,
+                    seed: 0,
+                };
+            }
+            Defense::PlacementOnly { process_seed } => {
+                // Native layouts, no detections: everything stays at the
+                // unhardened default except the placement policy, so the
+                // row isolates address entropy from layout entropy.
+                config.seed = *process_seed;
+                config.heap.placement = polar_simheap::PlacementPolicy {
+                    shuffle_depth: 16,
+                    offset_entropy_bits: 8,
+                    guard_gap_bits: 6,
+                    seed: 0,
+                };
             }
             Defense::PolarStateless { process_seed, traps } => {
                 config.seed = *process_seed;
@@ -302,7 +365,10 @@ pub fn run_attack_with_param(
 
 pub(crate) fn prepare_module(scenario: &Scenario, defense: &Defense) -> polar_ir::Module {
     match defense {
-        Defense::Polar { .. } | Defense::PolarStateless { .. } | Defense::Sharded { .. } => {
+        Defense::Polar { .. }
+        | Defense::PolarPlacement { .. }
+        | Defense::PolarStateless { .. }
+        | Defense::Sharded { .. } => {
             let (hardened, _) = instrument(&scenario.module, &InstrumentOptions::default());
             hardened
         }

@@ -52,6 +52,14 @@ pub enum SecMode {
     StaticOlr,
     /// POLaR with detections armed.
     Polar,
+    /// POLaR plus sim-heap placement randomization (shuffle buffers,
+    /// guard gaps, arena offset entropy) — layout *and* addresses.
+    PolarPlacement,
+    /// Placement randomization alone on natural layouts — the isolating
+    /// ablation for the layout/placement/both table (`tables --
+    /// placement`). Not in [`SecMode::ALL`], so it stays out of the
+    /// gated scorecard and its pins.
+    PlacementOnly,
     /// POLaR with the stateless small-class path (virtual traps on —
     /// the runtime's small-class default).
     PolarStateless,
@@ -64,10 +72,11 @@ pub enum SecMode {
 
 impl SecMode {
     /// Every mode, in scorecard order.
-    pub const ALL: [SecMode; 6] = [
+    pub const ALL: [SecMode; 7] = [
         SecMode::Native,
         SecMode::StaticOlr,
         SecMode::Polar,
+        SecMode::PolarPlacement,
         SecMode::PolarStateless,
         SecMode::StatelessNoTraps,
         SecMode::Sharded,
@@ -84,6 +93,8 @@ impl SecMode {
             SecMode::Native => Defense::Native,
             SecMode::StaticOlr => Defense::StaticOlr { binary_seed: STATIC_BINARY_SEED },
             SecMode::Polar => Defense::polar(trial_seed),
+            SecMode::PolarPlacement => Defense::polar_placement(trial_seed),
+            SecMode::PlacementOnly => Defense::placement_only(trial_seed),
             SecMode::PolarStateless => Defense::polar_stateless(trial_seed),
             SecMode::StatelessNoTraps => Defense::polar_stateless_notraps(trial_seed),
             SecMode::Sharded => Defense::sharded(trial_seed),
@@ -609,17 +620,162 @@ impl AdaptiveScenario for TypeConfuse {
 }
 
 // ---------------------------------------------------------------------
+// Scenario 4: placement prediction (pure inter-object distance).
+// ---------------------------------------------------------------------
+
+/// The distance-prediction scenario: the attacker grooms the allocator,
+/// then allocates two fresh buffers and bets on the exact byte distance
+/// between them. No memory is ever corrupted — the "hijack" is a correct
+/// prediction, which is precisely the allocator-determinism primitive
+/// Heelan-style grooming builds on. Layout randomization (intra-object)
+/// does nothing here; only *placement* randomization moves the score.
+struct PlaceGroom {
+    junk: Arc<ClassInfo>,
+}
+
+/// Buffer size the predictor allocates (one size class, no rounding
+/// ambiguity in the predicted delta).
+const PLACE_BUF: usize = 32;
+
+impl PlaceGroom {
+    fn new() -> Self {
+        let junk = Arc::new(ClassInfo::from_decl(
+            ClassDecl::builder("PlaceJunk")
+                .field("a", FieldKind::I64)
+                .field("b", FieldKind::I64)
+                .build(),
+        ));
+        PlaceGroom { junk }
+    }
+}
+
+impl AdaptiveScenario for PlaceGroom {
+    fn seed_tapes(&self) -> Vec<Vec<u8>> {
+        // Predict the bump-allocator distance (delta == PLACE_BUF) cold,
+        // after a groom, and after punching a hole.
+        let d = PLACE_BUF as u8;
+        vec![
+            vec![3, d, 0],
+            vec![0, 0, 0, 0, 3, d, 0],
+            vec![0, 0, 1, 0, 2, 0, 3, d, 0],
+        ]
+    }
+
+    fn run_tape(&self, mode: SecMode, tape: &[u8], trial_seed: u64) -> TapeRun {
+        let mut rt = mode.runtime(trial_seed);
+        let mut tokens = Vec::new();
+        let mut buffers: Vec<Addr> = Vec::new();
+        let mut sprays: Vec<Addr> = Vec::new();
+        let mut predicted: Option<(u64, u64)> = None; // (guess, actual)
+        let mut early: Option<AttackOutcome> = None;
+        let mut cursor = 0usize;
+        let next = |cursor: &mut usize| -> u8 {
+            let b = tape.get(*cursor).copied().unwrap_or(0);
+            *cursor += 1;
+            b
+        };
+        'vm: while cursor < tape.len() {
+            let op = next(&mut cursor) % 4;
+            tokens.push(TOK_OP | u64::from(op));
+            let arg = next(&mut cursor);
+            match op {
+                // Groom: allocate a raw buffer.
+                0 => {
+                    if buffers.len() < 12 {
+                        match rt.heap_malloc(PLACE_BUF) {
+                            Ok(addr) => buffers.push(addr),
+                            Err(_) => {
+                                early = Some(AttackOutcome::Crashed);
+                                break 'vm;
+                            }
+                        }
+                    }
+                }
+                // Groom: punch a hole.
+                1 => {
+                    if !buffers.is_empty() {
+                        let i = usize::from(arg) % buffers.len();
+                        let addr = buffers.swap_remove(i);
+                        if rt.heap_free(addr).is_err() {
+                            early = Some(AttackOutcome::Crashed);
+                            break 'vm;
+                        }
+                    }
+                }
+                // Groom: spray a managed object (perturbs the same pools).
+                2 => {
+                    if sprays.len() < 8 {
+                        match rt.olr_malloc(&self.junk) {
+                            Ok(addr) => sprays.push(addr),
+                            Err(err) => {
+                                early = Some(classify_runtime_err(&err));
+                                break 'vm;
+                            }
+                        }
+                    }
+                }
+                // The bet (once): allocate two fresh buffers, predict
+                // their signed byte distance. `arg` is the guess's low
+                // byte; the next tape byte is its high byte, and the
+                // guess is sign-extended from 16 bits so the search can
+                // bet on reuse *below* the second allocation too.
+                _ => {
+                    if predicted.is_none() {
+                        let hi = next(&mut cursor);
+                        let guess = i64::from(i16::from_le_bytes([arg, hi])) as u64;
+                        let pair = rt
+                            .heap_malloc(PLACE_BUF)
+                            .and_then(|a| rt.heap_malloc(PLACE_BUF).map(|b| (a, b)));
+                        match pair {
+                            Ok((a, b)) => {
+                                let actual = b.0.wrapping_sub(a.0);
+                                predicted = Some((guess, actual));
+                                tokens.push(TOK_PROBE | (guess & 0xFFFF));
+                            }
+                            Err(_) => {
+                                early = Some(AttackOutcome::Crashed);
+                                break 'vm;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Distance gradient: how close the bet came, in bytes.
+        let mut score = 0i64;
+        let mut outcome = early.unwrap_or(AttackOutcome::NoEffect);
+        if early.is_none() {
+            if let Some((guess, actual)) = predicted {
+                let miss = guess.abs_diff(actual).min(400);
+                score += 400 - miss as i64;
+                tokens.push(TOK_ADJ | miss / 16);
+                if guess == actual {
+                    outcome = AttackOutcome::Hijacked;
+                }
+            }
+        }
+        if outcome == AttackOutcome::Hijacked {
+            score += 10_000;
+        }
+        tokens.push(outcome_token(outcome));
+        TapeRun { outcome, score, tokens }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The campaign driver.
 // ---------------------------------------------------------------------
 
 /// Scenario names, in scorecard order.
-pub const SCENARIO_NAMES: [&str; 3] = ["heap-groom", "misaligned-probe", "type-confuse"];
+pub const SCENARIO_NAMES: [&str; 4] =
+    ["heap-groom", "misaligned-probe", "type-confuse", "place-groom"];
 
 fn scenario_by_name(name: &str) -> Box<dyn AdaptiveScenario> {
     match name {
         "heap-groom" => Box::new(HeapGroom::new()),
         "misaligned-probe" => Box::new(MisalignedProbe::new()),
         "type-confuse" => Box::new(TypeConfuse::new()),
+        "place-groom" => Box::new(PlaceGroom::new()),
         other => panic!("unknown adaptive scenario {other:?}"),
     }
 }
@@ -792,6 +948,30 @@ mod tests {
             "polar {polar:?} vs native {native:?}"
         );
         assert!(polar.bypass_rate() < 0.5, "{polar:?}");
+    }
+
+    #[test]
+    fn placement_breaks_the_distance_predictor() {
+        let native = run_campaign(
+            "place-groom",
+            SecMode::Native,
+            CampaignBudget::quick(),
+            0xDEC0DE,
+        );
+        let placed = run_campaign(
+            "place-groom",
+            SecMode::PolarPlacement,
+            CampaignBudget::quick(),
+            0xDEC0DE,
+        );
+        // The deterministic allocator is fully predictable; layout-only
+        // modes share that fate (addresses are untouched), and placement
+        // is what breaks the bet.
+        assert!(native.bypass_rate() > 0.9, "{native:?}");
+        assert!(
+            placed.bypass_rate() < 0.5,
+            "placement should randomize inter-object distance: {placed:?}"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! `--gate FILE` runs a reduced-iteration timed measurement of the
 //! gated `(bench, mode)` rows (`olr_malloc_free` and
 //! `olr_getptr_cached`, each in stateful `polar` and derived
-//! `polar-stateless` mode, plus the lock-free `olr_getptr_mt4`),
+//! `polar-stateless` mode, `olr_malloc_free` with the placement
+//! randomization policy armed, plus the lock-free `olr_getptr_mt4`),
 //! compares each against the fastest pinned entry for that row in
 //! FILE, and exits non-zero on a >25% regression. It also re-measures
 //! the pooled/stateless `metadata_bytes` ratio (the Table III claim)
@@ -85,6 +86,21 @@ fn big_config() -> RuntimeConfig {
 fn pooled_config() -> RuntimeConfig {
     let mut c = big_config();
     c.stateless = StatelessPolicy::off();
+    c
+}
+
+/// Default config plus the placement-randomization policy the
+/// `polar+placement` security column runs with (shuffle buffers, guard
+/// gaps, arena offset entropy) — what address randomization costs on
+/// the allocation path.
+fn placement_config() -> RuntimeConfig {
+    let mut c = big_config();
+    c.heap.placement = polar_simheap::PlacementPolicy {
+        shuffle_depth: 16,
+        offset_entropy_bits: 8,
+        guard_gap_bits: 6,
+        seed: 0,
+    };
     c
 }
 
@@ -210,6 +226,7 @@ fn run_benches(quick: bool) -> Vec<Entry> {
             c.stateless = StatelessPolicy::permute_only();
             c
         }),
+        ("polar-placement", placement_config()),
     ] {
         let mut rt = ObjectRuntime::new(RandomizeMode::per_allocation(), cfg);
         let ns = time_loop(quick, 200_000, samples, || {
@@ -514,6 +531,7 @@ fn gate_measurements() -> Vec<(&'static str, &'static str, Box<dyn FnOnce() -> f
             malloc_free(pooled_config()) as Box<dyn FnOnce() -> f64>,
         ),
         ("olr_malloc_free", "polar-stateless", malloc_free(stateless_cfg())),
+        ("olr_malloc_free", "polar-placement", malloc_free(placement_config())),
         ("olr_getptr_cached", "polar", getptr_cached(pooled_config())),
         ("olr_getptr_cached", "polar-stateless", getptr_cached(stateless_cfg())),
         ("olr_getptr_mt4", "polar", getptr_mt4),

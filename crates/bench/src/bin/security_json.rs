@@ -1,7 +1,7 @@
 //! Machine-readable security scorecard: emits `BENCH_security.json`.
 //!
-//! Runs the adaptive attacker of `polar_attacks::search` — three attack
-//! scenarios × five defense modes — and writes one JSON entry per
+//! Runs the adaptive attacker of `polar_attacks::search` — four attack
+//! scenarios × seven defense modes — and writes one JSON entry per
 //! campaign:
 //!
 //! ```json

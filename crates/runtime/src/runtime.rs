@@ -449,9 +449,19 @@ pub struct ObjectRuntime {
     publish: Option<MetaPublisher>,
 }
 
+/// Salt separating the heap-placement RNG stream from the plan RNG and
+/// the stateless epoch key (`"PLAC"`).
+pub(crate) const PLACEMENT_SALT: u64 = 0x504C_4143;
+
 impl ObjectRuntime {
     /// Create a runtime in the given mode.
-    pub fn new(mode: RandomizeMode, config: RuntimeConfig) -> Self {
+    ///
+    /// When the heap's [`PlacementPolicy`](polar_simheap::PlacementPolicy)
+    /// is enabled but carries no explicit seed, one is derived from the
+    /// runtime seed through a salted stream — placement replay stays a
+    /// pure function of `config.seed`, and knowing placed addresses
+    /// reveals nothing about layout plans or the stateless key.
+    pub fn new(mode: RandomizeMode, mut config: RuntimeConfig) -> Self {
         let (engine, static_table) = match mode {
             RandomizeMode::Native => (LayoutEngine::new(RandomizationPolicy::off()), None),
             RandomizeMode::StaticOlr { policy, binary_seed } => (
@@ -464,6 +474,10 @@ impl ObjectRuntime {
         // from `rng` must not reveal the stateless permutation key.
         let epoch_key =
             EpochKey(SplitMix64::new(config.seed ^ 0x5350_414d /* "SPAM" */).next_u64());
+        if config.heap.placement.enabled() && config.heap.placement.seed == 0 {
+            config.heap.placement.seed =
+                SplitMix64::new(config.seed ^ PLACEMENT_SALT).next_u64();
+        }
         ObjectRuntime {
             heap: SimHeap::new(config.heap),
             mode,
@@ -2156,5 +2170,39 @@ mod tests {
         rt.olr_malloc(&info).unwrap();
         assert!(rt.stateless.metadata_bytes() > 0);
         assert!(rt.estimated_metadata_bytes() > before);
+    }
+
+    #[test]
+    fn placement_seed_derives_from_the_runtime_seed() {
+        use polar_simheap::PlacementPolicy;
+
+        let mut config = RuntimeConfig::default();
+        config.heap.placement =
+            PlacementPolicy { shuffle_depth: 8, guard_gap_bits: 4, ..Default::default() };
+        let seeded = |seed: u64| {
+            let mut c = config;
+            c.seed = seed;
+            ObjectRuntime::new(RandomizeMode::per_allocation(), c)
+        };
+        let a = seeded(1);
+        assert_ne!(a.heap().config().placement.seed, 0, "a placement seed must be derived");
+        // Same runtime seed → same placement stream → same addresses.
+        let trace = |mut rt: ObjectRuntime| -> Vec<u64> {
+            let info = people();
+            let mut out = Vec::new();
+            for _ in 0..32 {
+                let a = rt.olr_malloc(&info).unwrap();
+                out.push(a.0);
+                rt.olr_free(a).unwrap();
+            }
+            out
+        };
+        assert_eq!(trace(a), trace(seeded(1)), "placement replay must follow the seed");
+        assert_ne!(trace(seeded(1)), trace(seeded(2)), "distinct seeds must diverge");
+        // An explicit placement seed is left untouched.
+        let mut c = config;
+        c.heap.placement.seed = 77;
+        let rt = ObjectRuntime::new(RandomizeMode::per_allocation(), c);
+        assert_eq!(rt.heap().config().placement.seed, 77);
     }
 }

@@ -207,6 +207,17 @@ impl ShardedRuntime {
                 // (plan fitting, unpooled draws, epoch keys) independent.
                 shard_config.seed =
                     SplitMix64::stream(config.seed ^ SHARD_SEED_SALT, i as u64).next_u64();
+                // Every shard also gets its own placement stream: block
+                // addresses in one shard window reveal nothing about
+                // placement in another, yet the whole arrangement
+                // replays from the one root seed.
+                if shard_config.heap.placement.enabled()
+                    && shard_config.heap.placement.seed == 0
+                {
+                    shard_config.heap.placement.seed =
+                        SplitMix64::stream(config.seed ^ crate::runtime::PLACEMENT_SALT, i as u64)
+                            .next_u64();
+                }
                 let rt =
                     ObjectRuntime::new_published(mode, shard_config, Arc::clone(&registry));
                 pubs.push(Arc::clone(
@@ -1322,6 +1333,52 @@ mod tests {
         // Streams are disjoint, so threads must not mirror each other.
         assert_ne!(first[0], first[1]);
         assert_ne!(first[1], first[2]);
+    }
+
+    #[test]
+    fn shards_draw_disjoint_placement_streams_that_replay() {
+        use polar_simheap::PlacementPolicy;
+
+        const SHARDS: usize = 4;
+        let placed = || {
+            let mut config = RuntimeConfig::default();
+            config.heap.capacity = 64 << 20;
+            config.heap.placement =
+                PlacementPolicy { shuffle_depth: 8, guard_gap_bits: 4, ..Default::default() };
+            ShardedRuntime::new(RandomizeMode::per_allocation(), config, SHARDS)
+        };
+        let rt = placed();
+        // Every shard derived its own non-zero placement seed.
+        let seeds: Vec<u64> = (0..SHARDS)
+            .map(|i| rt.shards[i].lock().unwrap().heap().config().placement.seed)
+            .collect();
+        let mut distinct = seeds.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), SHARDS, "placement seeds must be disjoint: {seeds:?}");
+        assert!(seeds.iter().all(|&s| s != 0));
+        // Same root seed → identical shard-local address traces.
+        let trace = |rt: &ShardedRuntime| -> Vec<u64> {
+            let info = people();
+            let mut h = rt.handle(0);
+            let mut live = Vec::new();
+            let mut out = Vec::new();
+            for i in 0..48usize {
+                let a = h.olr_malloc(&info).unwrap();
+                out.push(a.0);
+                live.push(a);
+                if live.len() > 4 {
+                    let v = live.remove(i % live.len());
+                    h.olr_free(v).unwrap();
+                }
+            }
+            out
+        };
+        let a = trace(&rt);
+        assert_eq!(a, trace(&placed()), "sharded placement must replay from the root seed");
+        // The placement layer actually engaged: the trace diverges from
+        // the deterministic (placement-off) facade's.
+        assert_ne!(a, trace(&sharded(SHARDS)), "placement should perturb the address trace");
     }
 
     /// Satellite regression for the staged cross-shard copy: the copy

@@ -88,6 +88,15 @@ echo "== stateless default smoke =="
 ./target/release/smoke_stateless
 echo "ok: stateless default smoke green"
 
+echo "== placement smoke =="
+# Arms the placement policy the polar+placement column uses (shuffle
+# buffers, guard gaps, arena offset entropy) and checks allocator
+# invariants under churn, seeded replay of the placed address sequence,
+# and that placement actually moves addresses off the deterministic
+# baseline.
+./target/release/smoke_placement
+echo "ok: placement smoke green"
+
 echo "== bench smoke (1 iteration) =="
 # A single-iteration pass through every benchmark: catches hot-path
 # regressions that only the bench harness exercises (e.g. the JSON
@@ -105,7 +114,7 @@ echo "== bench gate (reduced-iteration, >25% regression fails) =="
 echo "ok: bench gate green"
 
 echo "== security gate (reduced-trial adaptive attacker) =="
-# Reruns the adaptive attack scorecard (3 scenarios x 5 modes) on the
+# Reruns the adaptive attack scorecard (4 scenarios x 7 modes) on the
 # quick budget at the pinned gate seed and compares each campaign's
 # bypass/detection rates against scripts/security_baseline.json: fails
 # when any mode's bypass rate climbs more than 10 points above its pin

@@ -212,6 +212,119 @@ fn heap_blocks_never_overlap() {
     });
 }
 
+/// Placement randomization preserves the allocator's invariants under
+/// any knob setting: live blocks stay disjoint, every aligned unit of a
+/// live block indexes back to its owning block (and guard gaps stay
+/// unowned), the reuse pools stay disjoint (no address sits in a class
+/// free list or shuffle buffer *and* in `large_free` — the unified
+/// release predicate), and an identical (config, op tape) replays to a
+/// byte-identical address sequence.
+#[test]
+fn placement_preserves_allocator_invariants() {
+    use polar::simheap::{Addr, BlockState, PlacementPolicy};
+    const ALIGN: u64 = 16;
+    let strategy = (
+        vec_of(any::<u64>(), 1..100),
+        0usize..24,
+        0u32..10,
+        0u32..8,
+        any::<u64>(),
+        0usize..8,
+    );
+    check_with(
+        cfg(),
+        "placement_preserves_allocator_invariants",
+        &strategy,
+        |(rolls, depth, offset_bits, gap_bits, seed, quarantine)| {
+            let mut config = HeapConfig::default();
+            config.quarantine = *quarantine;
+            config.placement = PlacementPolicy {
+                shuffle_depth: *depth,
+                offset_entropy_bits: *offset_bits,
+                guard_gap_bits: *gap_bits,
+                seed: *seed,
+            };
+            // Mixed small/large sizes, including class-aligned-but-not-
+            // exact spans, so both reuse pools and the release predicate
+            // are exercised.
+            let run = |cfg: HeapConfig| -> (SimHeap, Vec<u64>) {
+                let mut heap = SimHeap::new(cfg);
+                let mut live: Vec<Addr> = Vec::new();
+                let mut trace = Vec::new();
+                for roll in rolls {
+                    if roll % 3 != 0 || live.is_empty() {
+                        let size =
+                            [16, 24, 48, 200, 1024, 3072, 4096, 5000][(roll % 8) as usize];
+                        let a = heap.malloc(size).unwrap();
+                        trace.push(a.0);
+                        live.push(a);
+                    } else {
+                        let idx = ((roll / 3) as usize) % live.len();
+                        let a = live.swap_remove(idx);
+                        heap.free(a).unwrap();
+                        trace.push(u64::MAX ^ a.0);
+                    }
+                }
+                (heap, trace)
+            };
+            let (heap, trace) = run(config);
+
+            // Live blocks are pairwise disjoint.
+            let mut spans: Vec<(u64, u64)> = heap
+                .blocks()
+                .filter(|b| b.state == BlockState::Live)
+                .map(|b| (b.base.0, b.base.0 + b.size as u64))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                ensure!(w[0].1 <= w[1].0, "live blocks overlap: {w:?}");
+            }
+
+            // Index agreement: every aligned unit of a live block resolves
+            // to that block; the unit before its base never leaks into it.
+            for b in heap.blocks().filter(|b| b.state == BlockState::Live) {
+                let mut u = b.base.0;
+                while u < b.base.0 + b.size as u64 {
+                    let owner = heap.block_containing(Addr(u));
+                    ensure!(
+                        owner.map(|o| o.base) == Some(b.base),
+                        "unit {u:#x} of block at {:#x} maps to {owner:?}",
+                        b.base.0
+                    );
+                    u += ALIGN;
+                }
+                if b.base.0 >= ALIGN {
+                    if let Some(before) = heap.block_containing(Addr(b.base.0 - ALIGN)) {
+                        ensure!(
+                            before.base != b.base,
+                            "guard unit before {:#x} owned by the block",
+                            b.base.0
+                        );
+                    }
+                }
+            }
+
+            // Reuse pools are disjoint.
+            let (free_lists, large_free, shuffled) = heap.free_pool_snapshot();
+            let mut classed = std::collections::HashSet::new();
+            for &a in free_lists.iter().flatten().chain(shuffled.iter()) {
+                ensure!(classed.insert(a), "address {a:#x} pooled twice");
+            }
+            for &(a, _) in &large_free {
+                ensure!(
+                    !classed.contains(&a),
+                    "address {a:#x} in a class pool and in large_free"
+                );
+            }
+
+            // Seeded replay is byte-identical.
+            let (_, trace2) = run(config);
+            ensure_eq!(trace, trace2, "placement replay diverged");
+            Ok(())
+        },
+    );
+}
+
 /// Instrumentation transparency on randomly-shaped store/load
 /// programs: the hardened run computes exactly the native result.
 #[test]

@@ -44,12 +44,12 @@ fn claim_i_public_binary_breaks_static_olr_but_not_polar() {
 }
 
 #[test]
-fn all_five_modes_meet_their_detection_contract() {
+fn all_scorecard_modes_meet_their_detection_contract() {
     // Every scenario, every runtime mode of the scorecard, one contract
     // per mode:
     //   native / static-olr (binary known)  -> deterministic hijack, zero
     //                                          detections
-    //   polar / sharded                     -> probabilistic bypass only;
+    //   polar / polar+placement / sharded   -> probabilistic bypass only;
     //                                          corrupting reads (confusion,
     //                                          UAF) are reliably detected
     //   polar-stateless                     -> keyed permutation still
@@ -61,6 +61,7 @@ fn all_five_modes_meet_their_detection_contract() {
         ("native", Box::new(|_| Defense::Native)),
         ("static-olr", Box::new(|_| Defense::StaticOlr { binary_seed: 17 })),
         ("polar", Box::new(|t| Defense::polar(7000 + t))),
+        ("polar+placement", Box::new(|t| Defense::polar_placement(7000 + t))),
         ("polar-stateless", Box::new(|t| Defense::polar_stateless(7000 + t))),
         ("sharded", Box::new(|t| Defense::sharded(7000 + t))),
     ];
@@ -75,7 +76,7 @@ fn all_five_modes_meet_their_detection_contract() {
                     assert_eq!(stats.hijacked, 16, "{tag}: {stats}");
                     assert_eq!(stats.detected, 0, "{tag}: {stats}");
                 }
-                "polar" | "sharded" => {
+                "polar" | "polar+placement" | "sharded" => {
                     assert!(stats.hijack_rate() < 0.5, "{tag}: {stats}");
                     if corrupting {
                         assert!(stats.detection_rate() > 0.9, "{tag}: {stats}");
@@ -106,6 +107,35 @@ fn adaptive_groomer_defeats_static_layouts_but_not_polar() {
     assert!(olr.bypass_rate() > 0.9, "{olr:?}");
     assert!(polar.bypass_rate() < 0.5, "{polar:?}");
     assert!(polar.detections > 0, "traps should flag failed grooms: {polar:?}");
+}
+
+#[test]
+fn placement_tightens_the_groom_and_owns_the_distance_bet() {
+    // The +placement column's two claims at the pinned gate seed: the
+    // Heelan-style groom gets strictly harder than layout-only polar,
+    // and the pure distance predictor — which layout randomization
+    // cannot touch — collapses only under placement.
+    let seed = 0x5EC5_CA4D;
+    let polar = run_campaign("heap-groom", SecMode::Polar, CampaignBudget::quick(), seed);
+    let placed =
+        run_campaign("heap-groom", SecMode::PolarPlacement, CampaignBudget::quick(), seed);
+    assert!(
+        placed.bypass_rate() < polar.bypass_rate(),
+        "placement should lower the groom bypass: {placed:?} vs {polar:?}"
+    );
+
+    let layout_only =
+        run_campaign("place-groom", SecMode::Polar, CampaignBudget::quick(), seed);
+    let placed =
+        run_campaign("place-groom", SecMode::PolarPlacement, CampaignBudget::quick(), seed);
+    assert!(
+        layout_only.bypass_rate() > 0.9,
+        "layout randomization leaves addresses predictable: {layout_only:?}"
+    );
+    assert!(
+        placed.bypass_rate() < 0.5,
+        "placement should break the distance bet: {placed:?}"
+    );
 }
 
 #[test]
