@@ -24,12 +24,20 @@
 //! gated `(bench, mode)` rows (`olr_malloc_free` and
 //! `olr_getptr_cached`, each in stateful `polar` and derived
 //! `polar-stateless` mode, `olr_malloc_free` with the placement
-//! randomization policy armed, plus the lock-free `olr_getptr_mt4`),
-//! compares each against the fastest pinned entry for that row in
-//! FILE, and exits non-zero on a >25% regression. It also re-measures
-//! the pooled/stateless `metadata_bytes` ratio (the Table III claim)
-//! and fails if it shrinks >25% below the pinned ratio. This keeps the
-//! allocation fast path honest without paying for a full bench run.
+//! randomization policy armed, the lock-free `olr_getptr_mt4`, and the
+//! magazine-path `olr_malloc_free_mt1`/`_mt4`), compares each against
+//! the fastest pinned entry for that row in FILE, and exits non-zero
+//! on a >25% regression. It also re-measures the pooled/stateless
+//! `metadata_bytes` ratio (the Table III claim) and fails if it
+//! shrinks >25% below the pinned ratio, re-runs the full-scale
+//! session-store workload against its pinned `session_store_p99`
+//! (1.5× band — tail latency is scheduler-noisy on shared hosts) and
+//! `session_store_meta_per_live` (1.25×) rows, and — on machines that detect
+//! ≥4 hardware threads — requires the `olr_malloc_free_mt4` aggregate
+//! to stay within 1.5× of `olr_malloc_free_mt1` (the magazine scaling
+//! claim; narrower machines print a skip notice instead). This keeps
+//! the allocation fast path honest without paying for a full bench
+//! run.
 //!
 //! The `_mtN` rows drive a [`ShardedRuntime`] with N threads; their
 //! `ns_per_op` is *aggregate* (wall time ÷ total ops across threads), so
@@ -55,6 +63,7 @@ use polar_runtime::{
     StatelessPolicy,
 };
 use polar_workloads::contend::{run_contend, ContendConfig};
+use polar_workloads::session_store::{run_session_store, SessionConfig};
 
 /// Hardware threads the OS reports; 1 when detection fails (a container
 /// with no affinity information makes no scaling claims).
@@ -87,6 +96,32 @@ fn pooled_config() -> RuntimeConfig {
     let mut c = big_config();
     c.stateless = StatelessPolicy::off();
     c
+}
+
+/// The session-store benchmark scale: ≥1M live vtable'd sessions under
+/// Zipf-skewed traffic on 8 threads/8 shards (every shard's arena slice
+/// is reachable, so the 512 MiB capacity covers the 256 MiB live set
+/// with magazine slack). `--quick` shrinks it to a smoke run.
+fn session_bench_config(quick: bool) -> SessionConfig {
+    if quick {
+        SessionConfig {
+            threads: 2,
+            sessions: 2_000,
+            ops_per_thread: 500,
+            shards: 2,
+            heap_capacity: 32 << 20,
+            ..Default::default()
+        }
+    } else {
+        SessionConfig {
+            threads: 8,
+            sessions: 1 << 20,
+            ops_per_thread: 50_000,
+            shards: 8,
+            heap_capacity: 512 << 20,
+            ..Default::default()
+        }
+    }
 }
 
 /// Default config plus the placement-randomization policy the
@@ -332,10 +367,14 @@ fn run_benches(quick: bool) -> Vec<Entry> {
         ));
     }
 
-    // Sharded runtime, N threads of malloc+free on their own handles
-    // (each handle's home shard is distinct, so the only shared state is
-    // the striped locks and the atomic stats).
-    for threads in [2u64, 4, 8] {
+    // Sharded runtime, N threads of malloc+free on their own handles —
+    // the magazine front-end's home turf: pops and lock-free free
+    // claims in the loop, the shard mutex only every `batch` ops. The
+    // mt1 row anchors the speedup-vs-threads curve (and the gate's
+    // mt4 ≤ 1.5 × mt1 scaling claim); each handle's home shard is
+    // distinct, so the only shared state is the striped locks and the
+    // atomic stats facade.
+    for threads in [1u64, 2, 4, 8] {
         let rt = ShardedRuntime::new(
             RandomizeMode::per_allocation(),
             pooled_config(),
@@ -449,6 +488,40 @@ fn run_benches(quick: bool) -> Vec<Entry> {
         });
     }
 
+    // Session store: ≥1M live objects, Zipf-keyed read/write/refresh
+    // traffic, oracle-verified reads. One full run yields the latency
+    // distribution and the footprint, reported as four rows:
+    // `session_store_p{50,99,999}` carry the traffic-op latency
+    // percentile in `ns_per_op`, and `session_store_meta_per_live`
+    // carries POLaR bookkeeping **bytes per live session** in
+    // `ns_per_op` (the units are bytes, not nanoseconds — the field is
+    // just the gated scalar; the pinned gate fails if it grows >25%).
+    // `cache_hit_rate` on these rows is the magazine hit rate.
+    {
+        let cfg = session_bench_config(quick);
+        let live = cfg.sessions;
+        let r = run_session_store(RandomizeMode::per_allocation(), cfg);
+        assert_eq!(r.live_objects, live, "session store lost sessions");
+        let total_meta = (r.metadata_bytes_per_live * r.live_objects as f64) as usize;
+        for (bench, value) in [
+            ("session_store_p50", r.p50_ns as f64),
+            ("session_store_p99", r.p99_ns as f64),
+            ("session_store_p999", r.p999_ns as f64),
+            ("session_store_meta_per_live", r.metadata_bytes_per_live),
+        ] {
+            out.push(Entry {
+                snapshot: "current".to_owned(),
+                bench: bench.to_owned(),
+                mode: "polar".to_owned(),
+                ns_per_op: if quick { 0.0 } else { value },
+                cache_hit_rate: Some(r.magazine_hit_rate),
+                metadata_bytes: total_meta,
+                quick: false,
+                parallelism: detected_parallelism(),
+            });
+        }
+    }
+
     out
 }
 
@@ -535,7 +608,37 @@ fn gate_measurements() -> Vec<(&'static str, &'static str, Box<dyn FnOnce() -> f
         ("olr_getptr_cached", "polar", getptr_cached(pooled_config())),
         ("olr_getptr_cached", "polar-stateless", getptr_cached(stateless_cfg())),
         ("olr_getptr_mt4", "polar", getptr_mt4),
+        (
+            "olr_malloc_free_mt1",
+            "polar",
+            Box::new(|| measure_malloc_free_mt(1)),
+        ),
+        (
+            "olr_malloc_free_mt4",
+            "polar",
+            Box::new(|| measure_malloc_free_mt(4)),
+        ),
     ]
+}
+
+/// The magazine-path malloc/free aggregate at the bench rows' own
+/// iteration count (the loop is the measurement; spawn/join overhead
+/// amortizes over 50k pairs). Used both for the generic pin-compares
+/// and the mt4-vs-mt1 scaling ratio.
+fn measure_malloc_free_mt(threads: u64) -> f64 {
+    let info = probe();
+    let rt = ShardedRuntime::new(
+        RandomizeMode::per_allocation(),
+        pooled_config(),
+        threads as usize,
+    );
+    time_mt(false, threads, 50_000, 16, &|t, n| {
+        let mut h = rt.handle(t);
+        for _ in 0..n {
+            let a = h.olr_malloc(&info).expect("alloc");
+            h.olr_free(a).expect("free");
+        }
+    })
 }
 
 /// The Table III claim, measured: metadata bytes under the stateful
@@ -637,6 +740,92 @@ fn run_gate(pin_path: &str) -> i32 {
             "gate: no pinned metadata_bytes for olr_malloc_free polar+polar-stateless, \
              skipping metadata ratio check"
         ),
+    }
+    // Magazine scaling claim: with ≥4 hardware threads the mt4
+    // aggregate must stay within 1.5× of mt1 — the front-end's whole
+    // point is that adding threads costs magazine pops and lock-free
+    // claims, not shard-mutex convoys. A narrower machine cannot
+    // re-check the claim (4 workers on 1 vCPU measure the scheduler,
+    // not the allocator), so it skips with a notice, same as an
+    // over-pinned `_mt*` row.
+    if here >= 4 {
+        let mt1 = measure_malloc_free_mt(1);
+        let mt4 = measure_malloc_free_mt(4);
+        let limit = mt1 * 1.5;
+        let verdict = if mt4 > limit { "FAIL" } else { "ok" };
+        eprintln!(
+            "gate: olr_malloc_free_mt4 scaling: {mt4:.2} ns/op aggregate vs mt1 \
+             {mt1:.2} (limit 1.5x = {limit:.2}) {verdict}"
+        );
+        if mt4 > limit {
+            failed = true;
+        }
+    } else {
+        eprintln!(
+            "gate: olr_malloc_free_mt4 scaling: this machine detects parallelism \
+             {here} < 4 — skipping the mt4 <= 1.5x mt1 check (scaling claim not \
+             measurable here)"
+        );
+    }
+    // Session-store gate: one full-scale run (≥1M live sessions) checked
+    // against the pinned p99 latency and metadata-bytes-per-live rows.
+    // Both scalars ride in `ns_per_op` (the meta row's units are bytes);
+    // both fail on >25% growth. Skipped with a notice when the pin was
+    // measured on a wider machine or no pin exists yet.
+    {
+        fn comparable_pin<'a>(
+            pins: &'a [Entry],
+            bench: &str,
+            here: usize,
+            pin_path: &str,
+        ) -> Option<&'a Entry> {
+            let pin = pins
+                .iter()
+                .filter(|e| e.bench == bench && e.mode == "polar" && e.ns_per_op > 0.0)
+                .min_by(|a, b| a.ns_per_op.total_cmp(&b.ns_per_op));
+            match pin {
+                None => {
+                    eprintln!("gate: no pinned polar entry for {bench} in {pin_path}, skipping");
+                    None
+                }
+                Some(p) if p.parallelism > here => {
+                    eprintln!(
+                        "gate: {bench}: pin measured with parallelism {}, this machine \
+                         detects {here} — skipping (latency claim not comparable)",
+                        p.parallelism
+                    );
+                    None
+                }
+                some => some,
+            }
+        }
+        let p99_pin = comparable_pin(&pins, "session_store_p99", here, pin_path);
+        let meta_pin = comparable_pin(&pins, "session_store_meta_per_live", here, pin_path);
+        if p99_pin.is_some() || meta_pin.is_some() {
+            let r = run_session_store(RandomizeMode::per_allocation(), session_bench_config(false));
+            // The p99 gets a looser 1.5× tolerance than the throughput
+            // rows: a tail-latency percentile on a shared host is
+            // scheduler-dominated (observed run-to-run spread ~1.4× on
+            // a single vCPU), so the 25% band would flake. The
+            // metadata-per-live figure is deterministic per seed and
+            // keeps the tight band.
+            const P99_TOLERANCE: f64 = 1.5;
+            for (pin, bench, measured, tolerance) in [
+                (p99_pin, "session_store_p99", r.p99_ns as f64, P99_TOLERANCE),
+                (meta_pin, "session_store_meta_per_live", r.metadata_bytes_per_live, TOLERANCE),
+            ] {
+                let Some(pin) = pin else { continue };
+                let limit = pin.ns_per_op * tolerance;
+                let verdict = if measured > limit { "FAIL" } else { "ok" };
+                eprintln!(
+                    "gate: {bench}: {measured:.2} (pinned {:.2}, limit {limit:.2}) {verdict}",
+                    pin.ns_per_op
+                );
+                if measured > limit {
+                    failed = true;
+                }
+            }
+        }
     }
     if failed {
         eprintln!("gate: perf regression >25% vs {pin_path}");

@@ -218,23 +218,66 @@ impl PlanPools {
         rng: &mut R,
     ) -> Arc<LayoutPlan> {
         debug_assert!(self.policy.enabled(), "draw() on a disabled pool");
-        let hash = info.hash();
-        let id = match self.last {
-            Some((cached, id)) if cached == hash => id,
-            _ => {
-                let id = match self.index.get(&hash) {
-                    Some(&id) => id,
-                    None => {
-                        let id = self.pools.len() as u32;
-                        self.pools.push(ClassPool::default());
-                        self.index.insert(hash, id);
-                        id
-                    }
-                };
-                self.last = Some((hash, id));
+        let id = self.class_pool_id(info.hash());
+        self.draw_at(id, info, engine, interner, rng)
+    }
+
+    /// Draw `k` plans for `info` into `out`: stream-equivalent to `k`
+    /// sequential [`draw`](PlanPools::draw) calls — identical RNG
+    /// consumption, identical returned sequence — with the class lookup
+    /// hoisted out of the loop. The sharded runtime's magazine
+    /// front-end refills with this, so batching does not perturb the
+    /// per-thread plan streams the determinism tests pin down.
+    pub fn draw_batch<R: Rng + ?Sized>(
+        &mut self,
+        info: &ClassInfo,
+        engine: &LayoutEngine,
+        interner: &mut PlanInterner,
+        rng: &mut R,
+        k: usize,
+        out: &mut Vec<Arc<LayoutPlan>>,
+    ) {
+        debug_assert!(self.policy.enabled(), "draw_batch() on a disabled pool");
+        let id = self.class_pool_id(info.hash());
+        out.reserve(k);
+        for _ in 0..k {
+            let plan = self.draw_at(id, info, engine, interner, rng);
+            out.push(plan);
+        }
+    }
+
+    /// Pool id for `class`, creating an empty ring on first sight, with
+    /// the one-entry inline cache in front.
+    #[inline]
+    fn class_pool_id(&mut self, hash: ClassHash) -> u32 {
+        if let Some((cached, id)) = self.last {
+            if cached == hash {
+                return id;
+            }
+        }
+        let id = match self.index.get(&hash) {
+            Some(&id) => id,
+            None => {
+                let id = self.pools.len() as u32;
+                self.pools.push(ClassPool::default());
+                self.index.insert(hash, id);
                 id
             }
         };
+        self.last = Some((hash, id));
+        id
+    }
+
+    /// One draw from an already-resolved class pool (the body shared by
+    /// [`draw`](PlanPools::draw) and [`draw_batch`](PlanPools::draw_batch)).
+    fn draw_at<R: Rng + ?Sized>(
+        &mut self,
+        id: u32,
+        info: &ClassInfo,
+        engine: &LayoutEngine,
+        interner: &mut PlanInterner,
+        rng: &mut R,
+    ) -> Arc<LayoutPlan> {
         let policy = self.policy;
         let pool = &mut self.pools[id as usize];
         match policy.draw {
@@ -311,6 +354,26 @@ mod tests {
         (0..n)
             .map(|_| pools.draw(&info, &engine, &mut interner, &mut rng).plan_hash().0)
             .collect()
+    }
+
+    #[test]
+    fn draw_batch_matches_sequential_draws() {
+        for policy in [PoolPolicy::default(), PoolPolicy::unique(8), PoolPolicy::sampled(4, 2)] {
+            let info = probe();
+            let engine = LayoutEngine::new(RandomizationPolicy::default());
+            let (mut ia, mut ib) = (PlanInterner::new(), PlanInterner::new());
+            let (mut pa, mut pb) = (PlanPools::new(policy), PlanPools::new(policy));
+            let (mut ra, mut rb) = (StdRng::seed_from_u64(42), StdRng::seed_from_u64(42));
+            let sequential: Vec<u64> = (0..50)
+                .map(|_| pa.draw(&info, &engine, &mut ia, &mut ra).plan_hash().0)
+                .collect();
+            let mut batched = Vec::new();
+            pb.draw_batch(&info, &engine, &mut ib, &mut rb, 32, &mut batched);
+            pb.draw_batch(&info, &engine, &mut ib, &mut rb, 18, &mut batched);
+            let batched: Vec<u64> = batched.iter().map(|p| p.plan_hash().0).collect();
+            assert_eq!(sequential, batched, "policy {policy:?} diverged");
+            assert_eq!(pa.stats(), pb.stats(), "policy {policy:?} stats diverged");
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod buffered;
 mod distr;
 mod splitmix;
 mod xoshiro;
+mod zipf;
 
 pub mod rngs;
 pub mod seq;
@@ -43,6 +44,7 @@ pub use buffered::{BufferedRng, BUFFERED_RNG_WORDS};
 pub use distr::{Random, SampleRange, UniformInt};
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256StarStar;
+pub use zipf::Zipf;
 
 /// A source of random 64-bit words.
 ///

@@ -72,7 +72,8 @@ pub use polar_layout::{DrawMode, PoolPolicy, StatelessPolicy};
 // addresses; callers shouldn't need a polar-simheap dependency for that.
 pub use polar_simheap::Addr;
 pub use runtime::{
-    ObjectMeta, ObjectRuntime, ObjectState, RandomizeMode, RuntimeConfig, SiteCache,
+    MagazinePolicy, ObjectMeta, ObjectRuntime, ObjectState, RandomizeMode, RuntimeConfig,
+    SiteCache,
 };
-pub use sharded::{ShardHandle, ShardedRuntime};
+pub use sharded::{HeapFootprint, ShardHandle, ShardedRuntime};
 pub use stats::{AtomicRuntimeStats, RuntimeStats};

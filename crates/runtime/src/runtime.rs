@@ -12,7 +12,7 @@ use polar_layout::{
     RandomizationPolicy, RoundKeys, StatelessPolicy, StaticOlrTable,
 };
 use polar_rng::{BufferedRng, Rng, SeedableRng, SplitMix64};
-use polar_simheap::{Addr, HeapConfig, SimHeap, Slab};
+use polar_simheap::{Addr, BlockState, HeapConfig, SimHeap, Slab};
 
 use crate::error::{RuntimeError, TrapReport};
 use crate::stats::RuntimeStats;
@@ -109,6 +109,16 @@ pub struct RuntimeConfig {
     /// bytes. Models trap slots being mapped-unreadable in a real
     /// deployment (Section IV-A3's traps, extended to reads).
     pub detect_probe_traps: bool,
+    /// Magazine policy for the sharded facade's per-handle allocation
+    /// front-end: each [`ShardHandle`](crate::ShardHandle) keeps a
+    /// per-size-class magazine of pre-reserved allocation capsules,
+    /// refilled `batch` at a time under one shard-lock acquisition, so
+    /// the common-case `olr_malloc` is a lock-free pop. Fast frees from
+    /// the same facade push onto a per-shard remote-free stack drained
+    /// by the owning shard at its next lock acquisition.
+    /// [`MagazinePolicy::disabled`] restores one lock round-trip per
+    /// allocation and per free. Plain `ObjectRuntime`s ignore this.
+    pub magazine: MagazinePolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -125,7 +135,37 @@ impl Default for RuntimeConfig {
             pool: PoolPolicy::default(),
             stateless: StatelessPolicy::on(),
             detect_probe_traps: true,
+            magazine: MagazinePolicy::default(),
         }
+    }
+}
+
+/// Policy for the sharded facade's magazine-cached allocation front-end
+/// (see [`RuntimeConfig::magazine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MagazinePolicy {
+    /// Capsules reserved per refill (one shard-lock acquisition amortized
+    /// over this many allocations). `0` disables magazines *and* the
+    /// lock-free free path: every facade malloc/free takes the shard
+    /// mutex, exactly as before the front-end existed.
+    pub batch: usize,
+}
+
+impl MagazinePolicy {
+    /// Magazines off: one shard-lock round trip per allocation and free.
+    pub fn disabled() -> Self {
+        MagazinePolicy { batch: 0 }
+    }
+
+    /// Whether the front-end is active.
+    pub fn enabled(&self) -> bool {
+        self.batch > 0
+    }
+}
+
+impl Default for MagazinePolicy {
+    fn default() -> Self {
+        MagazinePolicy { batch: 32 }
     }
 }
 
@@ -149,6 +189,25 @@ pub struct ObjectMeta {
     /// Lifecycle state.
     pub state: ObjectState,
     /// Bumped every time the base address is reassigned to a new object.
+    pub generation: u64,
+}
+
+/// A pre-reserved allocation: the product of [`ObjectRuntime`]'s
+/// reserve paths, held in a [`ShardHandle`](crate::ShardHandle)
+/// magazine until a thread pops it as an `olr_malloc` result. The
+/// object is fully armed at reserve time — block allocated, canaries
+/// seeded, shadow record and publication mirror written, state `Live` —
+/// so popping is pure bookkeeping and the capsule's address is
+/// indistinguishable from a mutex-path allocation to every reader.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Capsule {
+    /// Base address of the reserved block.
+    pub base: Addr,
+    /// Heap slot id of the block.
+    pub slot: u32,
+    /// Heap block generation at reserve time (for debugging/assertions;
+    /// the shadow record is the source of truth).
+    #[allow(dead_code)]
     pub generation: u64,
 }
 
@@ -695,6 +754,25 @@ impl ObjectRuntime {
         info: &Arc<ClassInfo>,
         plan: Arc<LayoutPlan>,
     ) -> Result<Addr, RuntimeError> {
+        let capsule = self.reserve_with_plan(info, plan)?;
+        self.stats.allocations += 1;
+        Ok(capsule.base)
+    }
+
+    /// Reserve one fully-armed allocation for `info` with a
+    /// caller-supplied plan, *without counting it as an allocation*.
+    /// This is the body of [`olr_malloc_with_plan`] minus the stat: the
+    /// magazine front-end reserves capsules in batches under the shard
+    /// lock and counts `allocations` only when a thread actually pops
+    /// one, so `allocations == frees` keeps holding at quiescence even
+    /// with capsules parked in magazines.
+    ///
+    /// [`olr_malloc_with_plan`]: ObjectRuntime::olr_malloc_with_plan
+    pub(crate) fn reserve_with_plan(
+        &mut self,
+        info: &Arc<ClassInfo>,
+        plan: Arc<LayoutPlan>,
+    ) -> Result<Capsule, RuntimeError> {
         let base = self.heap.malloc(plan.size().max(1) as usize)?;
         let (slot, generation) =
             self.heap.slot_gen(base).expect("base is a block the heap just returned");
@@ -703,15 +781,14 @@ impl ObjectRuntime {
         // record (whose meta generation no longer matches) or the
         // complete new one — never a half-recorded object.
         let win = self.heap.pub_open(slot);
+        let (plan_id, plan) = Self::publish_canonical(&mut self.publish, plan);
         let seeded = self.seed_canaries(base, &plan);
         if seeded.is_ok() {
-            let plan_id = Self::publish_id(&mut self.publish, &plan);
             self.record_object_at(slot, generation, Arc::clone(info), plan, plan_id);
         }
         self.heap.pub_close(slot, win);
         seeded?;
-        self.stats.allocations += 1;
-        Ok(base)
+        Ok(Capsule { base, slot, generation })
     }
 
     /// The SPAM-style allocation: malloc first (the size bound is
@@ -727,6 +804,20 @@ impl ObjectRuntime {
     /// through the per-class plan cache — an array index plus an `Arc`
     /// clone in steady state.
     fn olr_malloc_stateless(&mut self, info: &Arc<ClassInfo>) -> Result<Addr, RuntimeError> {
+        let capsule = self.reserve_stateless(info)?;
+        self.stats.allocations += 1;
+        self.stats.stateless_allocs += 1;
+        Ok(capsule.base)
+    }
+
+    /// Stateless-path reservation without the allocation stats — the
+    /// counterpart of [`reserve_with_plan`](ObjectRuntime::reserve_with_plan)
+    /// for small classes. The magazine front-end counts `allocations`
+    /// and `stateless_allocs` at pop time.
+    pub(crate) fn reserve_stateless(
+        &mut self,
+        info: &Arc<ClassInfo>,
+    ) -> Result<Capsule, RuntimeError> {
         let ci = self.stateless_cache_idx(info);
         let cache = &self.stateless.caches[ci];
         let (bound, n) = (cache.bound.max(1) as usize, usize::from(cache.fields));
@@ -748,8 +839,8 @@ impl ObjectRuntime {
                     code,
                     self.config.stateless.virtual_traps,
                 );
-                let plan = self.interner.intern(built);
-                let plan_id = Self::publish_id(&mut self.publish, &plan);
+                let interned = self.interner.intern(built);
+                let (plan_id, plan) = Self::publish_canonical(&mut self.publish, interned);
                 self.stateless.caches[ci].entries[way] =
                     Some(StatelessEntry { code, plan: Arc::clone(&plan), plan_id });
                 (plan, plan_id)
@@ -764,9 +855,7 @@ impl ObjectRuntime {
         }
         self.heap.pub_close(slot, win);
         seeded?;
-        self.stats.allocations += 1;
-        self.stats.stateless_allocs += 1;
-        Ok(base)
+        Ok(Capsule { base, slot, generation })
     }
 
     /// Index of (creating on first sight) the derived-plan cache for
@@ -796,18 +885,12 @@ impl ObjectRuntime {
         idx
     }
 
-    /// Write (or overwrite) the shadow record for the block at `base`.
-    /// Installing a record stamps the block's current generation and
-    /// clears the offset-cache flag, so anything cached for a previous
-    /// occupant of the slot is dead on arrival.
-    fn record_object(&mut self, base: Addr, class: Arc<ClassInfo>, plan: Arc<LayoutPlan>) {
-        let plan_id = Self::publish_id(&mut self.publish, &plan);
-        self.record_object_with_id(base, class, plan, plan_id);
-    }
-
-    /// [`ObjectRuntime::record_object`] with the registry id already
-    /// resolved (the stateless fast path caches ids next to plans, so
-    /// its steady state skips even the per-runtime id map).
+    /// Write (or overwrite) the shadow record for the block at `base`,
+    /// with the registry id already resolved (the stateless fast path
+    /// caches ids next to plans, so its steady state skips even the
+    /// per-runtime id map). Installing a record stamps the block's
+    /// current generation and clears the offset-cache flag, so anything
+    /// cached for a previous occupant of the slot is dead on arrival.
     fn record_object_with_id(
         &mut self,
         base: Addr,
@@ -862,6 +945,31 @@ impl ObjectRuntime {
         let id = publish.registry.intern(plan)?;
         publish.ids.insert(plan.plan_hash(), id);
         Some(id)
+    }
+
+    /// Resolve `plan`'s registry id and adopt the registry's *canonical*
+    /// copy for it. The plan hash deliberately excludes canary values
+    /// (structurally identical plans intern together), so a locally
+    /// derived twin — another shard's stateless derivation under its own
+    /// epoch key, or another thread's engine draw — can carry different
+    /// trap values than the copy the registry serves to lock-free
+    /// readers. Seeding and recording the canonical plan keeps the armed
+    /// bytes, the shadow record and the published id's resolution in
+    /// exact agreement; the lock-free free path's trap sweep depends on
+    /// that. Unpublished runtimes (and a full registry) keep the local
+    /// plan.
+    fn publish_canonical(
+        publish: &mut Option<MetaPublisher>,
+        plan: Arc<LayoutPlan>,
+    ) -> (Option<u32>, Arc<LayoutPlan>) {
+        let Some(id) = Self::publish_id(publish, &plan) else {
+            return (None, plan);
+        };
+        let canonical = publish
+            .as_ref()
+            .and_then(|p| p.registry.get(id))
+            .map_or(plan, Arc::clone);
+        (Some(id), canonical)
     }
 
     fn seed_canaries(&mut self, base: Addr, plan: &LayoutPlan) -> Result<(), RuntimeError> {
@@ -927,6 +1035,46 @@ impl ObjectRuntime {
         self.heap.free(base)?;
         self.stats.frees += 1;
         Ok(())
+    }
+
+    /// Complete the retirement of a reserved or remote-freed slot:
+    /// flip its (generation-current) shadow record to `Freed`, mirror
+    /// the flip, and release the heap block. Counts **nothing** — the
+    /// callers decide what event this was:
+    ///
+    /// * the shard draining its remote-free stack (the block's free was
+    ///   already counted by the lock-free `fast_frees` claim), and
+    /// * a [`ShardHandle`](crate::ShardHandle) returning unconsumed
+    ///   magazine capsules at teardown (reserved but never allocated,
+    ///   so neither an allocation nor a free happened).
+    ///
+    /// Returns whether a block was actually released; `false` means the
+    /// slot's block was already freed (the free raced to completion
+    /// through another path) or the release failed, both of which the
+    /// caller treats as "nothing left to do".
+    pub(crate) fn retire_reserved(&mut self, slot: u32) -> bool {
+        let Some(block) = self.heap.block_by_slot(slot) else { return false };
+        if block.state == BlockState::Freed {
+            return false;
+        }
+        if let Some(entry) = self.shadow.get_mut(slot as usize) {
+            if entry.block_gen == block.generation {
+                if let Some(meta) = entry.meta.as_mut() {
+                    meta.state = ObjectState::Freed;
+                }
+                // The offset-cache entry dies with the object.
+                entry.warmed = false;
+            }
+        }
+        // Mirror the flip inside a writer window, as `olr_free` does;
+        // for a drained remote free the publication slot is already
+        // FREED (the claim CAS flipped it) and the mirror is idempotent.
+        let win = self.heap.pub_open(slot);
+        if let Some(p) = self.heap.publisher() {
+            p.mirror_free(slot);
+        }
+        self.heap.pub_close(slot, win);
+        self.heap.free(block.base).is_ok()
     }
 
     /// Instrumented member access (the rewritten `getelementptr`): resolve
@@ -1205,8 +1353,9 @@ impl ObjectRuntime {
                 let to = dst.offset(dst_plan.offset(field) as u64);
                 self.heap.write(to, &staged.bytes[staged.starts[field]..][..size])?;
             }
+            let (dst_id, dst_plan) = Self::publish_canonical(&mut self.publish, dst_plan);
             self.seed_canaries(dst, &dst_plan)?;
-            self.record_object(dst, info, dst_plan);
+            self.record_object_with_id(dst, info, dst_plan, dst_id);
             Ok(())
         })();
         if let Some(slot) = dst_slot {
@@ -1413,7 +1562,10 @@ fn plan_payload_bytes(p: &LayoutPlan) -> usize {
         + 32
 }
 
-fn canary_width(size: u32) -> usize {
+/// Stored width of a dummy slot's canary. `pub(crate)` so the sharded
+/// facade's lock-free free path scans traps with byte-identical
+/// semantics to [`ObjectRuntime::olr_free`]'s locked sweep.
+pub(crate) fn canary_width(size: u32) -> usize {
     match size {
         1 | 2 | 4 | 8 => size as usize,
         s if s >= 8 => 8,
@@ -1421,7 +1573,9 @@ fn canary_width(size: u32) -> usize {
     }
 }
 
-fn truncate(value: u64, width: usize) -> u64 {
+/// Truncate an expected canary to its stored width (see
+/// [`canary_width`]).
+pub(crate) fn truncate(value: u64, width: usize) -> u64 {
     if width >= 8 {
         value
     } else {

@@ -77,6 +77,22 @@ pub struct RuntimeStats {
     /// (contended seqlock window, unpublished slot, or a condition the
     /// fast path cannot classify, e.g. a detection).
     pub lockfree_fallbacks: u64,
+    /// Allocations served from a per-handle magazine of pre-reserved
+    /// capsules: no shard mutex was taken.
+    pub magazine_hits: u64,
+    /// Magazine refill events: one shard-lock acquisition reserving a
+    /// batch of capsules.
+    pub magazine_refills: u64,
+    /// Capsules returned to the shard unconsumed (handle teardown or
+    /// magazine retirement) — these were reserved but never allocated,
+    /// so they count in neither `allocations` nor `frees`.
+    pub magazine_returns: u64,
+    /// Frees completed entirely on the lock-free path: publication
+    /// claim + remote-free stack push, no shard mutex.
+    pub fast_frees: u64,
+    /// Remote-freed slots drained and released by their owning shard
+    /// (each matches one earlier `fast_frees` event).
+    pub remote_drained: u64,
 }
 
 impl RuntimeStats {
@@ -121,6 +137,11 @@ impl AddAssign for RuntimeStats {
         self.pool_refills += rhs.pool_refills;
         self.lockfree_reads += rhs.lockfree_reads;
         self.lockfree_fallbacks += rhs.lockfree_fallbacks;
+        self.magazine_hits += rhs.magazine_hits;
+        self.magazine_refills += rhs.magazine_refills;
+        self.magazine_returns += rhs.magazine_returns;
+        self.fast_frees += rhs.fast_frees;
+        self.remote_drained += rhs.remote_drained;
     }
 }
 
@@ -194,6 +215,11 @@ atomic_stats!(
     pool_refills,
     lockfree_reads,
     lockfree_fallbacks,
+    magazine_hits,
+    magazine_refills,
+    magazine_returns,
+    fast_frees,
+    remote_drained,
 );
 
 impl fmt::Display for RuntimeStats {

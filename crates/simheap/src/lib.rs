@@ -666,6 +666,41 @@ impl SimHeap {
         Ok(addr)
     }
 
+    /// Reserve up to `k` blocks of `size` bytes in one call, appending
+    /// the bases to `out`. This is the magazine-refill primitive: the
+    /// caller pays one lock acquisition (and the publication windows it
+    /// covers) for `k` reservations instead of `k` round-trips.
+    ///
+    /// Returns the number of blocks actually reserved. Exhaustion
+    /// mid-batch is not an error — the partial batch is returned and
+    /// the caller retries later — but a first-allocation failure
+    /// surfaces the underlying error so out-of-memory is not silently
+    /// reported as an empty refill.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSize`] for `size == 0`; any [`SimHeap::malloc`]
+    /// error when not even one block could be reserved.
+    pub fn malloc_batch(
+        &mut self,
+        size: usize,
+        k: usize,
+        out: &mut Vec<Addr>,
+    ) -> Result<usize, HeapError> {
+        let mut reserved = 0;
+        while reserved < k {
+            match self.malloc(size) {
+                Ok(addr) => {
+                    out.push(addr);
+                    reserved += 1;
+                }
+                Err(err) if reserved == 0 => return Err(err),
+                Err(_) => break,
+            }
+        }
+        Ok(reserved)
+    }
+
     fn grow(&mut self, usable: usize) -> Result<u64, HeapError> {
         let mut base = self.store.len();
         if self.config.placement.guard_gap_bits > 0 {
@@ -853,6 +888,14 @@ impl SimHeap {
     /// Block metadata when `addr` is exactly a block base. O(1).
     pub fn block_at(&self, addr: Addr) -> Option<BlockInfo> {
         self.slot_of_base(addr).map(|slot| self.slots[slot])
+    }
+
+    /// Block metadata by dense slot id (the id [`SimHeap::slot_gen`]
+    /// returns and the publication mirror indexes by). O(1); `None` for
+    /// ids never handed out. Remote-free intake uses this to map a
+    /// drained slot index back to its block base.
+    pub fn block_by_slot(&self, slot: u32) -> Option<BlockInfo> {
+        self.slots.as_slice().get(slot as usize).copied()
     }
 
     fn check_range(&self, addr: Addr, len: usize) -> Result<(usize, usize), HeapError> {

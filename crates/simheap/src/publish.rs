@@ -49,6 +49,22 @@ pub const PUB_STATE_LIVE: u32 = 1;
 /// `PubSlot.state`: the tracked object was freed.
 pub const PUB_STATE_FREED: u32 = 2;
 
+/// Shift of the metadata generation inside a packed `life` word.
+const LIFE_GEN_SHIFT: u32 = 2;
+/// Mask of the lifecycle state inside a packed `life` word.
+const LIFE_STATE_MASK: u64 = 0b11;
+
+/// Pack a metadata generation and a `PUB_STATE_*` lifecycle state into
+/// one `life` word. Keeping both in a single atomic is what makes the
+/// lock-free free claim ([`HeapPublisher::claim_free`]) ABA-safe: the
+/// CAS can only succeed against the exact `(generation, Live)` pair the
+/// caller validated, and generations are strictly monotonic per slot,
+/// so a recycled slot can never satisfy a stale claim.
+#[inline]
+fn pack_life(meta_gen: u64, state: u32) -> u64 {
+    (meta_gen << LIFE_GEN_SHIFT) | u64::from(state)
+}
+
 /// Published slots per on-demand committed chunk (64 KiB chunks).
 const SLOTS_PER_CHUNK: usize = 1024;
 /// Cap on slot chunks: slots past `MAX_SLOT_CHUNKS * SLOTS_PER_CHUNK`
@@ -68,22 +84,30 @@ struct PubSlot {
     base: AtomicU64,
     /// Heap allocation generation (mirrors `BlockInfo::generation`).
     heap_gen: AtomicU64,
-    /// Generation the runtime recorded its metadata under. A live
-    /// object requires `meta_gen == heap_gen`; raw-path reuse bumps
-    /// `heap_gen` and thereby orphans stale metadata, exactly like the
-    /// shadow index's generation stamps.
-    meta_gen: AtomicU64,
+    /// Packed lifecycle word: `meta_gen << 2 | state` (see
+    /// [`pack_life`]). `meta_gen` is the generation the runtime
+    /// recorded its metadata under — a live object requires
+    /// `meta_gen == heap_gen`; raw-path reuse bumps `heap_gen` and
+    /// thereby orphans stale metadata, exactly like the shadow index's
+    /// generation stamps. The state bits are one of the `PUB_STATE_*`
+    /// constants. Packed so [`HeapPublisher::claim_free`] can retire a
+    /// live object with a single generation-checked CAS.
+    life: AtomicU64,
     /// Class hash of the recorded object.
     class_hash: AtomicU64,
     /// Layout plan hash (for inline-cache comparisons).
     plan_hash: AtomicU64,
     /// Plan registry id + 1 (0 = not registered).
     plan_id: AtomicU32,
-    /// Lifecycle: one of the `PUB_STATE_*` constants.
-    state: AtomicU32,
     /// Warm-access flag (first access per recorded object is a "cold"
     /// metadata touch, later ones count as cache hits).
     warmed: AtomicU32,
+    /// Intrusive link for the owning shard's remote-free Treiber stack:
+    /// the next remote-freed slot id + 1 (0 = end of list). Only
+    /// meaningful between a successful [`HeapPublisher::claim_free`]
+    /// and the owning shard's drain; plain relaxed accesses, ordered by
+    /// the stack head's release/acquire CAS pair.
+    remote_next: AtomicU32,
 }
 
 /// A consistent point-in-time copy of one [`PubSlot`].
@@ -202,8 +226,10 @@ impl HeapPublisher {
     #[must_use]
     pub fn open(&self, slot: u32) -> Option<u64> {
         let ps = self.ensure_slot(slot)?;
-        let s = ps.seq.load(Relaxed);
-        ps.seq.store(s + 1, Relaxed);
+        // RMW, not load+store: a lock-free free claim may bump this
+        // slot's sequence concurrently (it does not hold the owner's
+        // lock), and a plain store would roll its advance back.
+        let s = ps.seq.fetch_add(1, Relaxed);
         fence(Release);
         Some(s)
     }
@@ -211,7 +237,11 @@ impl HeapPublisher {
     /// Close a writer window opened with the returned token.
     pub fn close(&self, slot: u32, token: u64) {
         let ps = self.slot(slot).expect("close pairs with a successful open");
-        ps.seq.store(token + 2, Release);
+        // RMW for the same reason as `open`: a concurrent claim's +2
+        // must survive the close. The window parity is preserved either
+        // way (open +1, claims +2k, close +1 — even again).
+        let prev = ps.seq.fetch_add(1, Release);
+        debug_assert!(prev & 1 == 1 && prev > token, "close pairs with a successful open");
     }
 
     /// Initialize a fresh (never-published) slot outside any window:
@@ -221,7 +251,7 @@ impl HeapPublisher {
         if let Some(ps) = self.ensure_slot(slot) {
             ps.base.store(base, Relaxed);
             ps.heap_gen.store(heap_gen, Relaxed);
-            ps.state.store(PUB_STATE_NONE, Relaxed);
+            ps.life.store(pack_life(0, PUB_STATE_NONE), Relaxed);
         }
     }
 
@@ -261,18 +291,81 @@ impl HeapPublisher {
             ps.class_hash.store(class_hash, Relaxed);
             ps.plan_hash.store(plan_hash, Relaxed);
             ps.plan_id.store(plan_id.map_or(0, |id| id + 1), Relaxed);
-            ps.meta_gen.store(meta_gen, Relaxed);
-            ps.state.store(PUB_STATE_LIVE, Relaxed);
+            ps.life.store(pack_life(meta_gen, PUB_STATE_LIVE), Relaxed);
             ps.warmed.store(0, Relaxed);
         }
     }
 
-    /// Mirror an object free. Window-required.
+    /// Mirror an object free. Window-required. Preserves the recorded
+    /// metadata generation (only the state bits change), so a stale
+    /// snapshot can still be diagnosed by generation.
     pub fn mirror_free(&self, slot: u32) {
         if let Some(ps) = self.slot(slot) {
-            ps.state.store(PUB_STATE_FREED, Relaxed);
+            let life = ps.life.load(Relaxed);
+            ps.life.store((life & !LIFE_STATE_MASK) | u64::from(PUB_STATE_FREED), Relaxed);
             ps.warmed.store(0, Relaxed);
         }
+    }
+
+    /// Lock-free free claim: atomically retire `(meta_gen, Live)` to
+    /// `(meta_gen, Freed)`. This is the one publication mutation legal
+    /// *outside* a writer window and *without* the heap owner's lock:
+    /// the state flip touches only the packed `life` word (readers
+    /// load that word atomically, so no torn view is possible), the
+    /// sequence then advances by a full window so optimistic readers
+    /// re-validate, and the generation baked into the compare makes
+    /// the claim ABA-safe — a slot that was
+    /// freed and re-recorded in between carries a higher generation and
+    /// the CAS fails. Returns `true` when this caller won the claim;
+    /// `false` means the object is already freed, was never recorded at
+    /// this generation, or a racing claim got there first — the caller
+    /// must fall back to the locked path, which will diagnose it.
+    ///
+    /// A successful claim only marks the object logically dead. The
+    /// heap-side release (poisoning, quarantine, free-list push) still
+    /// happens under the owner's lock when the remote-free stack is
+    /// drained, so the block's storage stays intact until then.
+    #[inline]
+    pub fn claim_free(&self, slot: u32, meta_gen: u64) -> bool {
+        let Some(ps) = self.slot(slot) else { return false };
+        let live = pack_life(meta_gen, PUB_STATE_LIVE);
+        let freed = pack_life(meta_gen, PUB_STATE_FREED);
+        if ps
+            .life
+            .compare_exchange(live, freed, std::sync::atomic::Ordering::AcqRel, Relaxed)
+            .is_ok()
+        {
+            ps.warmed.store(0, Relaxed);
+            // Advance the seqlock by a full window (+2, parity kept) so
+            // in-flight optimistic readers that validated against the
+            // pre-claim sequence retry and re-classify the object, and
+            // the "every mutation advances the sequence" monotonicity
+            // contract holds for lock-free frees too. The state flip
+            // itself is already un-tearable (single word), so no odd
+            // intermediate is needed.
+            ps.seq.fetch_add(2, Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Set the remote-free stack link of `slot` (see
+    /// [`PubSlot::remote_next`]): `next` is the next slot id + 1, 0
+    /// terminates. Only the claimant that just won
+    /// [`HeapPublisher::claim_free`] may write this.
+    #[inline]
+    pub fn set_remote_next(&self, slot: u32, next_plus1: u32) {
+        if let Some(ps) = self.slot(slot) {
+            ps.remote_next.store(next_plus1, Relaxed);
+        }
+    }
+
+    /// Read the remote-free stack link of `slot`. Only the draining
+    /// owner (after acquiring the detached stack head) may read this.
+    #[inline]
+    pub fn remote_next(&self, slot: u32) -> u32 {
+        self.slot(slot).map_or(0, |ps| ps.remote_next.load(Relaxed))
     }
 
     /// Warm-flag probe: returns whether the slot was already warm, and
@@ -327,16 +420,17 @@ impl HeapPublisher {
         if s1 & 1 == 1 {
             return SnapshotOutcome::Unstable;
         }
+        let life = ps.life.load(Relaxed);
         let snap = PubSnapshot {
             slot,
             seq: s1,
             base: ps.base.load(Relaxed),
             heap_gen: ps.heap_gen.load(Relaxed),
-            meta_gen: ps.meta_gen.load(Relaxed),
+            meta_gen: life >> LIFE_GEN_SHIFT,
             class_hash: ps.class_hash.load(Relaxed),
             plan_hash: ps.plan_hash.load(Relaxed),
             plan_id: ps.plan_id.load(Relaxed).checked_sub(1),
-            state: ps.state.load(Relaxed),
+            state: (life & LIFE_STATE_MASK) as u32,
             warmed: ps.warmed.load(Relaxed) == 1,
         };
         fence(Acquire);
@@ -452,6 +546,51 @@ mod tests {
         p.publish_units(1, 2, beyond);
         assert!(matches!(p.try_snapshot(16), SnapshotOutcome::Untracked));
         assert!(!p.warm_probe(beyond));
+    }
+
+    #[test]
+    fn claim_free_is_generation_exact_and_single_shot() {
+        let p = HeapPublisher::new(1 << 20, 0);
+        p.init_slot(0, 16, 3);
+        p.publish_units(1, 2, 0);
+        let win = p.open(0).unwrap();
+        p.mirror_record(0, 1, 2, None, 3);
+        p.close(0, win);
+
+        assert!(!p.claim_free(0, 2), "stale generation must not claim");
+        assert!(!p.claim_free(0, 4), "future generation must not claim");
+        assert!(p.claim_free(0, 3), "exact live generation claims");
+        assert!(!p.claim_free(0, 3), "double claim must lose");
+        match p.try_snapshot(16) {
+            SnapshotOutcome::Snap(s) => {
+                assert_eq!(s.state, PUB_STATE_FREED);
+                assert_eq!(s.meta_gen, 3, "claim preserves the generation");
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+
+        // Re-recording under a new generation revives the slot and the
+        // old claim key stays dead.
+        let win = p.open(0).unwrap();
+        p.mirror_record(0, 1, 2, None, 4);
+        p.close(0, win);
+        assert!(!p.claim_free(0, 3), "recycled slot must reject the stale claim");
+        assert!(p.claim_free(0, 4));
+    }
+
+    #[test]
+    fn remote_links_round_trip() {
+        let p = HeapPublisher::new(1 << 20, 0);
+        p.init_slot(0, 16, 1);
+        p.init_slot(1, 32, 1);
+        assert_eq!(p.remote_next(0), 0, "links start clear");
+        p.set_remote_next(0, 2);
+        p.set_remote_next(1, 0);
+        assert_eq!(p.remote_next(0), 2);
+        assert_eq!(p.remote_next(1), 0);
+        let beyond = p.covered_slots() as u32 + 1;
+        p.set_remote_next(beyond, 9);
+        assert_eq!(p.remote_next(beyond), 0, "out-of-coverage links are inert");
     }
 
     #[test]

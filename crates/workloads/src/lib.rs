@@ -36,6 +36,7 @@ pub mod gc;
 pub mod js;
 pub mod minijpeg;
 pub mod minipng;
+pub mod session_store;
 pub mod spec;
 pub mod util;
 

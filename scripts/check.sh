@@ -97,6 +97,15 @@ echo "== placement smoke =="
 ./target/release/smoke_placement
 echo "ok: placement smoke green"
 
+echo "== session-store smoke =="
+# A reduced run of the million-object session-store workload with the
+# oracle armed: populate → Zipf traffic on 8 threads, every read
+# verified against the model, magazine hit rate ≥ 90%, remote-free
+# queues fully drained at quiescence, no fragmentation growth and no
+# false-positive detections.
+./target/release/smoke_session
+echo "ok: session smoke green"
+
 echo "== bench smoke (1 iteration) =="
 # A single-iteration pass through every benchmark: catches hot-path
 # regressions that only the bench harness exercises (e.g. the JSON
@@ -106,10 +115,13 @@ echo "ok: bench smoke green"
 
 echo "== bench gate (reduced-iteration, >25% regression fails) =="
 # Short timed measurement of the gated hot paths (allocation, cached
-# getptr, and the 4-thread lock-free getptr curve row) against their
-# pins. Scaling pins recorded on a wider machine than this one
-# (pinned parallelism > detected) are skipped with a notice instead of
-# green-washing an incomparable measurement.
+# getptr, the 4-thread lock-free getptr curve row, the magazine-path
+# olr_malloc_free_mt1/mt4 aggregates, and a full-scale session-store
+# rerun against its p99 + metadata-per-live pins) against their pins.
+# Scaling pins recorded on a wider machine than this one (pinned
+# parallelism > detected) are skipped with a notice instead of
+# green-washing an incomparable measurement, as is the mt4 <= 1.5x mt1
+# magazine scaling check on machines detecting < 4 hardware threads.
 ./target/release/bench_json --gate scripts/bench_baseline_seed.json
 echo "ok: bench gate green"
 
